@@ -1,0 +1,262 @@
+(* The benchmark harness.
+
+   Part 1 regenerates every paper table: it runs the full experiment
+   registry (E1..E13, the per-theorem reproduction of DESIGN.md section 3)
+   and prints measured-vs-paper rows.
+
+   Part 2 times the building blocks and one execution kernel per experiment
+   with Bechamel, so performance regressions in the substrate (field ops,
+   hashing, sharing, the engine, SPDZ rounds) are visible.
+
+     dune exec bench/main.exe *)
+
+open Bechamel
+open Toolkit
+module E = Fair_analysis.Experiments
+module Engine = Fair_exec.Engine
+module Adversary = Fair_exec.Adversary
+module Rng = Fair_crypto.Rng
+module Field = Fair_field.Field
+module Func = Fair_mpc.Func
+module Adv = Fair_protocols.Adversaries
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: regenerate the paper's numbers                              *)
+(* ------------------------------------------------------------------ *)
+
+let run_experiments () =
+  print_endline "=== Reproduction: every quantitative claim of the paper (E1..E13) ===";
+  print_endline "";
+  let failures = ref 0 in
+  List.iter
+    (fun (s : E.spec) ->
+      let r = s.E.run ~trials:400 ~seed:42 in
+      Format.printf "%a@." E.pp r;
+      if not (E.all_ok r) then incr failures)
+    E.registry;
+  if !failures = 0 then print_endline "reproduction: ALL EXPERIMENTS PASS"
+  else Printf.printf "reproduction: %d EXPERIMENT(S) FAILED\n" !failures;
+  print_endline ""
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: timing kernels                                              *)
+(* ------------------------------------------------------------------ *)
+
+let counter = ref 0
+
+let fresh_rng () =
+  incr counter;
+  Rng.of_int_seed !counter
+
+(* --- substrate micro-benchmarks --- *)
+
+let bench_field_mul =
+  Test.make ~name:"field/mul"
+    (Staged.stage (fun () -> ignore (Field.mul (Field.of_int 123456789) (Field.of_int 987654321))))
+
+let bench_field_inv =
+  Test.make ~name:"field/inv" (Staged.stage (fun () -> ignore (Field.inv (Field.of_int 123456789))))
+
+let bench_sha256 =
+  let msg = String.make 256 'x' in
+  Test.make ~name:"crypto/sha256-256B"
+    (Staged.stage (fun () -> ignore (Fair_crypto.Sha256.digest msg)))
+
+let bench_hmac =
+  Test.make ~name:"crypto/hmac"
+    (Staged.stage (fun () -> ignore (Fair_crypto.Hmac.mac ~key:"key" "message")))
+
+let bench_lamport_sign =
+  let sk, _ = Fair_crypto.Signature.Lamport.keygen (Rng.of_int_seed 7) in
+  Test.make ~name:"crypto/lamport-sign"
+    (Staged.stage (fun () -> ignore (Fair_crypto.Signature.Lamport.sign sk "y")))
+
+let bench_lamport_verify =
+  let sk, pk = Fair_crypto.Signature.Lamport.keygen (Rng.of_int_seed 8) in
+  let s = Fair_crypto.Signature.Lamport.sign sk "y" in
+  Test.make ~name:"crypto/lamport-verify"
+    (Staged.stage (fun () -> ignore (Fair_crypto.Signature.Lamport.verify pk "y" s)))
+
+let bench_shamir =
+  Test.make ~name:"sharing/shamir-deal+reconstruct-3of5"
+    (Staged.stage (fun () ->
+         let g = fresh_rng () in
+         let shares = Fair_sharing.Shamir.share g ~threshold:3 ~n:5 (Field.of_int 4242) in
+         ignore (Fair_sharing.Shamir.reconstruct [ shares.(0); shares.(2); shares.(4) ])))
+
+let bench_auth_share =
+  let secret = Field.encode_string "a-sixteen-byte-s" in
+  Test.make ~name:"sharing/auth-2of2-deal+reconstruct"
+    (Staged.stage (fun () ->
+         let g = fresh_rng () in
+         let s1, s2 = Fair_sharing.Auth_share.share g secret in
+         ignore (Fair_sharing.Auth_share.reconstruct_shares s1 s2)))
+
+(* --- one execution kernel per experiment --- *)
+
+let one_run protocol adversary inputs =
+  Staged.stage (fun () ->
+      ignore (Engine.run ~protocol ~adversary ~inputs ~rng:(fresh_rng ())))
+
+let bench_e1_pi1 =
+  Test.make ~name:"E1/pi1-vs-greedy"
+    (one_run Fair_protocols.Contract.pi1
+       (Adv.greedy ~func:Func.contract (Adv.Fixed [ 2 ]))
+       [| "sigA"; "sigB" |])
+
+let bench_e1_pi2 =
+  Test.make ~name:"E1/pi2-vs-greedy"
+    (one_run Fair_protocols.Contract.pi2
+       (Adv.greedy ~func:Func.contract Adv.Random_party)
+       [| "sigA"; "sigB" |])
+
+let bench_e2_opt2 =
+  Test.make ~name:"E2-E3/opt2-vs-Agen"
+    (one_run (Fair_protocols.Opt2.hybrid Func.swap)
+       (Adv.greedy ~func:Func.swap Adv.Random_party)
+       [| "x1"; "x2" |])
+
+let bench_e4_one_round =
+  Test.make ~name:"E4/opt2-one-round-vs-greedy"
+    (one_run (Fair_protocols.Opt2.one_round_variant Func.swap)
+       (Adv.greedy ~func:Func.swap Adv.Random_party)
+       [| "x1"; "x2" |])
+
+let bench_e5_optn =
+  let func = Func.concat ~n:5 in
+  Test.make ~name:"E5-E7/optn-n5-vs-greedy-t4"
+    (one_run (Fair_protocols.Optn.hybrid func)
+       (Adv.greedy ~func (Adv.Random_subset 4))
+       [| "a"; "b"; "c"; "d"; "e" |])
+
+let bench_e8_gmw =
+  let func = Func.concat ~n:4 in
+  Test.make ~name:"E8/gmw-half-n4-vs-greedy-t2"
+    (one_run (Fair_protocols.Gmw_half.hybrid func)
+       (Adv.greedy ~func (Adv.Random_subset 2))
+       [| "a"; "b"; "c"; "d" |])
+
+let bench_e9_artificial =
+  let func = Func.concat ~n:3 in
+  Test.make ~name:"E9/artificial-n3-vs-lemma18-t1"
+    (one_run (Fair_protocols.Artificial.hybrid func) Fair_protocols.Artificial.lemma18_t1
+       [| "a"; "b"; "c" |])
+
+let bench_e11_gk =
+  let module GK = Fair_protocols.Gordon_katz in
+  let func = Func.and_ in
+  let variant = GK.poly_domain ~func ~p:4 ~domain1:[ "0"; "1" ] ~domain2:[ "0"; "1" ] in
+  Test.make ~name:"E11/gk-p4-vs-abort"
+    (one_run (GK.protocol ~func ~variant)
+       (GK.abort_at_exchange ~target:2 ~gk_round:4)
+       [| "1"; "1" |])
+
+let bench_e12_leaky =
+  Test.make ~name:"E12/leaky-and-vs-leak-adversary"
+    (one_run Fair_protocols.Leaky_and.protocol Fair_protocols.Leaky_and.leak_adversary
+       [| "1"; "0" |])
+
+let bench_e13_biased =
+  Test.make ~name:"E13/opt2-q0.25-vs-greedy"
+    (one_run
+       (Fair_protocols.Opt2.hybrid_biased ~q:0.25 Func.swap)
+       (Adv.greedy ~func:Func.swap (Adv.Fixed [ 1 ]))
+       [| "x1"; "x2" |])
+
+let bench_spdz =
+  let module F = Fair_field.Field in
+  let proto =
+    Fair_mpc.Spdz.sfe ~name:"bench" ~circuit:(Fair_mpc.Circuit.inner_product ~n:2) ~n:2
+      ~encode_input:(fun ~id:_ s ->
+        match String.split_on_char ':' s with
+        | [ a; b ] -> [ F.of_int (int_of_string a); F.of_int (int_of_string b) ]
+        | _ -> invalid_arg "input")
+      ~decode_output:(fun ys -> string_of_int (F.to_int ys.(0)))
+  in
+  Test.make ~name:"substrate/spdz-inner-product-honest"
+    (one_run proto Adversary.passive [| "2:5"; "3:7" |])
+
+let bench_gmw_millionaires =
+  let bits = 8 in
+  let proto =
+    Fair_mpc.Gmw.protocol ~name:"mill"
+      ~circuit:(Fair_mpc.Boolcirc.millionaires ~bits)
+      ~encode_input:(fun ~id:_ s -> Fair_mpc.Boolcirc.encode_int_input ~bits (int_of_string s))
+      ~decode_output:(fun o -> if o.(0) then "1" else "0")
+  in
+  Test.make ~name:"substrate/gmw-millionaires-8bit-honest"
+    (one_run proto Adversary.passive [| "200"; "199" |])
+
+let bench_coin_toss =
+  Test.make ~name:"substrate/blum-coin-toss-vs-veto"
+    (one_run Fair_protocols.Coin_toss.protocol
+       (Fair_protocols.Coin_toss.veto_adversary ~target:2 ~want:"0")
+       [| ""; "" |])
+
+let bench_e14_adaptive =
+  let func = Func.concat ~n:5 in
+  Test.make ~name:"E14/optn-n5-vs-adaptive-hunter"
+    (one_run (Fair_protocols.Optn.hybrid func)
+       (Adv.adaptive_hunter ~func ~budget:3 ())
+       [| "a"; "b"; "c"; "d"; "e" |])
+
+let bench_opt2_spdz =
+  let module F = Fair_field.Field in
+  let proto =
+    Fair_protocols.Opt2.spdz ~name:"bench-comp" ~circuit:Fair_mpc.Circuit.identity2
+      ~func:Func.swap
+      ~encode_input:(fun ~id:_ s -> [ F.of_int (int_of_string s) ])
+      ~decode_output:(fun ys -> Printf.sprintf "%d,%d" (F.to_int ys.(1)) (F.to_int ys.(0)))
+  in
+  Test.make ~name:"substrate/opt2-spdz-composed-vs-greedy"
+    (one_run proto (Adv.greedy ~func:Func.swap Adv.Random_party) [| "3"; "4" |])
+
+let tests =
+  Test.make_grouped ~name:"fair-protocol"
+    [ bench_field_mul;
+      bench_field_inv;
+      bench_sha256;
+      bench_hmac;
+      bench_lamport_sign;
+      bench_lamport_verify;
+      bench_shamir;
+      bench_auth_share;
+      bench_spdz;
+      bench_opt2_spdz;
+      bench_gmw_millionaires;
+      bench_coin_toss;
+      bench_e14_adaptive;
+      bench_e1_pi1;
+      bench_e1_pi2;
+      bench_e2_opt2;
+      bench_e4_one_round;
+      bench_e5_optn;
+      bench_e8_gmw;
+      bench_e9_artificial;
+      bench_e11_gk;
+      bench_e12_leaky;
+      bench_e13_biased ]
+
+let run_timings () =
+  print_endline "=== Timing kernels (Bechamel, ns per execution) ===";
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 10) ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+  List.iter
+    (fun (name, ols) ->
+      match Analyze.OLS.estimates ols with
+      | Some [ est ] -> Printf.printf "%-50s %14.0f ns/run\n" name est
+      | _ -> Printf.printf "%-50s %14s\n" name "n/a")
+    rows
+
+let () =
+  run_experiments ();
+  run_timings ()

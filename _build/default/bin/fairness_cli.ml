@@ -1,0 +1,145 @@
+(* Command-line driver: list and run the paper-reproduction experiments.
+
+   $ fairness list
+   $ fairness run E3 --trials 2000 --seed 42
+   $ fairness all --markdown > report.md *)
+
+open Cmdliner
+module E = Fair_analysis.Experiments
+
+let trials_arg =
+  let doc = "Monte-Carlo trials per estimate (experiments scale this internally)." in
+  Arg.(value & opt int 800 & info [ "t"; "trials" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "Master seed; every run with the same seed is bit-for-bit reproducible." in
+  Arg.(value & opt int 42 & info [ "s"; "seed" ] ~docv:"SEED" ~doc)
+
+let markdown_arg =
+  let doc = "Emit Markdown (the EXPERIMENTS.md format) instead of plain text." in
+  Arg.(value & flag & info [ "markdown" ] ~doc)
+
+let list_cmd =
+  let run () =
+    List.iter (fun (s : E.spec) -> Printf.printf "%-4s %s\n" s.E.eid s.E.etitle) E.registry;
+    0
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the experiments (paper claim per id).")
+    Term.(const run $ const ())
+
+let print_result ~markdown r =
+  if markdown then print_string (E.to_markdown r) else Format.printf "%a" E.pp r
+
+let run_cmd =
+  let id_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc:"Experiment id (e.g. E3).")
+  in
+  let run id trials seed markdown =
+    match E.find id with
+    | None ->
+        Printf.eprintf "unknown experiment %S; try `fairness list`\n" id;
+        exit 2
+    | Some spec ->
+        let r = spec.E.run ~trials ~seed in
+        print_result ~markdown r;
+        if E.all_ok r then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one experiment and check its paper bounds.")
+    Term.(const run $ id_arg $ trials_arg $ seed_arg $ markdown_arg)
+
+let all_cmd =
+  let run trials seed markdown =
+    let failures = ref 0 in
+    List.iter
+      (fun (s : E.spec) ->
+        let r = s.E.run ~trials ~seed in
+        print_result ~markdown r;
+        print_newline ();
+        if not (E.all_ok r) then incr failures)
+      E.registry;
+    if !failures = 0 then begin
+      Printf.printf "all %d experiments PASS\n" (List.length E.registry);
+      0
+    end
+    else begin
+      Printf.printf "%d experiment(s) FAILED\n" !failures;
+      1
+    end
+  in
+  Cmd.v
+    (Cmd.info "all" ~doc:"Run every experiment (E1..E13).")
+    Term.(const run $ trials_arg $ seed_arg $ markdown_arg)
+
+let sweep_cmd =
+  let kind_arg =
+    Arg.(
+      required
+      & pos 0 (some (enum [ ("gamma", `Gamma); ("n", `N); ("q", `Q) ])) None
+      & info [] ~docv:"KIND" ~doc:"Sweep kind: gamma, n, or q.")
+  in
+  let run kind trials seed markdown =
+    let table =
+      match kind with
+      | `Gamma -> Fair_analysis.Sweep.gamma_sweep ~trials ~seed ()
+      | `N -> Fair_analysis.Sweep.n_sweep ~ns:[ 2; 3; 4; 5; 6; 7 ] ~trials ~seed ()
+      | `Q -> Fair_analysis.Sweep.q_sweep ~qs:[ 0.0; 0.125; 0.25; 0.375; 0.5; 0.625; 0.75; 0.875; 1.0 ] ~trials ~seed ()
+    in
+    print_endline (Fair_analysis.Sweep.render ~markdown table);
+    0
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Sweep a parameter (preference vector, party count, or designer bias) and tabulate \
+          the measured fairness landscape.")
+    Term.(const run $ kind_arg $ trials_arg $ seed_arg $ markdown_arg)
+
+let demo_cmd =
+  let name_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"PROTOCOL" ~doc:"Demo name (see `fairness demos`).")
+  in
+  let adversary_arg =
+    let doc = "Adversary strategy name (default: the demo's first strategy)." in
+    Arg.(value & opt (some string) None & info [ "a"; "adversary" ] ~docv:"NAME" ~doc)
+  in
+  let run name adversary seed =
+    match Fair_analysis.Demo.find name with
+    | None ->
+        Printf.eprintf "unknown demo %S; try `fairness demos`\n" name;
+        exit 2
+    | Some entry -> (
+        match Fair_analysis.Demo.adversary_of entry adversary with
+        | Error e ->
+            prerr_endline e;
+            exit 2
+        | Ok adv ->
+            Fair_analysis.Demo.run entry ~adversary:adv ~seed Format.std_formatter;
+            0)
+  in
+  Cmd.v
+    (Cmd.info "demo" ~doc:"Run one protocol execution and print the round-by-round trace.")
+    Term.(const run $ name_arg $ adversary_arg $ seed_arg)
+
+let demos_cmd =
+  let run () =
+    List.iter
+      (fun (e : Fair_analysis.Demo.entry) ->
+        Printf.printf "%-18s %s\n%-18s strategies: %s\n" e.Fair_analysis.Demo.dname
+          e.Fair_analysis.Demo.describe ""
+          (String.concat ", " (List.map fst e.Fair_analysis.Demo.adversaries)))
+      Fair_analysis.Demo.registry;
+    0
+  in
+  Cmd.v
+    (Cmd.info "demos" ~doc:"List the available protocol demos and their strategies.")
+    Term.(const run $ const ())
+
+let main =
+  let doc = "Reproduction harness for 'How Fair is Your Protocol?' (PODC 2015)" in
+  Cmd.group (Cmd.info "fairness" ~version:"1.0.0" ~doc) [ list_cmd; run_cmd; all_cmd; demo_cmd; demos_cmd; sweep_cmd ]
+
+let () = exit (Cmd.eval' main)

@@ -1,0 +1,1 @@
+examples/contract_signing.ml: Fair_analysis Fair_exec Fair_protocols Fairness Format List Montecarlo Payoff

@@ -1,0 +1,1 @@
+examples/millionaires.ml: Array Bounds Fair_crypto Fair_exec Fair_mpc Fair_protocols Fairness Format List Montecarlo Payoff Relation

@@ -1,0 +1,1 @@
+examples/partial_fairness.ml: Bounds Fair_analysis Fair_exec Fair_mpc Fair_protocols Fairness Format List Montecarlo Payoff Printf

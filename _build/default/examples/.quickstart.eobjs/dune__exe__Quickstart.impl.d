@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bounds Fair_crypto Fair_exec Fair_mpc Fair_protocols Fairness Format List Montecarlo Payoff Printf Relation Utility

@@ -1,0 +1,1 @@
+examples/sealed_bid_auction.ml: Array Bounds Fair_analysis Fair_crypto Fair_exec Fair_mpc Fair_protocols Fairness Format List Montecarlo Payoff String

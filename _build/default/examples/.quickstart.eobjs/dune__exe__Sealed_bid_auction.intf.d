@@ -1,0 +1,1 @@
+examples/sealed_bid_auction.mli:

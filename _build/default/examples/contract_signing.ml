@@ -1,0 +1,49 @@
+(* The paper's opening scenario: two ways to exchange signed contracts.
+
+   Π1: exchange commitments, then p1 opens, then p2 opens.
+   Π2: same, but a Blum coin toss decides who opens first.
+
+   The example measures the best attacker against each and reproduces the
+   introduction's verdict: Π2 is twice as fair as Π1.
+
+     dune exec examples/contract_signing.exe *)
+
+open Fairness
+module C = Fair_protocols.Contract
+module Report = Fair_analysis.Report
+
+let () =
+  let trials = 2000 in
+  let env = Montecarlo.uniform_field_inputs ~n:2 in
+  Format.printf
+    "Two companies exchange signed contracts over secure channels.@.\
+     Which protocol should they run?@.@.";
+  let measure gamma proto seed =
+    Montecarlo.best_response ~protocol:proto ~adversaries:C.zoo ~func:C.func ~gamma ~env ~trials
+      ~seed ()
+  in
+  let rows =
+    List.concat_map
+      (fun gamma ->
+        let a1, e1 = measure gamma C.pi1 11 in
+        let a2, e2 = measure gamma C.pi2 12 in
+        [ [ Payoff.to_string gamma;
+            "Π1 (fixed order)";
+            a1.Fair_exec.Adversary.name;
+            Report.fmt_pm e1.Montecarlo.utility e1.Montecarlo.std_err ];
+          [ Payoff.to_string gamma;
+            "Π2 (coin toss)";
+            a2.Fair_exec.Adversary.name;
+            Report.fmt_pm e2.Montecarlo.utility e2.Montecarlo.std_err ] ])
+      [ Payoff.zero_one; Payoff.default ]
+  in
+  print_endline
+    (Report.render
+       ~header:[ "preference vector"; "protocol"; "best attacker"; "attacker utility" ]
+       rows);
+  Format.printf
+    "@.Under γ = (0,0,1,0) the best attacker collects 1.0 against Π1 but only ~0.5@.\
+     against Π2 — Π2 is \"twice as fair\", exactly the paper's introduction.@.\
+     The coin toss denies the adversary the choice of going second: it ends up@.\
+     in the paying position only half the time, and the binding commitments@.\
+     leave aborting as its only other move.@."

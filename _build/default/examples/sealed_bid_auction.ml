@@ -1,0 +1,76 @@
+(* A five-party sealed-bid auction: the parties want the winning bid (the
+   maximum) revealed to everyone, and none of them wants a coalition to
+   learn it early and pull out.
+
+   The example compares ΠOpt-nSFE with the honest-majority GMW-1/2 protocol
+   across coalition sizes, showing the trade the paper quantifies in
+   Section 4.2: GMW-1/2 is perfectly fair below ⌈n/2⌉ corruptions and a
+   total loss above, while ΠOpt-nSFE degrades linearly — and only the
+   latter is utility-balanced.
+
+     dune exec examples/sealed_bid_auction.exe *)
+
+open Fairness
+module Func = Fair_mpc.Func
+module Adv = Fair_protocols.Adversaries
+module Report = Fair_analysis.Report
+
+let () =
+  let n = 5 in
+  let func = Func.maximum ~n in
+  let gamma = Payoff.default in
+  let trials = 1500 in
+  let env rng = Array.init n (fun _ -> string_of_int (Fair_crypto.Rng.int rng 1_000_000)) in
+  Format.printf "Sealed-bid auction, %d bidders, payoff vector %s@.@." n (Payoff.to_string gamma);
+
+  (* An honest run first. *)
+  let optn = Fair_protocols.Optn.hybrid func in
+  let bids = [| "120"; "450"; "90"; "310"; "77" |] in
+  let o =
+    Fair_exec.Engine.run ~protocol:optn ~adversary:Fair_exec.Adversary.passive ~inputs:bids
+      ~rng:(Fair_crypto.Rng.of_int_seed 5)
+  in
+  Format.printf "honest run with bids %s: everyone learns the winning bid %s@.@."
+    (String.concat ", " (Array.to_list bids))
+    (match Fair_exec.Engine.honest_outputs o with
+    | (_, Some y) :: _ -> y
+    | _ -> "?");
+
+  let gmw = Fair_protocols.Gmw_half.hybrid func in
+  let measure proto t seed =
+    Montecarlo.estimate ~protocol:proto
+      ~adversary:(Adv.greedy ~func (Adv.Random_subset t))
+      ~func ~gamma ~env ~trials ~seed ()
+  in
+  let rows =
+    List.map
+      (fun t ->
+        let a = measure optn t (100 + t) in
+        let b = measure gmw t (200 + t) in
+        [ string_of_int t;
+          Report.fmt_pm a.Montecarlo.utility a.Montecarlo.std_err;
+          Report.fmt_float (Bounds.optn gamma ~n ~t);
+          Report.fmt_pm b.Montecarlo.utility b.Montecarlo.std_err;
+          Report.fmt_float (Bounds.gmw_half gamma ~n ~t) ])
+      [ 1; 2; 3; 4 ]
+  in
+  print_endline
+    (Report.render
+       ~header:
+         [ "coalition t";
+           "ΠOpt-nSFE measured";
+           "Lemma 11 bound";
+           "GMW-1/2 measured";
+           "Lemma 17 profile" ]
+       rows);
+  Format.printf
+    "@.Below the ⌈n/2⌉ = %d blocking threshold the honest-majority protocol is the@.\
+     fairer choice (γ11 < the linear profile); at or above it, it collapses to γ10@.\
+     while ΠOpt-nSFE still caps every coalition.  Summed over t, only ΠOpt-nSFE@.\
+     meets the utility-balanced floor (n-1)(γ10+γ11)/2 = %.2f.@.@.\
+     ΠOpt-nSFE lands *below* its worst-case bound here: when the coalition@.\
+     happens to hold the winning bid it already knows the outcome, so the@.\
+     attack gains nothing — the Lemma 13 matching lower bound needs functions@.\
+     (like concatenation) whose output always depends on honest inputs.@."
+    ((n + 1) / 2)
+    (Bounds.balanced_sum gamma ~n)

@@ -1,0 +1,1 @@
+lib/analysis/demo.ml: Array Fair_crypto Fair_exec Fair_mpc Fair_protocols Fairness Format List Printf String

@@ -1,0 +1,1 @@
+lib/analysis/demo.mli: Fair_exec Fair_mpc Format

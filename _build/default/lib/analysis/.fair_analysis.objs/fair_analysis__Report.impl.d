@@ -1,0 +1,1 @@
+lib/analysis/report.ml: List Printf String

@@ -1,0 +1,1 @@
+lib/analysis/sweep.ml: Bounds Fair_mpc Fair_protocols Fairness List Montecarlo Payoff Printf Relation Report

@@ -1,0 +1,177 @@
+module Protocol = Fair_exec.Protocol
+module Adversary = Fair_exec.Adversary
+module Engine = Fair_exec.Engine
+module Trace = Fair_exec.Trace
+module Wire = Fair_exec.Wire
+module Rng = Fair_crypto.Rng
+module Func = Fair_mpc.Func
+module Adv = Fair_protocols.Adversaries
+module Events = Fairness.Events
+
+type entry = {
+  dname : string;
+  describe : string;
+  dprotocol : Protocol.t;
+  dfunc : Func.t;
+  dinputs : string array;
+  adversaries : (string * Adversary.t) list;
+}
+
+let two_party_strategies func =
+  [ ("passive", Adversary.passive);
+    ("greedy", Adv.greedy ~func Adv.Random_party);
+    ("greedy-p1", Adv.greedy ~func (Adv.Fixed [ 1 ]));
+    ("greedy-p2", Adv.greedy ~func (Adv.Fixed [ 2 ]));
+    ("semi-honest", Adv.semi_honest Adv.Random_party);
+    ("abort-r2", Adv.abort_at ~round:2 Adv.Random_party);
+    ("abort-r5", Adv.abort_at ~round:5 Adv.Random_party);
+    ("grab-and-abort", Adv.grab_and_abort Adv.Random_party);
+    ("silent", Adv.silent Adv.Random_party) ]
+
+let registry =
+  let swap = Func.swap in
+  let concat3 = Func.concat ~n:3 in
+  [ { dname = "pi1";
+      describe = "naive contract signing (introduction)";
+      dprotocol = Fair_protocols.Contract.pi1;
+      dfunc = Func.contract;
+      dinputs = [| "sigA"; "sigB" |];
+      adversaries = ("greedy-p2", Adv.greedy ~func:Func.contract (Adv.Fixed [ 2 ])) :: two_party_strategies Func.contract };
+    { dname = "pi2";
+      describe = "coin-toss contract signing (introduction)";
+      dprotocol = Fair_protocols.Contract.pi2;
+      dfunc = Func.contract;
+      dinputs = [| "sigA"; "sigB" |];
+      adversaries = two_party_strategies Func.contract };
+    { dname = "opt2";
+      describe = "PiOpt-2SFE on the swap function (Theorem 3)";
+      dprotocol = Fair_protocols.Opt2.hybrid swap;
+      dfunc = swap;
+      dinputs = [| "alice"; "bob" |];
+      adversaries = two_party_strategies swap };
+    { dname = "optn";
+      describe = "PiOpt-nSFE, n = 3, concatenation (Lemma 11)";
+      dprotocol = Fair_protocols.Optn.hybrid concat3;
+      dfunc = concat3;
+      dinputs = [| "a"; "b"; "c" |];
+      adversaries =
+        [ ("greedy-t2", Adv.greedy ~func:concat3 (Adv.Random_subset 2));
+          ("greedy-t1", Adv.greedy ~func:concat3 (Adv.Random_subset 1));
+          ("adaptive", Adv.adaptive_hunter ~func:concat3 ~budget:2 ());
+          ("passive", Adversary.passive) ] };
+    { dname = "gmw-half";
+      describe = "honest-majority protocol, n = 4 (Lemma 17)";
+      dprotocol = Fair_protocols.Gmw_half.hybrid (Func.concat ~n:4);
+      dfunc = Func.concat ~n:4;
+      dinputs = [| "a"; "b"; "c"; "d" |];
+      adversaries =
+        [ ("greedy-t2", Adv.greedy ~func:(Func.concat ~n:4) (Adv.Random_subset 2));
+          ("greedy-t1", Adv.greedy ~func:(Func.concat ~n:4) (Adv.Random_subset 1));
+          ("passive", Adversary.passive) ] };
+    { dname = "artificial";
+      describe = "the optimal-but-unbalanced protocol (Lemma 18)";
+      dprotocol = Fair_protocols.Artificial.hybrid concat3;
+      dfunc = concat3;
+      dinputs = [| "a"; "b"; "c" |];
+      adversaries =
+        [ ("lemma18-t1", Fair_protocols.Artificial.lemma18_t1);
+          ("greedy-t2", Adv.greedy ~func:concat3 (Adv.Random_subset 2));
+          ("passive", Adversary.passive) ] };
+    (let variant =
+       Fair_protocols.Gordon_katz.poly_domain ~func:Func.and_ ~p:2 ~domain1:[ "0"; "1" ]
+         ~domain2:[ "0"; "1" ]
+     in
+     { dname = "gordon-katz";
+       describe = "GK poly-domain AND, p = 2 (Theorem 23)";
+       dprotocol = Fair_protocols.Gordon_katz.protocol ~func:Func.and_ ~variant;
+       dfunc = Func.and_;
+       dinputs = [| "1"; "1" |];
+       adversaries =
+         [ ("abort-gk3", Fair_protocols.Gordon_katz.abort_at_exchange ~target:2 ~gk_round:3);
+           ("repeat2", Fair_protocols.Gordon_katz.abort_on_repeat ~target:2 ~k:2);
+           ("passive", Adversary.passive) ] });
+    { dname = "leaky-and";
+      describe = "the leaky AND protocol (Lemmas 26/27)";
+      dprotocol = Fair_protocols.Leaky_and.protocol;
+      dfunc = Func.and_;
+      dinputs = [| "1"; "0" |];
+      adversaries =
+        [ ("leak", Fair_protocols.Leaky_and.leak_adversary); ("passive", Adversary.passive) ] };
+    { dname = "coin-toss";
+      describe = "Blum coin toss and Cleve's veto";
+      dprotocol = Fair_protocols.Coin_toss.protocol;
+      dfunc = Func.concat ~n:2 (* classification is not meaningful here *);
+      dinputs = [| ""; "" |];
+      adversaries =
+        [ ("veto-0", Fair_protocols.Coin_toss.veto_adversary ~target:2 ~want:"0");
+          ("passive", Adversary.passive) ] };
+    (let bits = 4 in
+     let circuit = Fair_mpc.Boolcirc.millionaires ~bits in
+     { dname = "millionaires-gmw";
+       describe = "Yao's millionaires over boolean GMW (4-bit)";
+       dprotocol =
+         Fair_mpc.Gmw.protocol ~name:"millionaires-gmw" ~circuit
+           ~encode_input:(fun ~id:_ s ->
+             Fair_mpc.Boolcirc.encode_int_input ~bits (int_of_string s))
+           ~decode_output:(fun o -> if o.(0) then "1" else "0");
+       dfunc = Func.greater;
+       dinputs = [| "9"; "5" |];
+       adversaries = [ ("passive", Adversary.passive); ("greedy", Adv.greedy Adv.Random_party) ]
+     }) ]
+
+let find name =
+  let name = String.lowercase_ascii name in
+  List.find_opt (fun e -> String.lowercase_ascii e.dname = name) registry
+
+let adversary_of entry = function
+  | None -> (
+      match entry.adversaries with
+      | (_, a) :: _ -> Ok a
+      | [] -> Error "no strategies registered")
+  | Some name -> (
+      match List.assoc_opt name entry.adversaries with
+      | Some a -> Ok a
+      | None ->
+          Error
+            (Printf.sprintf "unknown strategy %S; available: %s" name
+               (String.concat ", " (List.map fst entry.adversaries))))
+
+let truncate s =
+  let s = String.map (fun c -> if c = '\n' then ' ' else c) s in
+  if String.length s <= 56 then s else String.sub s 0 53 ^ "..."
+
+let run entry ~adversary ~seed fmt =
+  let outcome =
+    Engine.run ~protocol:entry.dprotocol ~adversary ~inputs:entry.dinputs
+      ~rng:(Rng.of_int_seed seed)
+  in
+  Format.fprintf fmt "protocol: %s — %s@." entry.dprotocol.Protocol.name entry.describe;
+  Format.fprintf fmt "inputs: %s@.@." (String.concat ", " (Array.to_list entry.dinputs));
+  List.iter
+    (fun ev ->
+      match ev with
+      | Trace.Sent (r, env) ->
+          Format.fprintf fmt "  [r%02d] %d%a  %s@." r env.Wire.src Wire.pp_dest env.Wire.dst
+            (truncate env.Wire.payload)
+      | Trace.Output_event (r, p, v) ->
+          Format.fprintf fmt "  [r%02d] party %d OUTPUTS %s@." r p (truncate v)
+      | Trace.Aborted (r, p) -> Format.fprintf fmt "  [r%02d] party %d outputs ⊥@." r p
+      | Trace.Corrupted (r, p) -> Format.fprintf fmt "  [r%02d] party %d CORRUPTED@." r p
+      | Trace.Claimed (r, v) ->
+          Format.fprintf fmt "  [r%02d] adversary claims %s@." r (truncate v))
+    (Trace.events outcome.Engine.trace);
+  Format.fprintf fmt "@.results:@.";
+  List.iter
+    (fun (id, r) ->
+      Format.fprintf fmt "  party %d: %s@." id
+        (match r with
+        | Engine.Honest_output v -> Printf.sprintf "output %s" (truncate v)
+        | Engine.Honest_abort -> "⊥"
+        | Engine.Honest_no_output -> "(no output)"
+        | Engine.Was_corrupted -> "corrupted"))
+    outcome.Engine.results;
+  let trial = { Events.outcome; inputs = entry.dinputs; func = entry.dfunc } in
+  let c = Events.classify trial in
+  Format.fprintf fmt "true output: %s@." (Func.eval_exn entry.dfunc entry.dinputs);
+  Format.fprintf fmt "fairness event: %a%s@." Events.pp_event c.Events.event
+    (if c.Events.correctness_breach then " (correctness breach!)" else "")

@@ -1,0 +1,28 @@
+(** Named protocol/adversary demos for the CLI: run one execution and
+    pretty-print the round-by-round trace, the parties' outcomes, and the
+    fairness event the run classifies to.  Useful for teaching and for
+    debugging new protocols or strategies. *)
+
+module Protocol = Fair_exec.Protocol
+module Adversary = Fair_exec.Adversary
+module Func = Fair_mpc.Func
+
+type entry = {
+  dname : string;
+  describe : string;
+  dprotocol : Protocol.t;
+  dfunc : Func.t;
+  dinputs : string array;
+  adversaries : (string * Adversary.t) list;
+      (** selectable by name; the head is the default *)
+}
+
+val registry : entry list
+
+val find : string -> entry option
+val adversary_of : entry -> string option -> (Adversary.t, string) result
+(** [None] picks the default; [Some name] looks the strategy up. *)
+
+val run : entry -> adversary:Adversary.t -> seed:int -> Format.formatter -> unit
+(** Execute once and render: the trace (payloads truncated), per-party
+    results, adversary claims, and the E_ij classification. *)

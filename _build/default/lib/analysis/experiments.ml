@@ -1,0 +1,734 @@
+open Fairness
+module Adversary = Fair_exec.Adversary
+module Protocol = Fair_exec.Protocol
+module Func = Fair_mpc.Func
+module Adv = Fair_protocols.Adversaries
+module Mc = Montecarlo
+
+type check = {
+  label : string;
+  measured : float;
+  expected : float;
+  tolerance : float;
+  kind : [ `Equals | `At_most | `At_least ];
+  ok : bool;
+}
+
+type result = {
+  id : string;
+  title : string;
+  claim : string;
+  checks : check list;
+  notes : string list;
+  rows : (string list * string list list) option;
+}
+
+let all_ok r = List.for_all (fun c -> c.ok) r.checks
+
+let mk_check ~label ~measured ~expected ~tolerance kind =
+  let tolerance = tolerance +. 1e-9 in
+  let ok =
+    match kind with
+    | `Equals -> abs_float (measured -. expected) <= tolerance
+    | `At_most -> measured <= expected +. tolerance
+    | `At_least -> measured >= expected -. tolerance
+  in
+  { label; measured; expected; tolerance; kind; ok }
+
+let check_estimate ~label ~(e : Mc.estimate) ~expected kind =
+  mk_check ~label ~measured:e.Mc.utility ~expected ~tolerance:(3.0 *. e.Mc.std_err) kind
+
+let kind_sym = function `Equals -> "=" | `At_most -> "<=" | `At_least -> ">="
+
+(* OCaml string-literal continuations leave runs of spaces in the prose. *)
+let squash s =
+  String.concat " " (List.filter (fun w -> w <> "") (String.split_on_char ' ' s))
+
+let pp fmt r =
+  Format.fprintf fmt "== %s: %s ==@." r.id r.title;
+  Format.fprintf fmt "claim: %s@." (squash r.claim);
+  let header = [ "check"; "measured"; "rel"; "paper"; "tol"; "verdict" ] in
+  let rows =
+    List.map
+      (fun c ->
+        [ c.label;
+          Report.fmt_float c.measured;
+          kind_sym c.kind;
+          Report.fmt_float c.expected;
+          Report.fmt_float c.tolerance;
+          Report.check_mark c.ok ])
+      r.checks
+  in
+  Format.fprintf fmt "%s@." (Report.render ~header rows);
+  (match r.rows with
+  | Some (header, rows) -> Format.fprintf fmt "%s@." (Report.render ~header rows)
+  | None -> ());
+  List.iter (fun n -> Format.fprintf fmt "note: %s@." n) r.notes;
+  Format.fprintf fmt "result: %s@." (if all_ok r then "PASS" else "FAIL")
+
+let to_markdown r =
+  let b = Buffer.create 512 in
+  Buffer.add_string b (Printf.sprintf "### %s — %s\n\n%s\n\n" r.id r.title (squash r.claim));
+  let header = [ "check"; "measured"; "rel"; "paper"; "tol"; "verdict" ] in
+  let rows =
+    List.map
+      (fun c ->
+        [ c.label;
+          Report.fmt_float c.measured;
+          kind_sym c.kind;
+          Report.fmt_float c.expected;
+          Report.fmt_float c.tolerance;
+          Report.check_mark c.ok ])
+      r.checks
+  in
+  Buffer.add_string b (Report.render ~markdown:true ~header rows);
+  Buffer.add_string b "\n";
+  (match r.rows with
+  | Some (header, rows) ->
+      Buffer.add_string b "\n";
+      Buffer.add_string b (Report.render ~markdown:true ~header rows);
+      Buffer.add_string b "\n"
+  | None -> ());
+  List.iter (fun n -> Buffer.add_string b (Printf.sprintf "\n*%s*\n" n)) r.notes;
+  Buffer.contents b
+
+let gamma = Payoff.default
+let env_n n = Mc.uniform_field_inputs ~n
+
+(* ------------------------------------------------------------------ *)
+
+let e1 ~trials ~seed =
+  let module C = Fair_protocols.Contract in
+  let best proto seed =
+    Mc.best_response ~protocol:proto ~adversaries:C.zoo ~func:C.func ~gamma ~env:(env_n 2)
+      ~trials ~seed ()
+  in
+  let _, u1 = best C.pi1 seed in
+  let _, u2 = best C.pi2 (seed + 1) in
+  let ratio = Relation.fairness_ratio ~pi:u2 ~pi':u1 in
+  let best01 proto seed =
+    Mc.best_response ~protocol:proto ~adversaries:C.zoo ~func:C.func ~gamma:Payoff.zero_one
+      ~env:(env_n 2) ~trials ~seed ()
+  in
+  let _, v1 = best01 C.pi1 (seed + 2) in
+  let _, v2 = best01 C.pi2 (seed + 3) in
+  let ratio01 = Relation.fairness_ratio ~pi:v2 ~pi':v1 in
+  { id = "E1";
+    title = "Introduction: contract signing, pi2 is twice as fair as pi1";
+    claim =
+      "Best attacker against pi1 gets gamma10 = 1; against pi2 only (gamma10+gamma11)/2 = \
+       0.75; with gamma = (0,0,1,0) the ratio is exactly 2.";
+    checks =
+      [ check_estimate ~label:"u(pi1) = gamma10" ~e:u1 ~expected:(Bounds.unfair_sfe gamma) `Equals;
+        check_estimate ~label:"u(pi2) = (g10+g11)/2" ~e:u2 ~expected:(Bounds.opt2 gamma) `Equals;
+        mk_check ~label:"u(pi1)/u(pi2) ratio" ~measured:ratio
+          ~expected:(Bounds.unfair_sfe gamma /. Bounds.opt2 gamma)
+          ~tolerance:0.06 `Equals;
+        mk_check ~label:"ratio under gamma=(0,0,1,0) is 2" ~measured:ratio01 ~expected:2.0
+          ~tolerance:0.15 `Equals ];
+    notes =
+      [ Printf.sprintf "relation verdict: pi2 is %s than pi1"
+          (Format.asprintf "%a" Relation.pp_verdict (Relation.compare_sup ~pi:u2 ~pi':u1)) ];
+    rows = None }
+
+let e2 ~trials ~seed =
+  let swap = Func.swap in
+  let proto = Fair_protocols.Opt2.hybrid swap in
+  let zoo = Adv.standard_zoo ~func:swap ~n:2 ~max_round:Fair_protocols.Opt2.hybrid_rounds () in
+  let checks, rows =
+    List.split
+      (List.mapi
+         (fun i g ->
+           let _, e =
+             Mc.best_response ~protocol:proto ~adversaries:zoo ~func:swap ~gamma:g
+               ~env:(env_n 2) ~trials:(max 100 (trials / 2)) ~seed:(seed + i) ()
+           in
+           ( check_estimate
+               ~label:(Printf.sprintf "sup_A u <= bound for %s" (Payoff.to_string g))
+               ~e ~expected:(Bounds.opt2 g) `At_most,
+             [ Payoff.to_string g;
+               Report.fmt_pm e.Mc.utility e.Mc.std_err;
+               Report.fmt_float (Bounds.opt2 g) ] ))
+         Payoff.sweep)
+  in
+  { id = "E2";
+    title = "Theorem 3: u_A(PiOpt-2SFE) <= (gamma10+gamma11)/2";
+    claim =
+      "No strategy in the zoo (silent/semi-honest/greedy/abort-at-r, all corruption \
+       patterns) exceeds the optimal value, for every gamma in the sweep.";
+    checks;
+    notes = [];
+    rows = Some ([ "gamma"; "sup_A u (measured)"; "bound" ], rows) }
+
+let e3 ~trials ~seed =
+  let swap = Func.swap in
+  let proto = Fair_protocols.Opt2.hybrid swap in
+  let run adv seed =
+    Mc.estimate ~protocol:proto ~adversary:adv ~func:swap ~gamma ~env:(env_n 2) ~trials ~seed ()
+  in
+  let e_gen = run (Adv.greedy ~func:swap Adv.Random_party) seed in
+  let e_a1 = run (Adv.greedy ~func:swap (Adv.Fixed [ 1 ])) (seed + 1) in
+  let e_a2 = run (Adv.greedy ~func:swap (Adv.Fixed [ 2 ])) (seed + 2) in
+  let sum = e_a1.Mc.utility +. e_a2.Mc.utility in
+  let sum_tol = 3.0 *. (e_a1.Mc.std_err +. e_a2.Mc.std_err) in
+  { id = "E3";
+    title = "Theorem 4 and Lemma 7: the A_gen lower bound is attained";
+    claim =
+      "A_gen (corrupt a uniform party, probe, abort on first knowledge) attains \
+       (gamma10+gamma11)/2 against the swap function; A1 and A2 together collect at least \
+       gamma10 + gamma11.";
+    checks =
+      [ check_estimate ~label:"u(A_gen) = (g10+g11)/2" ~e:e_gen ~expected:(Bounds.opt2 gamma)
+          `Equals;
+        mk_check ~label:"u(A1) + u(A2) >= g10+g11" ~measured:sum
+          ~expected:(gamma.Payoff.g10 +. gamma.Payoff.g11) ~tolerance:sum_tol `At_least ];
+    notes = [];
+    rows = None }
+
+let e4 ~trials ~seed =
+  let swap = Func.swap in
+  let proto = Fair_protocols.Opt2.hybrid swap in
+  (* Aborting during phase 1 means aborting the unfair SFE subprotocol: in
+     the hybrid model that is the (abort) interface of F' (sent early enough
+     to precede the delayed-output release); rounds 5 and 6 are the two
+     reconstruction message rounds, where the adversary aborts by going
+     silent.  The engine's final round only delivers outputs, so the
+     protocol has m = 6 message rounds. *)
+  let phase1_end = Fair_mpc.Ideal.release_round in
+  let abort_family ~round =
+    if round <= phase1_end then
+      [ Adv.abort_via_functionality ~round:(min round (phase1_end - 1)) (Adv.Fixed [ 1 ]);
+        Adv.abort_via_functionality ~round:(min round (phase1_end - 1)) (Adv.Fixed [ 2 ]) ]
+    else [ Adv.abort_at ~round (Adv.Fixed [ 1 ]); Adv.abort_at ~round (Adv.Fixed [ 2 ]) ]
+  in
+  let profile =
+    Reconstruction.analyze ~protocol:proto ~abort_family ~func:swap ~gamma ~env:(env_n 2)
+      ~total_rounds:(Fair_protocols.Opt2.hybrid_rounds - 1) ~trials ~seed
+  in
+  let one_round = Fair_protocols.Opt2.one_round_variant swap in
+  let zoo = Adv.standard_zoo ~func:swap ~n:2 ~max_round:6 () in
+  let _, e1r =
+    Mc.best_response ~protocol:one_round ~adversaries:zoo ~func:swap ~gamma ~env:(env_n 2)
+      ~trials ~seed:(seed + 77) ()
+  in
+  { id = "E4";
+    title = "Lemmas 9-10: reconstruction rounds";
+    claim =
+      "PiOpt-2SFE has exactly 2 reconstruction rounds (aborts in any earlier round remain \
+       fair); the single-reconstruction-round variant hands the rushing adversary gamma10.";
+    checks =
+      [ mk_check ~label:"reconstruction rounds = 2"
+          ~measured:(float_of_int profile.Reconstruction.reconstruction_rounds) ~expected:2.0
+          ~tolerance:0.0 `Equals;
+        check_estimate ~label:"1-round variant: sup u = gamma10" ~e:e1r
+          ~expected:(Bounds.unfair_sfe gamma) `Equals ];
+    notes =
+      [ Printf.sprintf "aborts are fair through round %d of %d"
+          profile.Reconstruction.fair_through profile.Reconstruction.total_rounds ];
+    rows = None }
+
+let per_t_estimates ~proto ~func ~n ~trials ~seed =
+  List.mapi
+    (fun i adv ->
+      ( i + 1,
+        Mc.estimate ~protocol:proto ~adversary:adv ~func ~gamma ~env:(env_n n) ~trials
+          ~seed:(seed + i) () ))
+    (Adv.greedy_per_t ~func ~n ())
+
+let e5 ~trials ~seed =
+  let checks, rows =
+    List.split
+      (List.concat_map
+         (fun n ->
+           let func = Func.concat ~n in
+           let proto = Fair_protocols.Optn.hybrid func in
+           List.map
+             (fun (t, e) ->
+               ( check_estimate
+                   ~label:(Printf.sprintf "n=%d t=%d: u = (t*g10+(n-t)*g11)/n" n t)
+                   ~e ~expected:(Bounds.optn gamma ~n ~t) `Equals,
+                 [ string_of_int n;
+                   string_of_int t;
+                   Report.fmt_pm e.Mc.utility e.Mc.std_err;
+                   Report.fmt_float (Bounds.optn gamma ~n ~t) ] ))
+             (per_t_estimates ~proto ~func ~n ~trials ~seed:(seed + (100 * n))))
+         [ 3; 5 ])
+  in
+  { id = "E5";
+    title = "Lemma 11: per-coalition utility of PiOpt-nSFE";
+    claim = "The best t-adversary gets (t*gamma10 + (n-t)*gamma11)/n, for n in {3,5}.";
+    checks;
+    notes = [];
+    rows = Some ([ "n"; "t"; "measured"; "bound" ], rows) }
+
+let e6 ~trials ~seed =
+  let n = 4 in
+  let func = Func.concat ~n in
+  let proto = Fair_protocols.Optn.hybrid func in
+  let adv = Adv.greedy ~func (Adv.Random_subset (n - 1)) in
+  let e =
+    Mc.estimate ~protocol:proto ~adversary:adv ~func ~gamma ~env:(env_n n) ~trials ~seed ()
+  in
+  { id = "E6";
+    title = "Lemma 13: the mixed (n-1)-adversary attains ((n-1)g10+g11)/n";
+    claim =
+      "Corrupting a uniform coalition of n-1 parties and aborting on first knowledge \
+       collects the optimal-protocol maximum, n = 4.";
+    checks =
+      [ check_estimate ~label:"u(A) = ((n-1)g10+g11)/n" ~e ~expected:(Bounds.optn_best gamma ~n)
+          `Equals ];
+    notes = [];
+    rows = None }
+
+let e7 ~trials ~seed =
+  let checks, rows =
+    List.split
+      (List.map
+         (fun n ->
+           let func = Func.concat ~n in
+           let proto = Fair_protocols.Optn.hybrid func in
+           let per_t = per_t_estimates ~proto ~func ~n ~trials ~seed:(seed + (10 * n)) in
+           let sum = Balanced.sum_over_t per_t in
+           let tol = 3.0 *. Balanced.sum_std_err per_t in
+           ( mk_check
+               ~label:(Printf.sprintf "n=%d: sum_t u_t = (n-1)(g10+g11)/2" n)
+               ~measured:sum ~expected:(Bounds.balanced_sum gamma ~n) ~tolerance:tol `Equals,
+             [ string_of_int n;
+               Report.fmt_float sum;
+               Report.fmt_float (Bounds.balanced_sum gamma ~n);
+               string_of_bool (Balanced.is_balanced ~per_t ~gamma ~n) ] ))
+         [ 3; 4; 5; 6 ])
+  in
+  { id = "E7";
+    title = "Lemmas 14/16: PiOpt-nSFE is utility-balanced";
+    claim = "The t-profile sums to exactly (n-1)(gamma10+gamma11)/2 for n in {3..6}.";
+    checks;
+    notes = [];
+    rows = Some ([ "n"; "sum_t u_t"; "bound"; "balanced" ], rows) }
+
+let e8 ~trials ~seed =
+  let results =
+    List.map
+      (fun n ->
+        let func = Func.concat ~n in
+        let proto = Fair_protocols.Gmw_half.hybrid func in
+        let per_t = per_t_estimates ~proto ~func ~n ~trials ~seed:(seed + (10 * n)) in
+        (n, per_t, Balanced.sum_over_t per_t))
+      [ 4; 5 ]
+  in
+  let profile_checks =
+    List.concat_map
+      (fun (n, per_t, _) ->
+        List.map
+          (fun (t, e) ->
+            check_estimate
+              ~label:(Printf.sprintf "n=%d t=%d: u = Lemma-17 profile" n t)
+              ~e ~expected:(Bounds.gmw_half gamma ~n ~t) `Equals)
+          per_t)
+      results
+  in
+  let sum_checks =
+    List.map
+      (fun (n, per_t, sum) ->
+        let tol = 3.0 *. Balanced.sum_std_err per_t in
+        if n mod 2 = 0 then
+          mk_check
+            ~label:(Printf.sprintf "n=%d (even): sum exceeds balanced bound" n)
+            ~measured:sum
+            ~expected:(Bounds.gmw_half_sum gamma ~n)
+            ~tolerance:tol `Equals
+        else
+          mk_check
+            ~label:(Printf.sprintf "n=%d (odd): sum meets balanced bound" n)
+            ~measured:sum
+            ~expected:(Bounds.balanced_sum gamma ~n)
+            ~tolerance:tol `Equals)
+      results
+  in
+  let excess =
+    List.filter_map
+      (fun (n, per_t, _) ->
+        if n mod 2 = 0 then
+          Some
+            (Printf.sprintf "n=%d: exceeds-balanced-criterion fires: %b" n
+               (Balanced.exceeds_balanced_bound ~per_t ~gamma ~n))
+        else None)
+      results
+  in
+  { id = "E8";
+    title = "Lemma 17: the honest-majority protocol is not utility-balanced";
+    claim =
+      "Per-t profile is gamma11 below the blocking threshold ceil(n/2) and gamma10 at or \
+       above it; for even n the profile sum exceeds (n-1)(g10+g11)/2 by (g10-g11), for odd \
+       n it meets the bound.";
+    checks = profile_checks @ sum_checks;
+    notes = excess;
+    rows = None }
+
+let e9 ~trials ~seed =
+  let n = 3 in
+  let func = Func.concat ~n in
+  let proto = Fair_protocols.Artificial.hybrid func in
+  let e_t1 =
+    Mc.estimate ~protocol:proto ~adversary:Fair_protocols.Artificial.lemma18_t1 ~func ~gamma
+      ~env:(env_n n) ~trials ~seed ()
+  in
+  let e_tn =
+    Mc.estimate ~protocol:proto
+      ~adversary:(Adv.greedy ~func (Adv.Random_subset (n - 1)))
+      ~func ~gamma ~env:(env_n n) ~trials ~seed:(seed + 1) ()
+  in
+  let sum = e_t1.Mc.utility +. e_tn.Mc.utility in
+  let tol = 3.0 *. (e_t1.Mc.std_err +. e_tn.Mc.std_err) in
+  { id = "E9";
+    title = "Lemma 18: optimally fair but not utility-balanced";
+    claim =
+      "Against the artificial protocol (n=3) the special t=1 attack gets g10/n + \
+       (n-1)/n*(g10+g11)/2 while the (n-1)-adversary stays at the optimal ((n-1)g10+g11)/n; \
+       their sum ((3n-1)g10+(n+1)g11)/2n exceeds the balanced two-term share.";
+    checks =
+      [ check_estimate ~label:"special t=1 attack" ~e:e_t1
+          ~expected:(Bounds.artificial_single gamma ~n) `Equals;
+        check_estimate ~label:"(n-1)-adversary stays optimal" ~e:e_tn
+          ~expected:(Bounds.optn_best gamma ~n) `Equals;
+        mk_check ~label:"sum = ((3n-1)g10+(n+1)g11)/2n" ~measured:sum
+          ~expected:(Bounds.artificial_sum gamma ~n) ~tolerance:tol `Equals;
+        mk_check ~label:"sum exceeds balanced bound" ~measured:sum
+          ~expected:(Bounds.balanced_sum gamma ~n) ~tolerance:tol `At_least ];
+    notes = [];
+    rows = None }
+
+let e10 ~trials ~seed =
+  let n = 4 in
+  let func = Func.concat ~n in
+  let proto = Fair_protocols.Optn.hybrid func in
+  let per_t = per_t_estimates ~proto ~func ~n ~trials ~seed in
+  let cost = Cost.theorem6 gamma ~n in
+  let cost_checks =
+    (* Lemma 22's comparison: the cost-adjusted utility of the best
+       t-adversary is at most s(t), the payoff the same coalition extracts
+       from the ideal dummy protocol. *)
+    List.map
+      (fun (t, e) ->
+        let adjusted = Mc.estimate_with_cost e ~cost in
+        mk_check
+          ~label:(Printf.sprintf "t=%d: utility - c(t) <= s(t)" t)
+          ~measured:adjusted
+          ~expected:(Bounds.ideal_utility gamma ~t)
+          ~tolerance:(3.0 *. e.Mc.std_err) `At_most)
+      per_t
+  in
+  (* Theorem 6(2): a strictly dominating cost function would force a t-profile
+     whose sum is below the Lemma 16 floor — impossible. *)
+  let eps = 0.05 in
+  let c' t = cost t +. eps in
+  let implied_phi_sum =
+    (* phi'(t) = s(t) + c'(t) - would need to hold with c' > c; the sum of the
+       *current* phi already equals the floor, so any uniform decrease breaks
+       Lemma 16. *)
+    List.fold_left
+      (fun acc t -> acc +. (Bounds.ideal_utility gamma ~t +. cost t -. eps))
+      0.0
+      (List.init (n - 1) (fun i -> i + 1))
+  in
+  let dominance_check =
+    mk_check ~label:"strictly dominated cost implies sum below Lemma-16 floor"
+      ~measured:implied_phi_sum
+      ~expected:(Bounds.balanced_sum gamma ~n -. (eps *. float_of_int (n - 1)))
+      ~tolerance:1e-6 `Equals
+  in
+  { id = "E10";
+    title = "Theorem 6: utility balance = optimal corruption pricing";
+    claim =
+      "With c(t) = u(PiOpt-nSFE, A_t) - s(t), the cost-adjusted best attacker does no \
+       better than against the ideal dummy protocol; no strictly dominating cost function \
+       is achievable (its phi-profile would sum below the Lemma 16 floor).";
+    checks =
+      cost_checks
+      @ [ dominance_check;
+          mk_check ~label:"cost dominance sanity: c' strictly dominates c"
+            ~measured:(if Cost.strictly_dominates ~c:c' ~c':cost ~n then 1.0 else 0.0)
+            ~expected:1.0 ~tolerance:0.0 `Equals ];
+    notes =
+      [ Printf.sprintf "Theorem-6 cost profile c(1..%d): %s" (n - 1)
+          (String.concat ", "
+             (List.map (fun t -> Printf.sprintf "%.4f" (cost t)) (List.init (n - 1) (fun i -> i + 1)))) ];
+    rows = None }
+
+let e11 ~trials ~seed =
+  let module GK = Fair_protocols.Gordon_katz in
+  let func = Func.and_ in
+  let gk_trials = max 100 (trials / 2) in
+  let checks, rows =
+    List.split
+      (List.map
+         (fun p ->
+           let variant = GK.poly_domain ~func ~p ~domain1:[ "0"; "1" ] ~domain2:[ "0"; "1" ] in
+           let proto = GK.protocol ~func ~variant in
+           let ba, e =
+             Mc.best_response ~overrides:(GK.overrides ~offset:0) ~protocol:proto
+               ~adversaries:(GK.zoo ~variant) ~func ~gamma:Payoff.zero_one
+               ~env:(Mc.uniform_bit_inputs ~n:2) ~trials:gk_trials ~seed:(seed + p) ()
+           in
+           ( check_estimate
+               ~label:(Printf.sprintf "p=%d: sup u <= 1/p" p)
+               ~e ~expected:(Bounds.gk_upper ~p) `At_most,
+             [ string_of_int p;
+               string_of_int variant.GK.rounds;
+               ba.Adversary.name;
+               Report.fmt_pm e.Mc.utility e.Mc.std_err;
+               Report.fmt_float (Bounds.gk_upper ~p) ] ))
+         [ 2; 4; 8 ])
+  in
+  (* Crossover against PiOpt-2SFE on the same function: the general-purpose
+     protocol is stuck at 1/2 under gamma=(0,0,1,0). *)
+  let opt2 = Fair_protocols.Opt2.hybrid func in
+  let _, e_opt =
+    Mc.best_response ~protocol:opt2
+      ~adversaries:(Adv.standard_zoo ~func ~n:2 ~max_round:Fair_protocols.Opt2.hybrid_rounds ())
+      ~func ~gamma:Payoff.zero_one ~env:(Mc.uniform_bit_inputs ~n:2) ~trials:gk_trials
+      ~seed:(seed + 50) ()
+  in
+  let variant = GK.poly_range ~func ~p:2 ~range:[ "0"; "1" ] in
+  let proto = GK.protocol ~func ~variant in
+  let _, e_range =
+    Mc.best_response ~overrides:(GK.overrides ~offset:0) ~protocol:proto
+      ~adversaries:(GK.zoo ~variant) ~func ~gamma:Payoff.zero_one
+      ~env:(Mc.uniform_bit_inputs ~n:2)
+      ~trials:(max 60 (gk_trials / 4))
+      ~seed:(seed + 60) ()
+  in
+  { id = "E11";
+    title = "Theorems 23/24: the Gordon-Katz protocols bound the attacker at 1/p";
+    claim =
+      "For the poly-domain protocol on AND, the measured best abort strategy stays below \
+       1/p for p in {2,4,8} (F_sfe^$ simulator accounting); PiOpt-2SFE on the same function \
+       sits at 1/2, so GK wins for p > 2 — the specific-vs-general crossover discussed \
+       after Theorem 3.";
+    checks =
+      checks
+      @ [ check_estimate ~label:"PiOpt-2SFE on AND = 1/2 (gamma=(0,0,1,0))" ~e:e_opt
+            ~expected:0.5 `Equals;
+          check_estimate ~label:"poly-range variant p=2: sup u <= 1/p" ~e:e_range
+            ~expected:(Bounds.gk_upper ~p:2) `At_most ];
+    notes = [];
+    rows = Some ([ "p"; "rounds"; "best strategy"; "measured"; "1/p" ], rows) }
+
+let e12 ~trials ~seed =
+  let module L = Fair_protocols.Leaky_and in
+  let n = max 400 trials in
+  let z1 = ref 0 and z2 = ref 0 in
+  for i = 0 to n - 1 do
+    let r = L.run_z_environments ~seed:(seed + i) in
+    if r.L.z1_accepts then incr z1;
+    if r.L.z2_accepts then incr z2
+  done;
+  let p1 = float_of_int !z1 /. float_of_int n in
+  let p2 = float_of_int !z2 /. float_of_int n in
+  let tol = 3.0 *. 0.5 /. sqrt (float_of_int n) in
+  { id = "E12";
+    title = "Lemmas 26/27: the leaky AND protocol separates the notions";
+    claim =
+      "Pi-tilde leaks p1's input with probability exactly 1/4 on the 1-bit path (the \
+       Z1/Z2 real-world statistics of Lemma 26), yet is 1/2-secure and private in the GK \
+       sense; no F_sfe^$ simulator can reconcile Pr[Z1] with Pr[Z2].";
+    checks =
+      [ mk_check ~label:"Pr[real Z1 accepts] = 1/4" ~measured:p1 ~expected:0.25 ~tolerance:tol
+          `Equals;
+        mk_check ~label:"Pr[real Z2 accepts] = 1/4" ~measured:p2 ~expected:0.25 ~tolerance:tol
+          `Equals;
+        mk_check ~label:"leak probability (= Pr[Z2]) = 1/4" ~measured:p2 ~expected:0.25
+          ~tolerance:tol `Equals ];
+    notes =
+      [ "Lemma 26's ideal-world constraint Pr[ideal Z1] <= (3/4) Pr[ideal Z2] is \
+         incompatible with the measured equality, so at least one environment \
+         distinguishes: the protocol does not realize F_sfe^$ although it satisfies both \
+         GK conditions (Lemma 27)." ];
+    rows = None }
+
+let e13 ~trials ~seed =
+  let swap = Func.swap in
+  let qs = [ 0.0; 0.25; 0.5; 0.75; 1.0 ] in
+  let attackers =
+    [ ("greedy-p1", Adv.greedy ~func:swap (Adv.Fixed [ 1 ]));
+      ("greedy-p2", Adv.greedy ~func:swap (Adv.Fixed [ 2 ]));
+      ("semi-honest", Adv.semi_honest Adv.Random_party) ]
+  in
+  let utility =
+    Array.of_list
+      (List.mapi
+         (fun i q ->
+           let proto = Fair_protocols.Opt2.hybrid_biased ~q swap in
+           Array.of_list
+             (List.mapi
+                (fun j (_, adv) ->
+                  (Mc.estimate ~protocol:proto ~adversary:adv ~func:swap ~gamma ~env:(env_n 2)
+                     ~trials ~seed:(seed + (10 * i) + j) ())
+                    .Mc.utility)
+                attackers))
+         qs)
+  in
+  let table =
+    Rpd.make
+      ~designer:(Array.of_list (List.map (fun q -> Printf.sprintf "opt2(q=%g)" q) qs))
+      ~attacker:(Array.of_list (List.map fst attackers))
+      ~utility
+  in
+  let row, value = Rpd.minimax table in
+  let se = 0.5 /. sqrt (float_of_int trials) in
+  { id = "E13";
+    title = "RPD attack game (ablation): the uniform index is the designer's minimax";
+    claim =
+      "Sweeping the reconstruct-first bias q, the attacker's best response is minimized at \
+       q = 1/2 with value (gamma10+gamma11)/2 — the equilibrium of the attack meta-game \
+       (footnote 1 of the paper).";
+    checks =
+      [ mk_check ~label:"argmin_q sup_A u is q=0.5" ~measured:(List.nth qs row) ~expected:0.5
+          ~tolerance:0.0 `Equals;
+        mk_check ~label:"game value = (g10+g11)/2" ~measured:value
+          ~expected:(Bounds.opt2 gamma) ~tolerance:(3.0 *. se) `Equals ];
+    notes = [ Format.asprintf "full table:@.%a" Rpd.pp table ];
+    rows = None }
+
+let e14 ~trials ~seed =
+  let n = 5 in
+  let func = Func.concat ~n in
+  let proto = Fair_protocols.Optn.hybrid func in
+  let checks, rows =
+    List.split
+      (List.map
+         (fun budget ->
+           let e =
+             Mc.estimate ~protocol:proto
+               ~adversary:(Adv.adaptive_hunter ~func ~budget ())
+               ~func ~gamma ~env:(env_n n) ~trials ~seed:(seed + budget) ()
+           in
+           ( check_estimate
+               ~label:(Printf.sprintf "adaptive budget %d <= static bound t=%d" budget budget)
+               ~e
+               ~expected:(Bounds.optn gamma ~n ~t:budget)
+               `At_most,
+             [ string_of_int budget;
+               Report.fmt_pm e.Mc.utility e.Mc.std_err;
+               Report.fmt_float (Bounds.optn gamma ~n ~t:budget) ] ))
+         [ 1; 2; 3; 4 ])
+  in
+  { id = "E14";
+    title = "Adaptive corruption (ablation): hunting for i* buys nothing";
+    claim =
+      "An adaptive adversary that corrupts one fresh party per round looking for the        phase-1 holder cannot exceed the static t-coalition bound of Lemma 11: non-holder        outputs carry no information about i*, so the hunt is a blind draw (the adaptivity        discussion in the proof of Lemma 11, n = 5).";
+    checks;
+    notes = [];
+    rows = Some ([ "corruption budget"; "measured"; "static bound" ], rows) }
+
+let e15 ~trials ~seed =
+  (* 1/p-security as a *statistical* statement (Appendix C.1 / Lemma 25):
+     the real-world ensemble (inputs, honest output, adversary-held value)
+     under a fixed-round abort is within TV distance 1/p of the ensemble
+     produced by the Theorem 23 simulator talking to F_sfe^$. *)
+  let module GK = Fair_protocols.Gordon_katz in
+  let func = Func.and_ in
+  let trials = max 500 trials in
+  let checks, rows =
+    List.split
+      (List.concat_map
+         (fun p ->
+           let variant = GK.poly_domain ~func ~p ~domain1:[ "0"; "1" ] ~domain2:[ "0"; "1" ] in
+           let proto = GK.protocol ~func ~variant in
+           let r = variant.GK.rounds in
+           List.map
+             (fun a ->
+               let adversary = GK.abort_at_exchange ~target:2 ~gk_round:a in
+               let real i =
+                 let master = Fair_crypto.Rng.of_int_seed (seed + (1000 * p) + (100000 * i) + a) in
+                 let inputs =
+                   Mc.uniform_bit_inputs ~n:2 (Fair_crypto.Rng.split master ~label:"env")
+                 in
+                 let o =
+                   Fair_exec.Engine.run ~protocol:proto ~adversary ~inputs
+                     ~rng:(Fair_crypto.Rng.split master ~label:"exec")
+                 in
+                 let honest =
+                   match List.assoc_opt 1 (Fair_exec.Engine.honest_outputs o) with
+                   | Some (Some v) -> v
+                   | _ -> "-"
+                 in
+                 let held =
+                   match List.rev o.Fair_exec.Engine.claims with
+                   | (_, v) :: _ -> v
+                   | [] -> "-"
+                 in
+                 Printf.sprintf "%s,%s|%s;%s" inputs.(0) inputs.(1) honest held
+               in
+               let ideal i =
+                 let master =
+                   Fair_crypto.Rng.of_int_seed (seed + 7 + (1000 * p) + (100000 * i) + a)
+                 in
+                 let rng = Fair_crypto.Rng.split master ~label:"sim" in
+                 let inputs =
+                   Mc.uniform_bit_inputs ~n:2 (Fair_crypto.Rng.split master ~label:"env")
+                 in
+                 let y = Func.eval_exn func inputs in
+                 let istar =
+                   let rec go i =
+                     if i >= r then r
+                     else if Fair_crypto.Rng.bernoulli rng variant.GK.lambda then i
+                     else go (i + 1)
+                   in
+                   go 1
+                 in
+                 (* simulator: abort before i* -> F_sfe^$ resamples the honest
+                    output and the simulator fabricates the held fake; abort at
+                    i* -> retrieve y, honest resampled; after i* -> deliver. *)
+                 let held = if a >= istar then y else variant.GK.fake2 rng ~inputs in
+                 let honest = if a > istar then y else variant.GK.fake1 rng ~inputs in
+                 Printf.sprintf "%s,%s|%s;%s" inputs.(0) inputs.(1) honest held
+               in
+               let tv = Statdist.sample_distance ~a:real ~b:ideal ~trials in
+               let slack = Statdist.bias_bound ~support:16 ~trials in
+               ( mk_check
+                   ~label:(Printf.sprintf "p=%d abort@%d: TV(real, ideal) <= 1/p" p a)
+                   ~measured:tv
+                   ~expected:(Bounds.gk_upper ~p)
+                   ~tolerance:slack `At_most,
+                 [ string_of_int p;
+                   string_of_int a;
+                   Report.fmt_float tv;
+                   Report.fmt_float (Bounds.gk_upper ~p) ] ))
+             [ 1; r / 2; r ])
+         [ 2; 4 ])
+  in
+  { id = "E15";
+    title = "1/p-security as statistical distance (Appendix C / Lemma 25)";
+    claim =
+      "The real execution of the Gordon-Katz protocol under fixed-round aborts and the        Theorem 23 simulator's ideal ensemble (inputs, honest output, adversary-held value)        are within total-variation distance 1/p — in fact nearly identical for this        strategy family, the direction Lemma 25 formalizes.";
+    checks;
+    notes = [];
+    rows = Some ([ "p"; "abort round"; "TV estimate"; "1/p" ], rows) }
+
+type spec = {
+  eid : string;
+  etitle : string;
+  run : trials:int -> seed:int -> result;
+}
+
+let registry =
+  [ { eid = "E1"; etitle = "contract signing: pi2 twice as fair as pi1"; run = e1 };
+    { eid = "E2"; etitle = "Theorem 3 upper bound for PiOpt-2SFE"; run = e2 };
+    { eid = "E3"; etitle = "Theorem 4 / Lemma 7 matching lower bound"; run = e3 };
+    { eid = "E4"; etitle = "Lemmas 9-10 reconstruction rounds"; run = e4 };
+    { eid = "E5"; etitle = "Lemma 11 per-t utility of PiOpt-nSFE"; run = e5 };
+    { eid = "E6"; etitle = "Lemma 13 multi-party lower bound"; run = e6 };
+    { eid = "E7"; etitle = "Lemmas 14/16 utility balance"; run = e7 };
+    { eid = "E8"; etitle = "Lemma 17 GMW-1/2 not balanced"; run = e8 };
+    { eid = "E9"; etitle = "Lemma 18 optimal-but-unbalanced separation"; run = e9 };
+    { eid = "E10"; etitle = "Theorem 6 corruption costs"; run = e10 };
+    { eid = "E11"; etitle = "Theorems 23/24 Gordon-Katz 1/p bounds"; run = e11 };
+    { eid = "E12"; etitle = "Lemmas 26/27 leaky-AND separation"; run = e12 };
+    { eid = "E13"; etitle = "RPD attack-game equilibrium (ablation)"; run = e13 };
+    { eid = "E14"; etitle = "adaptive-corruption ablation (Lemma 11)"; run = e14 };
+    { eid = "E15"; etitle = "1/p-security as statistical distance (Lemma 25)"; run = e15 } ]
+
+let find id =
+  let id = String.uppercase_ascii id in
+  List.find_opt (fun s -> String.uppercase_ascii s.eid = id) registry

@@ -1,0 +1,61 @@
+(** The experiment registry: one entry per quantitative claim of the paper
+    (see DESIGN.md §3 for the index).  Every experiment returns a set of
+    checks "measured vs expected"; [ok] applies the 3σ criterion that stands
+    in for the paper's negligible slack.
+
+    [trials] scales all Monte-Carlo sample sizes (each experiment applies
+    its own multiplier to keep runtimes balanced); [seed] makes the whole
+    run reproducible. *)
+
+type check = {
+  label : string;
+  measured : float;
+  expected : float;
+  tolerance : float;  (** absolute slack used by [ok], typically 3σ *)
+  kind : [ `Equals | `At_most | `At_least ];
+  ok : bool;
+}
+
+type result = {
+  id : string;
+  title : string;
+  claim : string;  (** the paper statement being reproduced *)
+  checks : check list;
+  notes : string list;
+  rows : (string list * string list list) option;  (** optional (header, rows) detail table *)
+}
+
+val all_ok : result -> bool
+
+val pp : Format.formatter -> result -> unit
+(** Human-readable report (with the detail table). *)
+
+val to_markdown : result -> string
+
+type spec = {
+  eid : string;
+  etitle : string;
+  run : trials:int -> seed:int -> result;
+}
+
+val registry : spec list
+(** E1 .. E15, in order. *)
+
+val find : string -> spec option
+(** Case-insensitive lookup by id. *)
+
+val e1 : trials:int -> seed:int -> result
+val e2 : trials:int -> seed:int -> result
+val e3 : trials:int -> seed:int -> result
+val e4 : trials:int -> seed:int -> result
+val e5 : trials:int -> seed:int -> result
+val e6 : trials:int -> seed:int -> result
+val e7 : trials:int -> seed:int -> result
+val e8 : trials:int -> seed:int -> result
+val e9 : trials:int -> seed:int -> result
+val e10 : trials:int -> seed:int -> result
+val e11 : trials:int -> seed:int -> result
+val e12 : trials:int -> seed:int -> result
+val e13 : trials:int -> seed:int -> result
+val e14 : trials:int -> seed:int -> result
+val e15 : trials:int -> seed:int -> result

@@ -1,0 +1,31 @@
+type cell = string
+type row = cell list
+
+let pad width s =
+  let n = String.length s in
+  if n >= width then s else s ^ String.make (width - n) ' '
+
+let render ?(markdown = false) ~header rows =
+  let all = header :: rows in
+  let cols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let norm r = r @ List.init (cols - List.length r) (fun _ -> "") in
+  let all = List.map norm all in
+  let widths =
+    List.init cols (fun c ->
+        List.fold_left (fun acc r -> max acc (String.length (List.nth r c))) 0 all)
+  in
+  let line r =
+    let cells = List.mapi (fun c s -> pad (List.nth widths c) s) r in
+    if markdown then "| " ^ String.concat " | " cells ^ " |"
+    else String.concat "  " cells
+  in
+  let sep =
+    if markdown then
+      "|" ^ String.concat "|" (List.map (fun w -> String.make (w + 2) '-') widths) ^ "|"
+    else String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  String.concat "\n" (line (List.hd all) :: sep :: List.map line (List.tl all))
+
+let fmt_float x = Printf.sprintf "%.4f" x
+let fmt_pm x s = Printf.sprintf "%.4f ±%.4f" x s
+let check_mark ok = if ok then "ok" else "FAIL"

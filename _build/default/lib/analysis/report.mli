@@ -1,0 +1,15 @@
+(** Fixed-width table rendering for experiment results, in plain text or
+    Markdown (the latter feeds EXPERIMENTS.md). *)
+
+type cell = string
+type row = cell list
+
+val render : ?markdown:bool -> header:row -> row list -> string
+
+val fmt_float : float -> string
+(** 4 significant decimals. *)
+
+val fmt_pm : float -> float -> string
+(** "0.7500 ±0.0102". *)
+
+val check_mark : bool -> string

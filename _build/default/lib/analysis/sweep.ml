@@ -1,0 +1,91 @@
+open Fairness
+module Func = Fair_mpc.Func
+module Adv = Fair_protocols.Adversaries
+module Mc = Montecarlo
+
+type table = {
+  header : string list;
+  rows : string list list;
+  data : (string * float) list;
+}
+
+let render ?markdown t = Report.render ?markdown ~header:t.header t.rows
+
+let gamma_sweep ?(gammas = Payoff.sweep) ~trials ~seed () =
+  let swap = Func.swap in
+  let proto = Fair_protocols.Opt2.hybrid swap in
+  let zoo = Adv.standard_zoo ~func:swap ~n:2 ~max_round:Fair_protocols.Opt2.hybrid_rounds () in
+  let results =
+    List.mapi
+      (fun i gamma ->
+        let _, e =
+          Mc.best_response ~protocol:proto ~adversaries:zoo ~func:swap ~gamma
+            ~env:(Mc.uniform_field_inputs ~n:2) ~trials ~seed:(seed + i) ()
+        in
+        (gamma, e))
+      gammas
+  in
+  { header = [ "gamma"; "sup_A u"; "(g10+g11)/2"; "optimal?" ];
+    rows =
+      List.map
+        (fun (gamma, (e : Mc.estimate)) ->
+          [ Payoff.to_string gamma;
+            Report.fmt_pm e.Mc.utility e.Mc.std_err;
+            Report.fmt_float (Bounds.opt2 gamma);
+            string_of_bool (Relation.is_optimal ~best:e ~bound:(Bounds.opt2 gamma)) ])
+        results;
+    data = List.map (fun (g, (e : Mc.estimate)) -> (Payoff.to_string g, e.Mc.utility)) results }
+
+let n_sweep ~ns ~trials ~seed () =
+  let gamma = Payoff.default in
+  let results =
+    List.map
+      (fun n ->
+        let func = Func.concat ~n in
+        let proto = Fair_protocols.Optn.hybrid func in
+        let e =
+          Mc.estimate ~protocol:proto
+            ~adversary:(Adv.greedy ~func (Adv.Random_subset (n - 1)))
+            ~func ~gamma
+            ~env:(Mc.uniform_field_inputs ~n)
+            ~trials ~seed:(seed + n) ()
+        in
+        (n, e))
+      ns
+  in
+  { header = [ "n"; "best (n-1)-coalition"; "((n-1)g10+g11)/n" ];
+    rows =
+      List.map
+        (fun (n, (e : Mc.estimate)) ->
+          [ string_of_int n;
+            Report.fmt_pm e.Mc.utility e.Mc.std_err;
+            Report.fmt_float (Bounds.optn_best gamma ~n) ])
+        results;
+    data = List.map (fun (n, (e : Mc.estimate)) -> (string_of_int n, e.Mc.utility)) results }
+
+let q_sweep ~qs ~trials ~seed () =
+  let gamma = Payoff.default in
+  let swap = Func.swap in
+  let results =
+    List.mapi
+      (fun i q ->
+        let proto = Fair_protocols.Opt2.hybrid_biased ~q swap in
+        let attackers =
+          [ Adv.greedy ~func:swap (Adv.Fixed [ 1 ]); Adv.greedy ~func:swap (Adv.Fixed [ 2 ]) ]
+        in
+        let _, e =
+          Mc.best_response ~protocol:proto ~adversaries:attackers ~func:swap ~gamma
+            ~env:(Mc.uniform_field_inputs ~n:2) ~trials ~seed:(seed + i) ()
+        in
+        (q, e))
+      qs
+  in
+  { header = [ "q = Pr[p1 first]"; "sup_A u"; "distance from minimax" ];
+    rows =
+      List.map
+        (fun (q, (e : Mc.estimate)) ->
+          [ Printf.sprintf "%.2f" q;
+            Report.fmt_pm e.Mc.utility e.Mc.std_err;
+            Report.fmt_float (e.Mc.utility -. Bounds.opt2 gamma) ])
+        results;
+    data = List.map (fun (q, (e : Mc.estimate)) -> (Printf.sprintf "%.2f" q, e.Mc.utility)) results }

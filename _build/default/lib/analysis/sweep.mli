@@ -1,0 +1,27 @@
+(** Parameter sweeps: how the measured fairness landscape moves with the
+    preference vector γ, the party count n, and the designer's bias q.
+
+    Each sweep returns a rendered table (and the raw numbers) so both the
+    CLI and downstream code can consume it. *)
+
+type table = {
+  header : string list;
+  rows : string list list;
+  data : (string * float) list;  (** label ↦ measured best utility *)
+}
+
+val render : ?markdown:bool -> table -> string
+
+val gamma_sweep :
+  ?gammas:Fairness.Payoff.t list -> trials:int -> seed:int -> unit -> table
+(** Best attacker against ΠOpt-2SFE (swap) per preference vector, against
+    the Theorem 3 value (γ10+γ11)/2. *)
+
+val n_sweep : ns:int list -> trials:int -> seed:int -> unit -> table
+(** ΠOpt-nSFE's best (n−1)-coalition utility versus Lemma 13's
+    ((n−1)γ10+γ11)/n as the party count grows: the multi-party fairness
+    decay curve. *)
+
+val q_sweep : qs:float list -> trials:int -> seed:int -> unit -> table
+(** The E13 designer sweep: sup_A u against opt2(q) per bias q — the attack
+    game's value curve with its minimum at q = 1/2. *)

@@ -1,0 +1,1 @@
+lib/core/balanced.ml: Bounds List Montecarlo

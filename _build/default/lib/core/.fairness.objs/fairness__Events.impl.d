@@ -1,0 +1,1 @@
+lib/core/events.ml: Array Fair_exec Fair_mpc Format List

@@ -1,0 +1,1 @@
+lib/core/events.mli: Fair_exec Fair_mpc Format

@@ -1,0 +1,1 @@
+lib/core/montecarlo.ml: Array Events Fair_crypto Fair_exec Fair_field Fair_mpc Hashtbl List Payoff Printf Utility

@@ -1,0 +1,1 @@
+lib/core/montecarlo.mli: Events Fair_crypto Fair_exec Fair_mpc Payoff Utility

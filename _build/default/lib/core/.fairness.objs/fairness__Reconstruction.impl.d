@@ -1,0 +1,1 @@
+lib/core/reconstruction.ml: Fair_exec Fair_mpc List Montecarlo Utility

@@ -1,0 +1,1 @@
+lib/core/reconstruction.mli: Fair_exec Fair_mpc Montecarlo Payoff

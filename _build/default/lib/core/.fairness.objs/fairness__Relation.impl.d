@@ -1,0 +1,1 @@
+lib/core/relation.ml: Format Montecarlo

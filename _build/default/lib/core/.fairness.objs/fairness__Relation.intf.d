@@ -1,0 +1,1 @@
+lib/core/relation.mli: Format Montecarlo

@@ -1,0 +1,1 @@
+lib/core/rpd.ml: Array Format

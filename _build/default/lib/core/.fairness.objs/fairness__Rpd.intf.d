@@ -1,0 +1,1 @@
+lib/core/rpd.mli: Format

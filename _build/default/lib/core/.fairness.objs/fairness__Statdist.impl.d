@@ -1,0 +1,1 @@
+lib/core/statdist.ml: Hashtbl

@@ -1,0 +1,1 @@
+lib/core/statdist.mli: Hashtbl

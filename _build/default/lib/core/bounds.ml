@@ -1,0 +1,42 @@
+open Payoff
+
+let opt2 g = (g.g10 +. g.g11) /. 2.0
+
+let optn g ~n ~t =
+  if t < 0 || t > n then invalid_arg "Bounds.optn";
+  ((float_of_int t *. g.g10) +. (float_of_int (n - t) *. g.g11)) /. float_of_int n
+
+let optn_best g ~n = optn g ~n ~t:(n - 1)
+
+let balanced_sum g ~n = float_of_int (n - 1) *. (g.g10 +. g.g11) /. 2.0
+
+let gmw_half g ~n ~t =
+  (* Reconstruction threshold ⌈n/2⌉: any coalition of that size can block
+     the public reconstruction and already holds enough shares to learn. *)
+  let blocking = (n + 1) / 2 in
+  if t >= blocking then g.g10 else g.g11
+
+let gmw_half_sum g ~n =
+  let sum = ref 0.0 in
+  for t = 1 to n - 1 do
+    sum := !sum +. gmw_half g ~n ~t
+  done;
+  !sum
+
+let artificial_single g ~n =
+  let nf = float_of_int n in
+  (g.g10 /. nf) +. ((nf -. 1.0) /. nf *. (g.g10 +. g.g11) /. 2.0)
+
+let artificial_sum g ~n =
+  let nf = float_of_int n in
+  (((3.0 *. nf) -. 1.0) *. g.g10 +. ((nf +. 1.0) *. g.g11)) /. (2.0 *. nf)
+
+let ideal_utility g ~t = if t = 0 then g.g01 else g.g11
+
+let balanced_cost g ~n ~t = optn g ~n ~t -. ideal_utility g ~t
+
+let gk_upper ~p =
+  if p < 1 then invalid_arg "Bounds.gk_upper";
+  1.0 /. float_of_int p
+
+let unfair_sfe g = g.g10

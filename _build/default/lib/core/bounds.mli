@@ -1,0 +1,49 @@
+(** Closed-form bounds from the paper's theorems and lemmas, used by tests,
+    experiments, and benchmarks as the "paper-reported numbers". *)
+
+val opt2 : Payoff.t -> float
+(** Theorem 3 / Theorem 4: the optimal two-party value (γ10 + γ11) / 2. *)
+
+val optn : Payoff.t -> n:int -> t:int -> float
+(** Lemma 11: (t·γ10 + (n−t)·γ11) / n, the best t-adversary's utility
+    against ΠOpt-nSFE. *)
+
+val optn_best : Payoff.t -> n:int -> float
+(** Lemma 13: ((n−1)·γ10 + γ11) / n — the overall best adversary (t = n−1)
+    for γ ∈ Γ+_fair. *)
+
+val balanced_sum : Payoff.t -> n:int -> float
+(** Lemma 14 / Lemma 16: Σ_{t=1}^{n-1} u_A = (n−1)(γ10 + γ11)/2. *)
+
+val gmw_half : Payoff.t -> n:int -> t:int -> float
+(** Lemma 17: the honest-majority protocol's per-t utility — γ11 for
+    t < ⌈n/2⌉ and γ10 for t ≥ ⌈n/2⌉. *)
+
+val gmw_half_sum : Payoff.t -> n:int -> float
+(** Σ_t of {!gmw_half}; exceeds {!balanced_sum} by (γ10 − γ11)/2·(1 + (n+1) mod 2)…
+    computed exactly rather than in closed form. *)
+
+val artificial_sum : Payoff.t -> n:int -> float
+(** Lemma 18: ((3n−1)·γ10 + (n+1)·γ11) / 2n — the optimal-but-unbalanced
+    protocol's two-adversary sum (t = 1 plus t = n−1). *)
+
+val artificial_single : Payoff.t -> n:int -> float
+(** The t = 1 adversary of Lemma 18:
+    γ10/n + (n−1)/n · (γ10 + γ11)/2. *)
+
+val ideal_utility : Payoff.t -> t:int -> float
+(** Utility of the best adversary against the dummy fair protocol Φ^F_sfe:
+    γ01 for t = 0 and γ11 for t ≥ 1 (with γ ∈ Γ+_fair the adversary prefers
+    learning the output). *)
+
+val balanced_cost : Payoff.t -> n:int -> t:int -> float
+(** Theorem 6's optimal cost function c(t) = u_A(ΠOpt-nSFE, A_t) − s(t):
+    the corruption price that makes the utility-balanced protocol ideally
+    fair. *)
+
+val gk_upper : p:int -> float
+(** Theorem 23/24: 1/p, the Gordon–Katz bound under γ = (0,0,1,0). *)
+
+val unfair_sfe : Payoff.t -> float
+(** Against a protocol that opens the output in a single reconstruction
+    round (Lemma 10), the rushing adversary gets γ10. *)

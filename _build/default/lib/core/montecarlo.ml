@@ -1,0 +1,94 @@
+module Rng = Fair_crypto.Rng
+module Engine = Fair_exec.Engine
+module Protocol = Fair_exec.Protocol
+module Adversary = Fair_exec.Adversary
+module Func = Fair_mpc.Func
+
+type environment = Rng.t -> string array
+
+let fixed_inputs xs _rng = Array.copy xs
+
+let uniform_field_inputs ~n rng =
+  Array.init n (fun _ -> string_of_int (Fair_field.Field.to_int (Rng.field rng)))
+
+let uniform_bit_inputs ~n rng = Array.init n (fun _ -> if Rng.bool rng then "1" else "0")
+
+let uniform_mod_inputs ~m ~n rng = Array.init n (fun _ -> string_of_int (Rng.int rng m))
+
+type estimate = {
+  utility : float;
+  std_err : float;
+  distribution : Utility.distribution;
+  counts : (Events.event * int) list;
+  corrupted_counts : (int * int) list;
+  breaches : int;
+  trials : int;
+}
+
+let estimate ?(overrides = Events.no_overrides) ~protocol ~adversary ~func ~gamma ~env
+    ~trials ~seed () =
+  if trials < 1 then invalid_arg "Montecarlo.estimate: trials < 1";
+  let counts = Hashtbl.create 4 in
+  let corrupted_counts = Hashtbl.create 4 in
+  let breaches = ref 0 in
+  let sum = ref 0.0 and sum_sq = ref 0.0 in
+  for i = 0 to trials - 1 do
+    let master = Rng.create ~seed:(Printf.sprintf "mc:%d:%d" seed i) in
+    let inputs = env (Rng.split master ~label:"env") in
+    let outcome =
+      Engine.run ~protocol ~adversary ~inputs ~rng:(Rng.split master ~label:"exec")
+    in
+    let trial = { Events.outcome; inputs; func } in
+    let cl = Events.classify ~overrides trial in
+    if cl.Events.correctness_breach then incr breaches;
+    let bump tbl key = Hashtbl.replace tbl key (1 + try Hashtbl.find tbl key with Not_found -> 0) in
+    bump counts cl.Events.event;
+    bump corrupted_counts (List.length (Events.corrupted_parties trial));
+    let payoff =
+      match cl.Events.event with
+      | Events.E00 -> gamma.Payoff.g00
+      | Events.E01 -> gamma.Payoff.g01
+      | Events.E10 -> gamma.Payoff.g10
+      | Events.E11 -> gamma.Payoff.g11
+    in
+    sum := !sum +. payoff;
+    sum_sq := !sum_sq +. (payoff *. payoff)
+  done;
+  let n = float_of_int trials in
+  let mean = !sum /. n in
+  let var = max 0.0 ((!sum_sq /. n) -. (mean *. mean)) in
+  let std_err = sqrt (var /. n) in
+  let counts = Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts [] in
+  { utility = mean;
+    std_err;
+    distribution = Utility.of_counts counts;
+    counts;
+    corrupted_counts = Hashtbl.fold (fun k v acc -> (k, v) :: acc) corrupted_counts [];
+    breaches = !breaches;
+    trials }
+
+let estimate_with_cost e ~cost =
+  let penalty =
+    List.fold_left
+      (fun acc (t, c) -> acc +. (cost t *. float_of_int c /. float_of_int e.trials))
+      0.0 e.corrupted_counts
+  in
+  e.utility -. penalty
+
+let best_response ?(overrides = Events.no_overrides) ~protocol ~adversaries ~func ~gamma
+    ~env ~trials ~seed () =
+  match adversaries with
+  | [] -> invalid_arg "Montecarlo.best_response: empty zoo"
+  | _ ->
+      let scored =
+        List.map
+          (fun adversary ->
+            (adversary, estimate ~overrides ~protocol ~adversary ~func ~gamma ~env ~trials ~seed ()))
+          adversaries
+      in
+      List.fold_left
+        (fun (ba, be) (a, e) -> if e.utility > be.utility then (a, e) else (ba, be))
+        (List.hd scored) (List.tl scored)
+
+let within_bound e ~bound = e.utility <= bound +. (3.0 *. e.std_err) +. 1e-9
+let attains_bound e ~bound = e.utility >= bound -. (3.0 *. e.std_err) -. 1e-9

@@ -1,0 +1,72 @@
+(** Monte-Carlo estimation of an adversary's expected utility û(Π, A)
+    against a protocol (Equation 2 of the paper, with the best-simulator
+    event mapping supplied by {!Events.classify}).
+
+    Each trial derives an independent generator from the master seed, draws
+    environment inputs, runs the engine, classifies the execution, and
+    accumulates per-event counts.  Estimates carry the standard error of the
+    utility so bound checks can be phrased as "≤ bound + 3σ" — the
+    finite-sample reading of the paper's negligible slack. *)
+
+module Rng = Fair_crypto.Rng
+module Engine = Fair_exec.Engine
+module Protocol = Fair_exec.Protocol
+module Adversary = Fair_exec.Adversary
+module Func = Fair_mpc.Func
+
+type environment = Rng.t -> string array
+(** The environment: draws the parties' inputs for one trial. *)
+
+val fixed_inputs : string array -> environment
+val uniform_field_inputs : n:int -> environment
+(** Independent uniform field elements (as decimal strings) — exponential-
+    size domains, as required by the lower-bound experiments. *)
+
+val uniform_bit_inputs : n:int -> environment
+val uniform_mod_inputs : m:int -> n:int -> environment
+
+type estimate = {
+  utility : float;  (** empirical û *)
+  std_err : float;  (** standard error of [utility] *)
+  distribution : Utility.distribution;
+  counts : (Events.event * int) list;
+  corrupted_counts : (int * int) list;  (** (#corrupted, occurrences) *)
+  breaches : int;  (** correctness breaches observed *)
+  trials : int;
+}
+
+val estimate :
+  ?overrides:Events.overrides ->
+  protocol:Protocol.t ->
+  adversary:Adversary.t ->
+  func:Func.t ->
+  gamma:Payoff.t ->
+  env:environment ->
+  trials:int ->
+  seed:int ->
+  unit ->
+  estimate
+
+val estimate_with_cost : estimate -> cost:(int -> float) -> float
+(** Reinterpret an estimate under corruption costs (Equation 5). *)
+
+val best_response :
+  ?overrides:Events.overrides ->
+  protocol:Protocol.t ->
+  adversaries:Adversary.t list ->
+  func:Func.t ->
+  gamma:Payoff.t ->
+  env:environment ->
+  trials:int ->
+  seed:int ->
+  unit ->
+  Adversary.t * estimate
+(** sup over a finite adversary zoo: the strategy with the highest measured
+    utility, with ties broken by listing order.
+    @raise Invalid_argument on an empty zoo. *)
+
+val within_bound : estimate -> bound:float -> bool
+(** [utility <= bound + 3·std_err + 1e-9]. *)
+
+val attains_bound : estimate -> bound:float -> bool
+(** [utility >= bound - 3·std_err - 1e-9]. *)

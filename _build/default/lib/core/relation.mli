@@ -1,0 +1,27 @@
+(** The relative-fairness relation ≼_γ (Definition 1) and its derived
+    judgments, evaluated on measured estimates.
+
+    Π ≼_γ Π' ("Π is at least as γ-fair as Π'") iff
+    sup_A u(Π, A) ≤ sup_A u(Π', A) up to negligible slack; empirically the
+    suprema are taken over an adversary zoo and the slack is the combined
+    3σ sampling error. *)
+
+type verdict =
+  | At_least_as_fair  (** Π ≼ Π' strictly or within noise *)
+  | Strictly_fairer  (** Π ≼ Π' with a gap beyond noise *)
+  | Less_fair
+  | Equally_fair  (** both directions hold within noise *)
+
+val compare_sup : pi:Montecarlo.estimate -> pi':Montecarlo.estimate -> verdict
+(** Compare the best-response estimates of two protocols. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+val is_optimal : best:Montecarlo.estimate -> bound:float -> bool
+(** Definition 2, empirically: the measured best attacker is within noise of
+    the proven optimal value [bound], i.e. the protocol meets the maximal
+    element's value. *)
+
+val fairness_ratio : pi:Montecarlo.estimate -> pi':Montecarlo.estimate -> float
+(** u_best(Π') / u_best(Π): "Π is k times as fair as Π'" in the loose sense
+    of the paper's introduction (Π2 is twice as fair as Π1). *)

@@ -1,0 +1,32 @@
+type counts = (string, int) Hashtbl.t
+
+let count sample ~trials =
+  let tbl = Hashtbl.create 16 in
+  for i = 0 to trials - 1 do
+    let x = sample i in
+    Hashtbl.replace tbl x (1 + try Hashtbl.find tbl x with Not_found -> 0)
+  done;
+  tbl
+
+let total_of tbl = float_of_int (Hashtbl.fold (fun _ c acc -> acc + c) tbl 0)
+
+let total_variation a b =
+  let na = total_of a and nb = total_of b in
+  if na = 0.0 || nb = 0.0 then invalid_arg "Statdist.total_variation: empty sample";
+  let keys = Hashtbl.create 16 in
+  Hashtbl.iter (fun k _ -> Hashtbl.replace keys k ()) a;
+  Hashtbl.iter (fun k _ -> Hashtbl.replace keys k ()) b;
+  let sum =
+    Hashtbl.fold
+      (fun k () acc ->
+        let pa = float_of_int (try Hashtbl.find a k with Not_found -> 0) /. na in
+        let pb = float_of_int (try Hashtbl.find b k with Not_found -> 0) /. nb in
+        acc +. abs_float (pa -. pb))
+      keys 0.0
+  in
+  sum /. 2.0
+
+let bias_bound ~support ~trials = sqrt (float_of_int support /. float_of_int trials)
+
+let sample_distance ~a ~b ~trials =
+  total_variation (count a ~trials) (count b ~trials)

@@ -1,0 +1,26 @@
+(** Empirical statistical (total-variation) distance between sampled string
+    distributions — the measuring stick of 1/p-security (Appendix C.1),
+    which bounds the distinguishability of the real- and ideal-world
+    ensembles by 1/p instead of a negligible quantity.
+
+    For distributions over a small support (protocol outputs, event
+    summaries) the plug-in estimator
+    TV = ½ Σ_x |p̂(x) − q̂(x)| converges at O(√(support/trials)); the
+    [bias_bound] helper gives a conservative slack for bound checks. *)
+
+type counts = (string, int) Hashtbl.t
+
+val count : (int -> string) -> trials:int -> counts
+(** Tabulate [trials] samples (the function receives the trial index). *)
+
+val total_variation : counts -> counts -> float
+(** Plug-in TV estimate between two empirical distributions (which may have
+    different trial counts). *)
+
+val bias_bound : support:int -> trials:int -> float
+(** A conservative upper bound on the estimator's bias + 3σ fluctuation:
+    √(support / trials). *)
+
+val sample_distance :
+  a:(int -> string) -> b:(int -> string) -> trials:int -> float
+(** [total_variation (count a ...) (count b ...)]. *)

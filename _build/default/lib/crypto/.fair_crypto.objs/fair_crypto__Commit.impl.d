@@ -1,0 +1,1 @@
+lib/crypto/commit.ml: Rng Sha256 String

@@ -1,0 +1,1 @@
+lib/crypto/poly_mac.ml: Array Fair_field Rng String

@@ -1,0 +1,1 @@
+lib/crypto/poly_mac.mli: Fair_field Rng

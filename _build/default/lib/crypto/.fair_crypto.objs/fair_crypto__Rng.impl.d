@@ -1,0 +1,1 @@
+lib/crypto/rng.ml: Array Char Fair_field List Sha256 String

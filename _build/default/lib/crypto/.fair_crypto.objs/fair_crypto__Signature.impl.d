@@ -1,0 +1,1 @@
+lib/crypto/signature.ml: Array Char List Rng Sha256 String

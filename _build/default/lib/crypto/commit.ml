@@ -1,0 +1,27 @@
+type commitment = string
+type opening = { randomness : string; message : string }
+
+let domain_tag = "fair-protocol/commit/v1"
+let rand_len = 32
+
+let digest_of ~randomness ~message = Sha256.digest (domain_tag ^ randomness ^ message)
+
+let commit rng msg =
+  let randomness = Rng.bytes rng rand_len in
+  (digest_of ~randomness ~message:msg, { randomness; message = msg })
+
+let verify c o = String.equal c (digest_of ~randomness:o.randomness ~message:o.message)
+
+let message o = o.message
+
+let commitment_to_string c = c
+let commitment_of_string s = s
+
+let opening_to_string o =
+  if String.length o.randomness <> rand_len then invalid_arg "Commit.opening_to_string";
+  o.randomness ^ o.message
+
+let opening_of_string s =
+  if String.length s < rand_len then invalid_arg "Commit.opening_of_string: too short";
+  { randomness = String.sub s 0 rand_len;
+    message = String.sub s rand_len (String.length s - rand_len) }

@@ -1,0 +1,28 @@
+(** Hash-based commitments.
+
+    [commitment = SHA256(tag || randomness || message)] with 32 bytes of
+    randomness: computationally hiding and binding in the random-oracle
+    model.  Used by the contract-signing protocols Π1 and Π2 of the paper's
+    introduction and by the coin-tossing subprotocol [4]. *)
+
+type commitment = private string
+(** The 32-byte commitment string sent over the wire. *)
+
+type opening = private { randomness : string; message : string }
+(** The decommitment: randomness plus the committed message. *)
+
+val commit : Rng.t -> string -> commitment * opening
+(** [commit rng msg] draws fresh randomness and commits to [msg]. *)
+
+val verify : commitment -> opening -> bool
+(** Check that [opening] opens [commitment]. *)
+
+val message : opening -> string
+
+val commitment_to_string : commitment -> string
+val commitment_of_string : string -> commitment
+(** Wire (de)serialization; a commitment is its raw digest. *)
+
+val opening_to_string : opening -> string
+val opening_of_string : string -> opening
+(** @raise Invalid_argument on malformed input. *)

@@ -1,0 +1,10 @@
+(** HMAC-SHA256 (RFC 2104), validated against the RFC 4231 test vectors. *)
+
+val mac : key:string -> string -> string
+(** [mac ~key msg] is the 32-byte HMAC-SHA256 tag of [msg] under [key]. *)
+
+val hex_mac : key:string -> string -> string
+(** Hex form of {!mac}. *)
+
+val verify : key:string -> msg:string -> tag:string -> bool
+(** Constant-shape comparison of [tag] against the recomputed MAC. *)

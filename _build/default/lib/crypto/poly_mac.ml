@@ -1,0 +1,47 @@
+module Field = Fair_field.Field
+
+type key = { a : Field.t; b : Field.t }
+type tag = Field.t
+
+let gen rng = { a = Rng.field rng; b = Rng.field rng }
+
+let tag key m =
+  let acc = ref Field.zero in
+  (* Horner over m_l .. m_1, then one more multiply so exponents start at 1. *)
+  for i = Array.length m - 1 downto 0 do
+    acc := Field.mul (Field.add !acc m.(i)) key.a
+  done;
+  Field.add key.b !acc
+
+let verify key m t = Field.equal (tag key m) t
+
+let tag_string key s = tag key (Field.encode_string s)
+let verify_string key s t = Field.equal (tag_string key s) t
+
+let int_to_wire n = string_of_int n
+
+let key_to_string k = int_to_wire (Field.to_int k.a) ^ "," ^ int_to_wire (Field.to_int k.b)
+
+let key_of_string s =
+  match String.split_on_char ',' s with
+  | [ a; b ] -> (
+      match (int_of_string_opt a, int_of_string_opt b) with
+      | Some a, Some b -> { a = Field.of_int a; b = Field.of_int b }
+      | _ -> invalid_arg "Poly_mac.key_of_string")
+  | _ -> invalid_arg "Poly_mac.key_of_string"
+
+let tag_to_string t = int_to_wire (Field.to_int t)
+
+let tag_of_string s =
+  match int_of_string_opt s with
+  | Some n -> Field.of_int n
+  | None -> invalid_arg "Poly_mac.tag_of_string"
+
+module Double = struct
+  type dkey = key * key
+  type dtag = tag * tag
+
+  let gen rng = (gen rng, gen rng)
+  let tag (k1, k2) m = (tag k1 m, tag k2 m)
+  let verify (k1, k2) m (t1, t2) = verify k1 m t1 && verify k2 m t2
+end

@@ -1,0 +1,41 @@
+(** Information-theoretic one-time polynomial MAC over GF(2^31-1).
+
+    Key [(a, b)]; the tag of a message vector [m_1..m_l] is
+    [b + Σ m_i · a^i].  Any forger seeing one (message, tag) pair succeeds
+    with probability at most [l / p]: this is the MAC the paper's
+    authenticated secret sharing (Appendix A) relies on.
+
+    For 2^-62-level security, {!Double} stacks two independent keys. *)
+
+module Field = Fair_field.Field
+
+type key = private { a : Field.t; b : Field.t }
+type tag = Field.t
+
+val gen : Rng.t -> key
+(** A fresh uniform key. *)
+
+val tag : key -> Field.t array -> tag
+val verify : key -> Field.t array -> tag -> bool
+
+val tag_string : key -> string -> tag
+(** MAC of a byte string via {!Field.encode_string}. *)
+
+val verify_string : key -> string -> tag -> bool
+
+val key_to_string : key -> string
+val key_of_string : string -> key
+(** Wire (de)serialization. @raise Invalid_argument on malformed input. *)
+
+val tag_to_string : tag -> string
+val tag_of_string : string -> tag
+
+(** Two independent keys; forgery probability squared. *)
+module Double : sig
+  type dkey = private key * key
+  type dtag = tag * tag
+
+  val gen : Rng.t -> dkey
+  val tag : dkey -> Field.t array -> dtag
+  val verify : dkey -> Field.t array -> dtag -> bool
+end

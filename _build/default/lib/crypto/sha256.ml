@@ -1,0 +1,112 @@
+(* FIPS 180-4 SHA-256 over Int32 words. *)
+
+let k =
+  [| 0x428a2f98l; 0x71374491l; 0xb5c0fbcfl; 0xe9b5dba5l; 0x3956c25bl;
+     0x59f111f1l; 0x923f82a4l; 0xab1c5ed5l; 0xd807aa98l; 0x12835b01l;
+     0x243185bel; 0x550c7dc3l; 0x72be5d74l; 0x80deb1fel; 0x9bdc06a7l;
+     0xc19bf174l; 0xe49b69c1l; 0xefbe4786l; 0x0fc19dc6l; 0x240ca1ccl;
+     0x2de92c6fl; 0x4a7484aal; 0x5cb0a9dcl; 0x76f988dal; 0x983e5152l;
+     0xa831c66dl; 0xb00327c8l; 0xbf597fc7l; 0xc6e00bf3l; 0xd5a79147l;
+     0x06ca6351l; 0x14292967l; 0x27b70a85l; 0x2e1b2138l; 0x4d2c6dfcl;
+     0x53380d13l; 0x650a7354l; 0x766a0abbl; 0x81c2c92el; 0x92722c85l;
+     0xa2bfe8a1l; 0xa81a664bl; 0xc24b8b70l; 0xc76c51a3l; 0xd192e819l;
+     0xd6990624l; 0xf40e3585l; 0x106aa070l; 0x19a4c116l; 0x1e376c08l;
+     0x2748774cl; 0x34b0bcb5l; 0x391c0cb3l; 0x4ed8aa4al; 0x5b9cca4fl;
+     0x682e6ff3l; 0x748f82eel; 0x78a5636fl; 0x84c87814l; 0x8cc70208l;
+     0x90befffal; 0xa4506cebl; 0xbef9a3f7l; 0xc67178f2l |]
+
+let rotr x n = Int32.logor (Int32.shift_right_logical x n) (Int32.shift_left x (32 - n))
+
+let digest msg =
+  let open Int32 in
+  let len = String.length msg in
+  (* Padding: 0x80, zeros, 64-bit big-endian bit length. *)
+  let total = len + 1 + 8 in
+  let padded_len = (total + 63) / 64 * 64 in
+  let buf = Bytes.make padded_len '\000' in
+  Bytes.blit_string msg 0 buf 0 len;
+  Bytes.set buf len '\x80';
+  let bitlen = Int64.of_int (len * 8) in
+  for i = 0 to 7 do
+    Bytes.set buf
+      (padded_len - 1 - i)
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical bitlen (8 * i)) 0xFFL)))
+  done;
+  let h = [| 0x6a09e667l; 0xbb67ae85l; 0x3c6ef372l; 0xa54ff53al;
+             0x510e527fl; 0x9b05688cl; 0x1f83d9abl; 0x5be0cd19l |] in
+  let w = Array.make 64 0l in
+  let byte i = of_int (Char.code (Bytes.get buf i)) in
+  for block = 0 to (padded_len / 64) - 1 do
+    let base = block * 64 in
+    for t = 0 to 15 do
+      let o = base + (t * 4) in
+      w.(t) <-
+        logor
+          (shift_left (byte o) 24)
+          (logor (shift_left (byte (o + 1)) 16)
+             (logor (shift_left (byte (o + 2)) 8) (byte (o + 3))))
+    done;
+    for t = 16 to 63 do
+      let s0 =
+        logxor (rotr w.(t - 15) 7) (logxor (rotr w.(t - 15) 18) (shift_right_logical w.(t - 15) 3))
+      in
+      let s1 =
+        logxor (rotr w.(t - 2) 17) (logxor (rotr w.(t - 2) 19) (shift_right_logical w.(t - 2) 10))
+      in
+      w.(t) <- add (add w.(t - 16) s0) (add w.(t - 7) s1)
+    done;
+    let a = ref h.(0) and b = ref h.(1) and c = ref h.(2) and d = ref h.(3) in
+    let e = ref h.(4) and f = ref h.(5) and g = ref h.(6) and hh = ref h.(7) in
+    for t = 0 to 63 do
+      let s1 = logxor (rotr !e 6) (logxor (rotr !e 11) (rotr !e 25)) in
+      let ch = logxor (logand !e !f) (logand (lognot !e) !g) in
+      let t1 = add !hh (add s1 (add ch (add k.(t) w.(t)))) in
+      let s0 = logxor (rotr !a 2) (logxor (rotr !a 13) (rotr !a 22)) in
+      let maj = logxor (logand !a !b) (logxor (logand !a !c) (logand !b !c)) in
+      let t2 = add s0 maj in
+      hh := !g;
+      g := !f;
+      f := !e;
+      e := add !d t1;
+      d := !c;
+      c := !b;
+      b := !a;
+      a := add t1 t2
+    done;
+    h.(0) <- add h.(0) !a;
+    h.(1) <- add h.(1) !b;
+    h.(2) <- add h.(2) !c;
+    h.(3) <- add h.(3) !d;
+    h.(4) <- add h.(4) !e;
+    h.(5) <- add h.(5) !f;
+    h.(6) <- add h.(6) !g;
+    h.(7) <- add h.(7) !hh
+  done;
+  String.init 32 (fun i ->
+      let word = h.(i / 4) in
+      let shift = 24 - (8 * (i mod 4)) in
+      Char.chr (to_int (logand (shift_right_logical word shift) 0xFFl)))
+
+let hex_chars = "0123456789abcdef"
+
+let to_hex s =
+  String.init
+    (2 * String.length s)
+    (fun i ->
+      let c = Char.code s.[i / 2] in
+      hex_chars.[if i mod 2 = 0 then c lsr 4 else c land 0xF])
+
+let of_hex s =
+  if String.length s mod 2 <> 0 then invalid_arg "Sha256.of_hex: odd length";
+  let nibble c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> invalid_arg "Sha256.of_hex: bad character"
+  in
+  String.init
+    (String.length s / 2)
+    (fun i -> Char.chr ((nibble s.[2 * i] lsl 4) lor nibble s.[(2 * i) + 1]))
+
+let hex_digest msg = to_hex (digest msg)

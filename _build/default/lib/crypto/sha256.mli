@@ -1,0 +1,18 @@
+(** A from-scratch SHA-256 (FIPS 180-4).
+
+    Every keyed primitive in this repository (HMAC, the PRG, hash commitments,
+    Lamport signatures) bottoms out here.  The implementation is validated in
+    the test suite against the FIPS test vectors (empty string, "abc", the
+    448-bit two-block message, and a million 'a's). *)
+
+val digest : string -> string
+(** [digest msg] is the 32-byte raw digest of [msg]. *)
+
+val hex_digest : string -> string
+(** [hex_digest msg] is the 64-character lowercase hex digest. *)
+
+val to_hex : string -> string
+(** Hex-encode an arbitrary byte string. *)
+
+val of_hex : string -> string
+(** Decode a hex string. @raise Invalid_argument on malformed input. *)

@@ -1,0 +1,114 @@
+module Lamport = struct
+  let n_bits = 256
+  let chunk = 32
+
+  type secret_key = { sk0 : string array; sk1 : string array }
+  type public_key = { pk0 : string array; pk1 : string array }
+  type signature = string array (* one preimage per digest bit *)
+
+  let keygen rng =
+    let fresh () = Array.init n_bits (fun _ -> Rng.bytes rng chunk) in
+    let sk0 = fresh () and sk1 = fresh () in
+    ( { sk0; sk1 },
+      { pk0 = Array.map Sha256.digest sk0; pk1 = Array.map Sha256.digest sk1 } )
+
+  let bit_of_digest d i = (Char.code d.[i / 8] lsr (7 - (i mod 8))) land 1
+
+  let sign sk msg =
+    let d = Sha256.digest msg in
+    Array.init n_bits (fun i -> if bit_of_digest d i = 0 then sk.sk0.(i) else sk.sk1.(i))
+
+  let verify pk msg s =
+    Array.length s = n_bits
+    &&
+    let d = Sha256.digest msg in
+    let ok = ref true in
+    for i = 0 to n_bits - 1 do
+      let expect = if bit_of_digest d i = 0 then pk.pk0.(i) else pk.pk1.(i) in
+      if not (String.equal (Sha256.digest s.(i)) expect) then ok := false
+    done;
+    !ok
+
+  let concat_all a = String.concat "" (Array.to_list a)
+
+  let split_chunks s =
+    if String.length s <> n_bits * chunk then invalid_arg "Signature: bad length";
+    Array.init n_bits (fun i -> String.sub s (i * chunk) chunk)
+
+  let public_key_to_string pk = concat_all pk.pk0 ^ concat_all pk.pk1
+
+  let public_key_of_string s =
+    if String.length s <> 2 * n_bits * chunk then invalid_arg "Signature: bad pk";
+    { pk0 = split_chunks (String.sub s 0 (n_bits * chunk));
+      pk1 = split_chunks (String.sub s (n_bits * chunk) (n_bits * chunk)) }
+
+  let signature_to_string = concat_all
+  let signature_of_string = split_chunks
+end
+
+module Merkle = struct
+  type signer = {
+    keys : (Lamport.secret_key * Lamport.public_key) array;
+    tree : string array array; (* tree.(level).(i); level 0 = leaves *)
+    mutable next : int;
+  }
+
+  type public_key = string (* the root *)
+
+  type signature = {
+    index : int;
+    ots_pk : Lamport.public_key;
+    ots_sig : Lamport.signature;
+    path : string list; (* sibling hashes, leaf to root *)
+  }
+
+  let leaf_hash pk = Sha256.digest ("leaf" ^ Lamport.public_key_to_string pk)
+  let node_hash l r = Sha256.digest ("node" ^ l ^ r)
+
+  let keygen rng ~height =
+    if height < 0 || height > 12 then invalid_arg "Merkle.keygen: height";
+    let n = 1 lsl height in
+    let keys = Array.init n (fun _ -> Lamport.keygen rng) in
+    let leaves = Array.map (fun (_, pk) -> leaf_hash pk) keys in
+    let rec build levels current =
+      if Array.length current = 1 then List.rev (current :: levels)
+      else
+        let next =
+          Array.init
+            (Array.length current / 2)
+            (fun i -> node_hash current.(2 * i) current.((2 * i) + 1))
+        in
+        build (current :: levels) next
+    in
+    let tree = Array.of_list (build [] leaves) in
+    ({ keys; tree; next = 0 }, tree.(Array.length tree - 1).(0))
+
+  let remaining s = Array.length s.keys - s.next
+
+  let auth_path tree index =
+    let rec walk level i acc =
+      if level >= Array.length tree - 1 then List.rev acc
+      else walk (level + 1) (i / 2) (tree.(level).(i lxor 1) :: acc)
+    in
+    walk 0 index []
+
+  let sign s msg =
+    if s.next >= Array.length s.keys then failwith "Merkle.sign: keys exhausted";
+    let index = s.next in
+    s.next <- index + 1;
+    let sk, pk = s.keys.(index) in
+    { index; ots_pk = pk; ots_sig = Lamport.sign sk msg; path = auth_path s.tree index }
+
+  let verify root msg s =
+    Lamport.verify s.ots_pk msg s.ots_sig
+    &&
+    let node =
+      List.fold_left
+        (fun (h, i) sibling ->
+          let h' = if i land 1 = 0 then node_hash h sibling else node_hash sibling h in
+          (h', i / 2))
+        (leaf_hash s.ots_pk, s.index)
+        s.path
+    in
+    String.equal (fst node) root
+end

@@ -1,0 +1,43 @@
+(** Hash-based digital signatures.
+
+    {!Lamport} is the classic one-time signature scheme: existentially
+    unforgeable under one signing query, from SHA-256 preimage resistance.
+    {!Merkle} lifts it to a stateful many-time scheme by certifying 2^h
+    one-time keys under a Merkle root.  The multi-party protocol ΠOpt-nSFE
+    signs a single value (the output y) per execution, so {!Lamport} is what
+    the protocol layer uses; {!Merkle} is provided for general use. *)
+
+module Lamport : sig
+  type secret_key
+  type public_key
+  type signature
+
+  val keygen : Rng.t -> secret_key * public_key
+  val sign : secret_key -> string -> signature
+  val verify : public_key -> string -> signature -> bool
+
+  val public_key_to_string : public_key -> string
+  val public_key_of_string : string -> public_key
+  val signature_to_string : signature -> string
+  val signature_of_string : string -> signature
+  (** Wire forms. @raise Invalid_argument on malformed input. *)
+end
+
+module Merkle : sig
+  type signer
+  (** Stateful: each [sign] consumes the next one-time key. *)
+
+  type public_key
+  type signature
+
+  val keygen : Rng.t -> height:int -> signer * public_key
+  (** 2^height one-time keys; [0 <= height <= 12]. *)
+
+  val remaining : signer -> int
+  (** One-time keys not yet consumed. *)
+
+  val sign : signer -> string -> signature
+  (** @raise Failure when all one-time keys are exhausted. *)
+
+  val verify : public_key -> string -> signature -> bool
+end

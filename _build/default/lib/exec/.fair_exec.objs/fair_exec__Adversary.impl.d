@@ -1,0 +1,1 @@
+lib/exec/adversary.ml: Fair_crypto Machine Protocol Wire

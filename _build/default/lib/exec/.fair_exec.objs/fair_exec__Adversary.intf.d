@@ -1,0 +1,1 @@
+lib/exec/adversary.mli: Fair_crypto Machine Protocol Wire

@@ -1,0 +1,1 @@
+lib/exec/engine.ml: Adversary Array Fair_crypto List Machine Protocol String Trace Wire

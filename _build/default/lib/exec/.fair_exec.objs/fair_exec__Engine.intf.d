@@ -1,0 +1,1 @@
+lib/exec/engine.mli: Adversary Fair_crypto Protocol Trace Wire

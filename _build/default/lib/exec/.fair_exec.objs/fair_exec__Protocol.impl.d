@@ -1,0 +1,1 @@
+lib/exec/protocol.ml: Fair_crypto Machine Wire

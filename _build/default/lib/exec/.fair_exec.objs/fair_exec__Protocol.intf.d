@@ -1,0 +1,1 @@
+lib/exec/protocol.mli: Fair_crypto Machine Wire

@@ -1,0 +1,1 @@
+lib/exec/wire.ml: Buffer Format List String

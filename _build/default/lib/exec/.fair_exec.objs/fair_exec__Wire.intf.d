@@ -1,0 +1,1 @@
+lib/exec/wire.mli: Format

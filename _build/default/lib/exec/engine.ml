@@ -1,0 +1,232 @@
+module Rng = Fair_crypto.Rng
+
+type party_result =
+  | Honest_output of Wire.payload
+  | Honest_abort
+  | Honest_no_output
+  | Was_corrupted
+
+type outcome = {
+  results : (Wire.party_id * party_result) list;
+  claims : (int * Wire.payload) list;
+  rounds : int;
+  trace : Trace.t;
+}
+
+let honest_outputs outcome =
+  List.filter_map
+    (fun (id, r) ->
+      match r with
+      | Honest_output v -> Some (id, Some v)
+      | Honest_abort | Honest_no_output -> Some (id, None)
+      | Was_corrupted -> None)
+    outcome.results
+
+let all_honest_output outcome ~expected =
+  List.for_all
+    (fun (_, r) ->
+      match r with
+      | Honest_output v -> String.equal v expected
+      | Honest_abort | Honest_no_output -> false
+      | Was_corrupted -> true)
+    outcome.results
+
+let claimed outcome ~truth =
+  List.exists (fun (_, v) -> String.equal v truth) outcome.claims
+
+(* Per-party slot during execution. *)
+type slot =
+  | Running of Machine.t * string * string (* machine, input, setup *)
+  | Finished of party_result
+
+let run ~protocol ~adversary ~inputs ~rng =
+  let n = protocol.Protocol.parties in
+  if Array.length inputs <> n then invalid_arg "Engine.run: wrong number of inputs";
+  let trace = Trace.create () in
+  let setup =
+    match protocol.Protocol.setup with
+    | None -> Array.make n ""
+    | Some deal ->
+        let s = deal (Rng.split rng ~label:"dealer") in
+        if Array.length s <> n then invalid_arg "Engine.run: setup arity";
+        s
+  in
+  (* Slots indexed 0..n; slot 0 is the functionality (or an inert machine). *)
+  let slots = Array.make (n + 1) (Finished Was_corrupted) in
+  slots.(0) <-
+    (match protocol.Protocol.functionality with
+    | None -> Finished Honest_abort (* unused marker; never consulted *)
+    | Some f -> Running (f (Rng.split rng ~label:"functionality") ~n, "", ""));
+  for i = 1 to n do
+    let m =
+      protocol.Protocol.make_party
+        ~rng:(Rng.split rng ~label:("party-" ^ string_of_int i))
+        ~id:i ~n ~input:inputs.(i - 1) ~setup:setup.(i - 1)
+    in
+    slots.(i) <- Running (m, inputs.(i - 1), setup.(i - 1))
+  done;
+  let adv = adversary.Adversary.make (Rng.split rng ~label:"adversary") ~protocol in
+  let corrupted = Array.make (n + 1) false in
+  let results = Array.make (n + 1) Honest_no_output in
+  let claims = ref [] in
+  let corrupt_party round id =
+    if id < 1 || id > n then invalid_arg "Engine.run: corrupting invalid id";
+    if not corrupted.(id) then begin
+      corrupted.(id) <- true;
+      results.(id) <- Was_corrupted;
+      Trace.record trace (Trace.Corrupted (round, id))
+    end
+  in
+  List.iter (corrupt_party 0) adv.Adversary.initial;
+  (* Inboxes for the *current* round, indexed by party id. *)
+  let inbox_now = Array.make (n + 1) [] in
+  let inbox_next = Array.make (n + 1) [] in
+  let deliver (env : Wire.envelope) =
+    match env.dst with
+    | Wire.To p ->
+        if p >= 0 && p <= n then inbox_next.(p) <- (env.src, env.payload) :: inbox_next.(p)
+    | Wire.Broadcast ->
+        for p = 0 to n do
+          inbox_next.(p) <- (env.src, env.payload) :: inbox_next.(p)
+        done
+  in
+  let active () =
+    (* At least one party in 1..n still honestly running. *)
+    let some = ref false in
+    for i = 1 to n do
+      match slots.(i) with
+      | Running _ when not corrupted.(i) -> some := true
+      | _ -> ()
+    done;
+    !some
+  in
+  let round = ref 0 in
+  while active () && !round < protocol.Protocol.max_rounds do
+    incr round;
+    let r = !round in
+    Array.blit inbox_next 0 inbox_now 0 (n + 1);
+    Array.fill inbox_next 0 (n + 1) [];
+    (* Inboxes are accumulated in reverse order of delivery; present them
+       sender-ordered for determinism. *)
+    for i = 0 to n do
+      inbox_now.(i) <- List.stable_sort (fun (a, _) (b, _) -> compare a b) inbox_now.(i)
+    done;
+    let honest_envelopes = ref [] in
+    let step_slot id =
+      match slots.(id) with
+      | Running (m, input, setup) when not corrupted.(id) ->
+          let m', actions = m.Machine.step ~round:r ~inbox:inbox_now.(id) in
+          slots.(id) <- Running (m', input, setup);
+          List.iter
+            (fun action ->
+              match action with
+              | Machine.Send (dst, payload) ->
+                  let env = { Wire.src = id; dst; payload } in
+                  Trace.record trace (Trace.Sent (r, env));
+                  honest_envelopes := env :: !honest_envelopes
+              | Machine.Output v ->
+                  slots.(id) <- Finished (Honest_output v);
+                  if id > 0 then results.(id) <- Honest_output v;
+                  Trace.record trace (Trace.Output_event (r, id, v))
+              | Machine.Abort_self ->
+                  slots.(id) <- Finished Honest_abort;
+                  if id > 0 then results.(id) <- Honest_abort;
+                  Trace.record trace (Trace.Aborted (r, id)))
+            actions
+      | _ -> ()
+    in
+    (* The functionality steps first (a trusted party answers within the
+       round structure like any other machine; ordering only affects the
+       trace). *)
+    for id = 0 to n do
+      step_slot id
+    done;
+    let honest_envelopes = List.rev !honest_envelopes in
+    (* Rushing: adversary sees round-r messages to corrupted parties and all
+       broadcasts before answering. *)
+    let rushed =
+      List.filter
+        (fun (env : Wire.envelope) ->
+          match env.dst with
+          | Wire.To p -> p >= 1 && p <= n && corrupted.(p)
+          | Wire.Broadcast -> true)
+        honest_envelopes
+    in
+    let corrupted_info =
+      List.filter_map
+        (fun id ->
+          if id >= 1 && id <= n && corrupted.(id) then
+            match slots.(id) with
+            | Running (m, input, setup) ->
+                Some { Adversary.id; input; setup; machine = m }
+            | Finished _ -> None
+          else None)
+        (List.init n (fun i -> i + 1))
+    in
+    let view =
+      { Adversary.round = r;
+        n;
+        corrupted = corrupted_info;
+        inbox =
+          List.filter_map
+            (fun i -> if corrupted.(i) then Some (i, inbox_now.(i)) else None)
+            (List.init n (fun i -> i + 1));
+        rushed }
+    in
+    let decision = adv.Adversary.step view in
+    List.iter deliver honest_envelopes;
+    List.iter
+      (fun (src, dst, payload) ->
+        if src < 1 || src > n || not corrupted.(src) then
+          invalid_arg "Engine.run: adversary sent from a non-corrupted party";
+        let env = { Wire.src; dst; payload } in
+        Trace.record trace (Trace.Sent (r, env));
+        deliver env)
+      decision.Adversary.send;
+    (match decision.Adversary.claim_learned with
+    | None -> ()
+    | Some v ->
+        claims := (r, v) :: !claims;
+        Trace.record trace (Trace.Claimed (r, v)));
+    List.iter (corrupt_party r) decision.Adversary.corrupt
+  done;
+  (* Flush: the execution stopped because every honest party finished, but
+     messages sent in the final round are still in flight; a real adversary
+     receives them.  Give it one last step (claims only — nobody is left to
+     read further messages). *)
+  let r = !round + 1 in
+  for i = 0 to n do
+    inbox_next.(i) <- List.stable_sort (fun (a, _) (b, _) -> compare a b) inbox_next.(i)
+  done;
+  let corrupted_info =
+    List.filter_map
+      (fun id ->
+        if corrupted.(id) then
+          match slots.(id) with
+          | Running (m, input, setup) -> Some { Adversary.id; input; setup; machine = m }
+          | Finished _ -> None
+        else None)
+      (List.init n (fun i -> i + 1))
+  in
+  if corrupted_info <> [] then begin
+    let view =
+      { Adversary.round = r;
+        n;
+        corrupted = corrupted_info;
+        inbox =
+          List.filter_map
+            (fun i -> if corrupted.(i) then Some (i, inbox_next.(i)) else None)
+            (List.init n (fun i -> i + 1));
+        rushed = [] }
+    in
+    let decision = adv.Adversary.step view in
+    match decision.Adversary.claim_learned with
+    | None -> ()
+    | Some v ->
+        claims := (r, v) :: !claims;
+        Trace.record trace (Trace.Claimed (r, v))
+  end;
+  { results = List.init n (fun i -> (i + 1, results.(i + 1)));
+    claims = List.rev !claims;
+    rounds = !round;
+    trace }

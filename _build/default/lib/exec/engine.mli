@@ -1,0 +1,59 @@
+(** The synchronous execution engine.
+
+    Round structure (r = 1, 2, ...):
+
+    + every honest party — and the ideal functionality, if the protocol is
+      hybrid — consumes its round-r inbox (messages sent in round r-1) and
+      produces its round-r messages and possibly an output;
+    + the rushing adversary observes the corrupted parties' inboxes and all
+      round-r traffic addressed to corrupted parties (and all broadcasts),
+      then decides the corrupted parties' round-r messages, adaptive
+      corruptions, and learned-output claims;
+    + all round-r messages are delivered into round-(r+1) inboxes; point-to-
+      point channels are secure (only the addressee sees the payload), and
+      broadcast is the standard ideal broadcast (everyone receives the same
+      value next round).
+
+    The execution stops when every party in 1..n has produced an output,
+    aborted, or been corrupted — or after [max_rounds].
+
+    The engine knows nothing about the function being computed; it reports
+    raw facts (who output what, what the adversary claimed to have learned)
+    and the fairness layer classifies them into the paper's events. *)
+
+type party_result =
+  | Honest_output of Wire.payload  (** ran to completion and output *)
+  | Honest_abort  (** output ⊥ *)
+  | Honest_no_output  (** still running at [max_rounds] — a protocol bug *)
+  | Was_corrupted  (** corrupted at some point; excluded from fairness accounting *)
+
+type outcome = {
+  results : (Wire.party_id * party_result) list;  (** parties 1..n in order *)
+  claims : (int * Wire.payload) list;  (** (round, value) learned-output claims *)
+  rounds : int;  (** rounds actually executed *)
+  trace : Trace.t;
+}
+
+val honest_outputs : outcome -> (Wire.party_id * Wire.payload option) list
+(** Never-corrupted parties only; [Some v] for an output, [None] for ⊥ or no
+    output. *)
+
+val all_honest_output : outcome -> expected:Wire.payload -> bool
+(** Every never-corrupted party output exactly [expected].  Vacuously true
+    when every party was corrupted (matches the paper's convention that an
+    adversary corrupting everyone provokes E11). *)
+
+val claimed : outcome -> truth:Wire.payload -> bool
+(** Did any learned-output claim match the true value? *)
+
+val run :
+  protocol:Protocol.t ->
+  adversary:Adversary.t ->
+  inputs:string array ->
+  rng:Fair_crypto.Rng.t ->
+  outcome
+(** Execute one protocol run.  [inputs.(i)] is party i+1's input.
+    Party, functionality, dealer and adversary randomness are derived from
+    [rng] via independent splits, so a single seed reproduces the run.
+    @raise Invalid_argument if [inputs] has the wrong length or the
+    adversary addresses a message from a non-corrupted party. *)

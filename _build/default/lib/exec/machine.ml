@@ -1,0 +1,35 @@
+type action =
+  | Send of Wire.dest * Wire.payload
+  | Output of Wire.payload
+  | Abort_self
+
+type t = { step : round:int -> inbox:(Wire.party_id * Wire.payload) list -> t * action list }
+
+let rec make state f =
+  { step =
+      (fun ~round ~inbox ->
+        let state', actions = f state ~round ~inbox in
+        (make state' f, actions)) }
+
+let silent =
+  let rec m = { step = (fun ~round:_ ~inbox:_ -> (m, [])) } in
+  m
+
+let probe_output m ~round ~inbox =
+  let _, actions = m.step ~round ~inbox in
+  List.find_map (function Output p -> Some p | Send _ | Abort_self -> None) actions
+
+let run_to_completion m ~max_rounds ~feed =
+  let rec go m round =
+    if round > max_rounds then None
+    else
+      let m', actions = m.step ~round ~inbox:(feed ~round) in
+      match
+        List.find_map
+          (function Output p -> Some (Some p) | Abort_self -> Some None | Send _ -> None)
+          actions
+      with
+      | Some result -> result
+      | None -> go m' (round + 1)
+  in
+  go m 1

@@ -1,0 +1,36 @@
+(** Protocol descriptions: everything the engine (and the adversary, who by
+    Kerckhoffs' principle knows the protocol) needs to instantiate an
+    execution.
+
+    Parties have ids 1..n.  A protocol may declare an ideal functionality
+    (trusted party, id 0) — that is how hybrid-model protocols such as
+    ΠOpt-2SFE in the F'-hybrid model are expressed — and/or an
+    input-independent trusted-dealer [setup] that distributes correlated
+    randomness (preprocessing for the SPDZ-style substrate, ShareGen-less
+    variants, etc.). *)
+
+type t = {
+  name : string;
+  parties : int;  (** n *)
+  max_rounds : int;  (** hard stop for the engine *)
+  setup : (Fair_crypto.Rng.t -> string array) option;
+      (** input-independent dealer; element [i] is handed privately to party
+          [i+1] at construction time *)
+  functionality : (Fair_crypto.Rng.t -> n:int -> Machine.t) option;
+      (** the trusted party (id 0), if the protocol is hybrid *)
+  make_party :
+    rng:Fair_crypto.Rng.t -> id:Wire.party_id -> n:int -> input:string -> setup:string ->
+    Machine.t;
+}
+
+val make :
+  name:string -> parties:int -> max_rounds:int ->
+  ?setup:(Fair_crypto.Rng.t -> string array) ->
+  ?functionality:(Fair_crypto.Rng.t -> n:int -> Machine.t) ->
+  (rng:Fair_crypto.Rng.t -> id:Wire.party_id -> n:int -> input:string -> setup:string -> Machine.t) ->
+  t
+
+val honest_machine :
+  t -> rng:Fair_crypto.Rng.t -> id:Wire.party_id -> input:string -> setup:string -> Machine.t
+(** Instantiate party [id]'s honest machine — also used by adversaries that
+    run corrupted parties semi-honestly (the A1/A_ī strategies). *)

@@ -1,0 +1,24 @@
+type event =
+  | Sent of int * Wire.envelope
+  | Output_event of int * Wire.party_id * Wire.payload
+  | Aborted of int * Wire.party_id
+  | Corrupted of int * Wire.party_id
+  | Claimed of int * Wire.payload
+
+type t = { mutable rev_events : event list }
+
+let create () = { rev_events = [] }
+let record t e = t.rev_events <- e :: t.rev_events
+let events t = List.rev t.rev_events
+
+let messages_in_round t round =
+  List.filter_map
+    (function Sent (r, env) when r = round -> Some env | _ -> None)
+    (events t)
+
+let pp_event fmt = function
+  | Sent (r, env) -> Format.fprintf fmt "[r%d] %a" r Wire.pp_envelope env
+  | Output_event (r, p, v) -> Format.fprintf fmt "[r%d] p%d outputs %S" r p v
+  | Aborted (r, p) -> Format.fprintf fmt "[r%d] p%d aborts" r p
+  | Corrupted (r, p) -> Format.fprintf fmt "[r%d] p%d corrupted" r p
+  | Claimed (r, v) -> Format.fprintf fmt "[r%d] adversary claims %S" r v

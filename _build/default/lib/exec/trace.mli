@@ -1,0 +1,19 @@
+(** Execution traces: a per-round event log used by tests (to assert message
+    flows), by the reconstruction-round analyzer, and for debugging. *)
+
+type event =
+  | Sent of int * Wire.envelope  (** round, message *)
+  | Output_event of int * Wire.party_id * Wire.payload
+  | Aborted of int * Wire.party_id
+  | Corrupted of int * Wire.party_id  (** round the corruption took effect *)
+  | Claimed of int * Wire.payload  (** adversary registered a learned-output claim *)
+
+type t
+
+val create : unit -> t
+val record : t -> event -> unit
+val events : t -> event list
+(** In chronological order. *)
+
+val messages_in_round : t -> int -> Wire.envelope list
+val pp_event : Format.formatter -> event -> unit

@@ -1,0 +1,55 @@
+type party_id = int
+
+let functionality_id = 0
+
+type dest = To of party_id | Broadcast
+type payload = string
+type envelope = { src : party_id; dst : dest; payload : payload }
+
+let pp_dest fmt = function
+  | To p -> Format.fprintf fmt "->%d" p
+  | Broadcast -> Format.pp_print_string fmt "->*"
+
+let pp_envelope fmt e =
+  Format.fprintf fmt "%d%a: %S" e.src pp_dest e.dst e.payload
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '|' -> Buffer.add_string buf "\\p"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let frame fields =
+  if fields = [] then invalid_arg "Wire.frame: empty field list";
+  String.concat "|" (List.map escape fields)
+
+let unframe payload =
+  let fields = ref [] in
+  let buf = Buffer.create 16 in
+  let n = String.length payload in
+  let rec go i =
+    if i >= n then fields := Buffer.contents buf :: !fields
+    else
+      match payload.[i] with
+      | '|' ->
+          fields := Buffer.contents buf :: !fields;
+          Buffer.clear buf;
+          go (i + 1)
+      | '\\' ->
+          if i + 1 >= n then invalid_arg "Wire.unframe: dangling escape";
+          (match payload.[i + 1] with
+          | '\\' -> Buffer.add_char buf '\\'
+          | 'p' -> Buffer.add_char buf '|'
+          | _ -> invalid_arg "Wire.unframe: bad escape");
+          go (i + 2)
+      | c ->
+          Buffer.add_char buf c;
+          go (i + 1)
+  in
+  go 0;
+  List.rev !fields

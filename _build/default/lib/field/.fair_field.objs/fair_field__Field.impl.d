@@ -1,0 +1,1 @@
+lib/field/field.ml: Array Char Format Hashtbl Stdlib String

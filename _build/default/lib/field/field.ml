@@ -1,0 +1,83 @@
+type t = int
+
+let p = 2147483647 (* 2^31 - 1 *)
+
+let zero = 0
+let one = 1
+let two = 2
+
+let of_int n =
+  let r = n mod p in
+  if r < 0 then r + p else r
+
+let to_int x = x
+
+let add a b =
+  let s = a + b in
+  if s >= p then s - p else s
+
+let sub a b =
+  let d = a - b in
+  if d < 0 then d + p else d
+
+let neg a = if a = 0 then 0 else p - a
+
+(* a, b < 2^31, so a*b < 2^62 fits in a native 63-bit int. *)
+let mul a b = a * b mod p
+
+let rec pow_aux acc x n =
+  if n = 0 then acc
+  else if n land 1 = 1 then pow_aux (mul acc x) (mul x x) (n asr 1)
+  else pow_aux acc (mul x x) (n asr 1)
+
+let pow x n =
+  if n < 0 then invalid_arg "Field.pow: negative exponent";
+  pow_aux one x n
+
+let inv x =
+  if x = 0 then raise Division_by_zero;
+  (* Fermat: x^(p-2) mod p *)
+  pow x (p - 2)
+
+let div a b = mul a (inv b)
+
+let equal (a : int) (b : int) = a = b
+let compare (a : int) (b : int) = Stdlib.compare a b
+let hash (x : int) = Hashtbl.hash x
+
+let pp fmt x = Format.fprintf fmt "%d" x
+let to_string = string_of_int
+
+(* Two bytes per element; element 0 is the byte length of the string. *)
+let encode_string s =
+  let n = String.length s in
+  let m = (n + 1) / 2 in
+  Array.init (m + 1) (fun i ->
+      if i = 0 then of_int n
+      else
+        let j = 2 * (i - 1) in
+        let hi = Char.code s.[j] in
+        let lo = if j + 1 < n then Char.code s.[j + 1] else 0 in
+        of_int ((hi lsl 8) lor lo))
+
+let decode_string a =
+  if Array.length a = 0 then invalid_arg "Field.decode_string: empty";
+  let n = to_int a.(0) in
+  let m = (n + 1) / 2 in
+  if Array.length a <> m + 1 then invalid_arg "Field.decode_string: bad length";
+  String.init n (fun i ->
+      let e = to_int a.(1 + (i / 2)) in
+      if e > 0xFFFF then invalid_arg "Field.decode_string: bad element";
+      if i mod 2 = 0 then Char.chr ((e lsr 8) land 0xFF)
+      else Char.chr (e land 0xFF))
+
+(* 30 bits per limb (strictly below the modulus), little-endian, fixed
+   width 3 (covers < 2^90 > max_int). *)
+let encode_int n =
+  if n < 0 then invalid_arg "Field.encode_int: negative";
+  let mask = (1 lsl 30) - 1 in
+  [| of_int (n land mask); of_int ((n lsr 30) land mask); of_int (n lsr 60) |]
+
+let decode_int a =
+  if Array.length a <> 3 then invalid_arg "Field.decode_int: bad length";
+  to_int a.(0) lor (to_int a.(1) lsl 30) lor (to_int a.(2) lsl 60)

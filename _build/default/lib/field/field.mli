@@ -1,0 +1,69 @@
+(** Prime-field arithmetic over GF(p) with p = 2^31 - 1 (the Mersenne prime
+    2147483647).
+
+    All protocol-level algebra in this repository — additive secret sharing,
+    Shamir sharing, information-theoretic MACs, Beaver-triple multiplication —
+    is carried out in this field.  Elements are represented as OCaml [int]s in
+    the canonical range [0, p-1]; since p < 2^31, the product of two elements
+    fits in OCaml's 63-bit native integers, so no big-number library is
+    required.
+
+    The field size bounds the forgery probability of the polynomial MAC at
+    2^-31 per tag; see DESIGN.md §5 for why this is adequate for the
+    reproduction. *)
+
+type t = private int
+(** A field element, canonically reduced into [0, p-1]. *)
+
+val p : int
+(** The field modulus, 2^31 - 1. *)
+
+val zero : t
+val one : t
+val two : t
+
+val of_int : int -> t
+(** [of_int n] reduces [n] (possibly negative) modulo [p]. *)
+
+val to_int : t -> int
+(** The canonical representative in [0, p-1]. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val mul : t -> t -> t
+
+val inv : t -> t
+(** Multiplicative inverse. @raise Division_by_zero on [zero]. *)
+
+val div : t -> t -> t
+(** [div a b = mul a (inv b)]. @raise Division_by_zero if [b = zero]. *)
+
+val pow : t -> int -> t
+(** [pow x n] with [n >= 0], by square-and-multiply. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+(** {1 Encoding}
+
+    Protocol payloads (party inputs, outputs, keys) are encoded as vectors of
+    field elements.  Each element carries 31 bits; we pack 2 bytes per element
+    for simplicity and unambiguous round-tripping. *)
+
+val encode_string : string -> t array
+(** Encode a byte string as a length-prefixed vector of field elements. *)
+
+val decode_string : t array -> string
+(** Inverse of {!encode_string}.  @raise Invalid_argument on malformed input. *)
+
+val encode_int : int -> t array
+(** Encode a non-negative OCaml int (< 2^62). *)
+
+val decode_int : t array -> int
+(** Inverse of {!encode_int}. *)

@@ -1,0 +1,98 @@
+type t = Field.t array
+(* invariant: no trailing zero coefficient *)
+
+let trim a =
+  let n = ref (Array.length a) in
+  while !n > 0 && Field.equal a.(!n - 1) Field.zero do
+    decr n
+  done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let of_coeffs a = trim (Array.copy a)
+let coeffs t = Array.copy t
+
+let zero = [||]
+let constant c = trim [| c |]
+
+let degree t = Array.length t - 1
+
+let eval t x =
+  let acc = ref Field.zero in
+  for i = Array.length t - 1 downto 0 do
+    acc := Field.add (Field.mul !acc x) t.(i)
+  done;
+  !acc
+
+let add a b =
+  let n = max (Array.length a) (Array.length b) in
+  let get c i = if i < Array.length c then c.(i) else Field.zero in
+  trim (Array.init n (fun i -> Field.add (get a i) (get b i)))
+
+let mul a b =
+  if Array.length a = 0 || Array.length b = 0 then zero
+  else begin
+    let n = Array.length a + Array.length b - 1 in
+    let r = Array.make n Field.zero in
+    Array.iteri
+      (fun i ai ->
+        Array.iteri (fun j bj -> r.(i + j) <- Field.add r.(i + j) (Field.mul ai bj)) b)
+      a;
+    trim r
+  end
+
+let scale c a = trim (Array.map (Field.mul c) a)
+
+let equal a b = Array.length a = Array.length b && Array.for_all2 Field.equal a b
+
+let pp fmt t =
+  if Array.length t = 0 then Format.pp_print_string fmt "0"
+  else
+    Array.iteri
+      (fun i c ->
+        if i > 0 then Format.fprintf fmt " + ";
+        Format.fprintf fmt "%a*x^%d" Field.pp c i)
+      t
+
+let random ~degree ~constant sample =
+  if degree < 0 then invalid_arg "Poly.random: negative degree";
+  trim (Array.init (degree + 1) (fun i -> if i = 0 then constant else sample ()))
+
+let check_distinct points =
+  let xs = List.map fst points in
+  let sorted = List.sort Field.compare xs in
+  let rec dup = function
+    | a :: (b :: _ as rest) -> Field.equal a b || dup rest
+    | _ -> false
+  in
+  if dup sorted then invalid_arg "Poly.interpolate: duplicate x-coordinates"
+
+(* Lagrange basis polynomial for point i, materialized. *)
+let interpolate points =
+  check_distinct points;
+  List.fold_left
+    (fun acc (xi, yi) ->
+      let basis =
+        List.fold_left
+          (fun b (xj, _) ->
+            if Field.equal xi xj then b
+            else
+              let denom = Field.inv (Field.sub xi xj) in
+              mul b (of_coeffs [| Field.mul (Field.neg xj) denom; denom |]))
+          (constant Field.one) points
+      in
+      add acc (scale yi basis))
+    zero points
+
+let interpolate_at x points =
+  check_distinct points;
+  List.fold_left
+    (fun acc (xi, yi) ->
+      let li =
+        List.fold_left
+          (fun l (xj, _) ->
+            if Field.equal xi xj then l
+            else Field.mul l (Field.div (Field.sub x xj) (Field.sub xi xj)))
+          Field.one points
+      in
+      Field.add acc (Field.mul yi li))
+    Field.zero points

@@ -1,0 +1,42 @@
+(** Polynomials over {!Field}, used by Shamir secret sharing, the polynomial
+    MAC, and verifiable secret sharing.
+
+    A polynomial is represented by its coefficient array [c] with
+    [c.(i)] the coefficient of [x^i]; the zero polynomial is [[||]]. *)
+
+type t
+
+val of_coeffs : Field.t array -> t
+(** Trailing zero coefficients are trimmed so representations are canonical. *)
+
+val coeffs : t -> Field.t array
+
+val zero : t
+val constant : Field.t -> t
+
+val degree : t -> int
+(** Degree of the polynomial; [-1] for the zero polynomial. *)
+
+val eval : t -> Field.t -> Field.t
+(** Horner evaluation. *)
+
+val add : t -> t -> t
+val mul : t -> t -> t
+val scale : Field.t -> t -> t
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val random : degree:int -> constant:Field.t -> (unit -> Field.t) -> t
+(** [random ~degree ~constant sample] draws a uniformly random polynomial of
+    degree at most [degree] with constant term [constant], using [sample] for
+    the remaining coefficients. *)
+
+val interpolate : (Field.t * Field.t) list -> t
+(** Lagrange interpolation through the given (distinct-x) points.
+    @raise Invalid_argument on duplicate x-coordinates. *)
+
+val interpolate_at : Field.t -> (Field.t * Field.t) list -> Field.t
+(** [interpolate_at x points] evaluates the interpolating polynomial at [x]
+    without materializing it — the common case is recovering a Shamir secret
+    at [x = 0]. *)

@@ -1,0 +1,1 @@
+lib/mpc/boolcirc.ml: Array List

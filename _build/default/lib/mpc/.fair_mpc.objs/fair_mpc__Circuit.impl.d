@@ -1,0 +1,1 @@
+lib/mpc/circuit.ml: Array Fair_field List

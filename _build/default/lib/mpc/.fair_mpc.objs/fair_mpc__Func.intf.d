@@ -1,0 +1,1 @@
+lib/mpc/func.mli:

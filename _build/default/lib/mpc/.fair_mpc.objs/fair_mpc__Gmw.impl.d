@@ -1,0 +1,1 @@
+lib/mpc/gmw.ml: Array Boolcirc Buffer Fair_crypto Fair_exec Hashtbl List Option Ot Printf String

@@ -1,0 +1,1 @@
+lib/mpc/gmw.mli: Boolcirc Fair_exec

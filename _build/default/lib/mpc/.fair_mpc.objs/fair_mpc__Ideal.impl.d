@@ -1,0 +1,1 @@
+lib/mpc/ideal.ml: Array Fair_crypto Fair_exec Func List

@@ -1,0 +1,1 @@
+lib/mpc/ideal.mli: Fair_crypto Fair_exec Func

@@ -1,0 +1,1 @@
+lib/mpc/ot.ml: Fair_crypto

@@ -1,0 +1,1 @@
+lib/mpc/ot.mli: Fair_crypto

@@ -1,0 +1,1 @@
+lib/mpc/spdz.ml: Array Buffer Circuit Fair_crypto Fair_exec Fair_field Fair_sharing Hashtbl List Option Printf String

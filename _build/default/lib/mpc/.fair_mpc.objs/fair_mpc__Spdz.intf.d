@@ -1,0 +1,1 @@
+lib/mpc/spdz.mli: Circuit Fair_crypto Fair_exec Fair_field

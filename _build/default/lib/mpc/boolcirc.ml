@@ -1,0 +1,118 @@
+type wire = int
+
+type gate =
+  | Xor of wire * wire
+  | And of wire * wire
+  | Not of wire
+  | Const of bool
+
+type t = {
+  n_inputs : int;
+  input_owner : int array;
+  gates : gate array;
+  outputs : wire array;
+}
+
+let gate_refs = function
+  | Xor (a, b) | And (a, b) -> [ a; b ]
+  | Not a -> [ a ]
+  | Const _ -> []
+
+let make ~input_owner ~gates ~outputs =
+  let n_inputs = Array.length input_owner in
+  Array.iteri
+    (fun g gate ->
+      List.iter
+        (fun w ->
+          if w < 0 || w >= n_inputs + g then
+            invalid_arg "Boolcirc.make: gate references an undefined wire")
+        (gate_refs gate))
+    gates;
+  Array.iter
+    (fun w ->
+      if w < 0 || w >= n_inputs + Array.length gates then
+        invalid_arg "Boolcirc.make: output references an undefined wire")
+    outputs;
+  Array.iter (fun p -> if p < 0 then invalid_arg "Boolcirc.make: bad input owner") input_owner;
+  { n_inputs; input_owner; gates; outputs }
+
+let n_wires t = t.n_inputs + Array.length t.gates
+
+let n_ands t =
+  Array.fold_left (fun acc g -> match g with And _ -> acc + 1 | _ -> acc) 0 t.gates
+
+let eval t inputs =
+  if Array.length inputs <> t.n_inputs then invalid_arg "Boolcirc.eval: wrong input count";
+  let values = Array.make (n_wires t) false in
+  Array.blit inputs 0 values 0 t.n_inputs;
+  Array.iteri
+    (fun g gate ->
+      values.(t.n_inputs + g) <-
+        (match gate with
+        | Xor (a, b) -> values.(a) <> values.(b)
+        | And (a, b) -> values.(a) && values.(b)
+        | Not a -> not values.(a)
+        | Const c -> c))
+    t.gates;
+  Array.map (fun w -> values.(w)) t.outputs
+
+let and2 = make ~input_owner:[| 1; 2 |] ~gates:[| And (0, 1) |] ~outputs:[| 2 |]
+
+let xor_n ~n =
+  if n < 1 then invalid_arg "Boolcirc.xor_n";
+  if n = 1 then make ~input_owner:[| 1 |] ~gates:[||] ~outputs:[| 0 |]
+  else
+    let gates = Array.init (n - 1) (fun i -> Xor ((if i = 0 then 0 else n + i - 1), i + 1)) in
+    make ~input_owner:(Array.init n (fun i -> i + 1)) ~gates ~outputs:[| n + n - 2 |]
+
+(* A small gate-list builder: append gates, return the fresh wire id. *)
+type builder = { mutable acc : gate list; mutable next : int }
+
+let emit b gate =
+  b.acc <- gate :: b.acc;
+  let w = b.next in
+  b.next <- w + 1;
+  w
+
+let equality ~bits =
+  if bits < 1 then invalid_arg "Boolcirc.equality";
+  let owners = Array.init (2 * bits) (fun i -> if i < bits then 1 else 2) in
+  let b = { acc = []; next = 2 * bits } in
+  let eq_bits =
+    List.init bits (fun i ->
+        let x = emit b (Xor (i, bits + i)) in
+        emit b (Not x))
+  in
+  let out =
+    match eq_bits with
+    | [] -> assert false
+    | first :: rest -> List.fold_left (fun acc w -> emit b (And (acc, w))) first rest
+  in
+  make ~input_owner:owners ~gates:(Array.of_list (List.rev b.acc)) ~outputs:[| out |]
+
+let millionaires ~bits =
+  if bits < 1 then invalid_arg "Boolcirc.millionaires";
+  let owners = Array.init (2 * bits) (fun i -> if i < bits then 1 else 2) in
+  let b = { acc = []; next = 2 * bits } in
+  (* ripple from LSB: gt' = (a_i AND NOT b_i) XOR ((a_i == b_i) AND gt);
+     the two terms are disjoint, so XOR realizes OR. *)
+  let gt0 = emit b (Const false) in
+  let out =
+    List.fold_left
+      (fun gt i ->
+        let a = i and bw = bits + i in
+        let nb = emit b (Not bw) in
+        let t1 = emit b (And (a, nb)) in
+        let x = emit b (Xor (a, bw)) in
+        let eq = emit b (Not x) in
+        let t2 = emit b (And (eq, gt)) in
+        emit b (Xor (t1, t2)))
+      gt0
+      (List.init bits (fun i -> i))
+  in
+  make ~input_owner:owners ~gates:(Array.of_list (List.rev b.acc)) ~outputs:[| out |]
+
+let encode_int_input ~bits v =
+  if v < 0 || (bits < 62 && v >= 1 lsl bits) then
+    invalid_arg "Boolcirc.encode_int_input: value out of range";
+  Array.init bits (fun i -> (v lsr i) land 1 = 1)

@@ -1,0 +1,52 @@
+(** Boolean circuits — the computation language of the classic GMW
+    protocol ({!Gmw}), which the paper cites as its unfair-SFE substrate
+    [16].
+
+    Same wire discipline as {!Circuit}: wires [0 .. n_inputs-1] are inputs
+    (owner 1-based; owner 0 = dealer-supplied random bit), gate [g] defines
+    wire [n_inputs + g]. *)
+
+type wire = int
+
+type gate =
+  | Xor of wire * wire
+  | And of wire * wire
+  | Not of wire
+  | Const of bool
+
+type t = private {
+  n_inputs : int;
+  input_owner : int array;
+  gates : gate array;
+  outputs : wire array;
+}
+
+val make : input_owner:int array -> gates:gate array -> outputs:wire array -> t
+(** @raise Invalid_argument on undefined/forward wire references. *)
+
+val n_wires : t -> int
+val n_ands : t -> int
+(** AND gates = OT correlations consumed. *)
+
+val eval : t -> bool array -> bool array
+(** Plain evaluation; the reference for the secure one. *)
+
+(** {1 Builders} *)
+
+val and2 : t
+(** The two-party AND of Section 5. *)
+
+val xor_n : n:int -> t
+(** Parity of one bit per party. *)
+
+val equality : bits:int -> t
+(** Two parties, [bits]-bit unsigned inputs (p1's bits first, little-
+    endian), output 1 iff equal. *)
+
+val millionaires : bits:int -> t
+(** Yao's millionaires: output 1 iff p1's [bits]-bit value > p2's.
+    A ripple comparator: [bits] AND-depth. *)
+
+val encode_int_input : bits:int -> int -> bool array
+(** Little-endian bit decomposition. @raise Invalid_argument if the value
+    does not fit. *)

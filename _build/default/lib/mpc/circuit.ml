@@ -1,0 +1,94 @@
+module Field = Fair_field.Field
+
+type wire = int
+
+type gate =
+  | Add of wire * wire
+  | Sub of wire * wire
+  | Mul of wire * wire
+  | Mul_const of Field.t * wire
+  | Add_const of Field.t * wire
+  | Const of Field.t
+
+type t = {
+  n_inputs : int;
+  input_owner : int array;
+  gates : gate array;
+  outputs : wire array;
+}
+
+let gate_refs = function
+  | Add (a, b) | Sub (a, b) | Mul (a, b) -> [ a; b ]
+  | Mul_const (_, a) | Add_const (_, a) -> [ a ]
+  | Const _ -> []
+
+let make ~input_owner ~gates ~outputs =
+  let n_inputs = Array.length input_owner in
+  Array.iteri
+    (fun g gate ->
+      List.iter
+        (fun w ->
+          if w < 0 || w >= n_inputs + g then
+            invalid_arg "Circuit.make: gate references an undefined wire")
+        (gate_refs gate))
+    gates;
+  Array.iter
+    (fun w ->
+      if w < 0 || w >= n_inputs + Array.length gates then
+        invalid_arg "Circuit.make: output references an undefined wire")
+    outputs;
+  Array.iter (fun p -> if p < 0 then invalid_arg "Circuit.make: bad input owner") input_owner;
+  { n_inputs; input_owner; gates; outputs }
+
+let n_wires t = t.n_inputs + Array.length t.gates
+
+let n_mults t =
+  Array.fold_left (fun acc g -> match g with Mul _ -> acc + 1 | _ -> acc) 0 t.gates
+
+let eval t inputs =
+  if Array.length inputs <> t.n_inputs then invalid_arg "Circuit.eval: wrong input count";
+  let values = Array.make (n_wires t) Field.zero in
+  Array.blit inputs 0 values 0 t.n_inputs;
+  Array.iteri
+    (fun g gate ->
+      let w = t.n_inputs + g in
+      values.(w) <-
+        (match gate with
+        | Add (a, b) -> Field.add values.(a) values.(b)
+        | Sub (a, b) -> Field.sub values.(a) values.(b)
+        | Mul (a, b) -> Field.mul values.(a) values.(b)
+        | Mul_const (c, a) -> Field.mul c values.(a)
+        | Add_const (c, a) -> Field.add c values.(a)
+        | Const c -> c))
+    t.gates;
+  Array.map (fun w -> values.(w)) t.outputs
+
+let identity2 = make ~input_owner:[| 1; 2 |] ~gates:[||] ~outputs:[| 0; 1 |]
+
+let product ~n =
+  if n < 1 then invalid_arg "Circuit.product";
+  if n = 1 then make ~input_owner:[| 1 |] ~gates:[||] ~outputs:[| 0 |]
+  else
+    let gates = Array.init (n - 1) (fun i -> Mul ((if i = 0 then 0 else n + i - 1), i + 1)) in
+    make ~input_owner:(Array.init n (fun i -> i + 1)) ~gates ~outputs:[| n + n - 2 |]
+
+let sum ~n =
+  if n < 1 then invalid_arg "Circuit.sum";
+  if n = 1 then make ~input_owner:[| 1 |] ~gates:[||] ~outputs:[| 0 |]
+  else
+    let gates = Array.init (n - 1) (fun i -> Add ((if i = 0 then 0 else n + i - 1), i + 1)) in
+    make ~input_owner:(Array.init n (fun i -> i + 1)) ~gates ~outputs:[| n + n - 2 |]
+
+let inner_product ~n =
+  if n < 1 then invalid_arg "Circuit.inner_product";
+  (* inputs: a_1..a_n then b_1..b_n; party i owns a_i and b_i *)
+  let owners = Array.init (2 * n) (fun i -> (i mod n) + 1) in
+  let mults = Array.init n (fun i -> Mul (i, n + i)) in
+  let first_sum_wire = 2 * n in
+  let adds =
+    Array.init (n - 1) (fun i ->
+        Add ((if i = 0 then first_sum_wire else (2 * n) + n + i - 1), first_sum_wire + i + 1))
+  in
+  let gates = Array.append mults adds in
+  let out = if n = 1 then 2 * n else (2 * n) + n + n - 2 in
+  make ~input_owner:owners ~gates ~outputs:[| out |]

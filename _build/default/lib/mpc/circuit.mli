@@ -1,0 +1,53 @@
+(** Arithmetic circuits over GF(2^31-1): the computation language of the
+    SPDZ-style substrate ({!Spdz}).
+
+    Wires are numbered consecutively: wires [0 .. n_inputs-1] are the input
+    wires (each owned by a party), and gate [g] defines wire [n_inputs + g].
+    Outputs are a list of wires whose values form the (global) output
+    vector. *)
+
+module Field = Fair_field.Field
+
+type wire = int
+
+type gate =
+  | Add of wire * wire
+  | Sub of wire * wire
+  | Mul of wire * wire
+  | Mul_const of Field.t * wire
+  | Add_const of Field.t * wire
+  | Const of Field.t
+
+type t = private {
+  n_inputs : int;
+  input_owner : int array;  (** 1-based party owning each input wire; 0 = dealer-supplied randomness (see {!Spdz}) *)
+  gates : gate array;
+  outputs : wire array;
+}
+
+val make : input_owner:int array -> gates:gate array -> outputs:wire array -> t
+(** @raise Invalid_argument if a gate or output references an undefined or
+    forward wire. *)
+
+val n_wires : t -> int
+val n_mults : t -> int
+(** Number of [Mul] gates — the amount of preprocessing needed. *)
+
+val eval : t -> Field.t array -> Field.t array
+(** Plain (insecure) evaluation; the reference the secure evaluation is
+    tested against.  @raise Invalid_argument on wrong input count. *)
+
+(** {1 Stock circuits} *)
+
+val identity2 : t
+(** Two inputs (p1, p2), outputs [x1; x2] — the swap/exchange circuit: the
+    global output reveals both inputs. *)
+
+val product : n:int -> t
+(** One input per party, output their product (computes AND on 0/1). *)
+
+val sum : n:int -> t
+
+val inner_product : n:int -> t
+(** Parties 1..n each contribute two inputs; output Σ a_i·b_i — a circuit
+    with many multiplication gates for exercising Beaver triples. *)

@@ -1,0 +1,43 @@
+(** Descriptions of the functions being securely evaluated.
+
+    The paper assumes w.l.o.g. a single global output (footnote in
+    Appendix A); a function here maps the vector of party inputs (strings)
+    to one global output string.  The fairness layer uses [eval] as ground
+    truth when classifying executions into the events E_ij. *)
+
+type t = {
+  name : string;
+  arity : int;  (** number of parties *)
+  eval : string array -> string;  (** total on well-formed inputs *)
+  default_input : string;  (** substituted for a party that aborts before contributing *)
+}
+
+val swap : t
+(** The two-party swap function f(x1,x2) = (x2,x1) of Theorem 4, encoded as
+    the global output "x2,x1".  Input domain: arbitrary strings (the
+    impossibility results need exponential domains). *)
+
+val concat : n:int -> t
+(** f(x_1..x_n) = x_1 ∥ ... ∥ x_n of Lemmas 12/13/15/16. *)
+
+val and_ : t
+(** Two-party logical AND on inputs "0"/"1" (Section 5's Π̃). *)
+
+val mod_sum : m:int -> n:int -> t
+(** (Σ x_i) mod m — a polynomial-range function for the Gordon–Katz
+    protocol experiments. *)
+
+val greater : t
+(** Two-party millionaires' predicate: "1" iff x1 > x2 (integer inputs). *)
+
+val maximum : n:int -> t
+(** max of integer inputs — the sealed-bid auction winner determination of
+    the examples. *)
+
+val contract : t
+(** Two-party contract signing viewed as SFE: both parties contribute their
+    signed halves, the output is the doubly-signed contract (modeled as the
+    concatenation). *)
+
+val eval_exn : t -> string array -> string
+(** [eval] with an arity check. @raise Invalid_argument on wrong arity. *)

@@ -1,0 +1,35 @@
+(** The classic two-party GMW protocol [Goldreich–Micali–Wigderson 87] over
+    boolean circuits — the "unfair SFE protocol ΠGMW" the paper's
+    constructions invoke, in its textbook semi-honest form.
+
+    Wires are XOR-shared between the parties.  XOR/NOT/constant gates are
+    local; every AND gate consumes two precomputed {!Ot} correlations (one
+    per cross term) and costs one d-round plus one e-round; the output
+    wires are opened by a final share exchange.
+
+    Round schedule: round 1 input-share exchange; AND layer k occupies
+    rounds 2k (receiver d-bits) and 2k+1 (sender e-bits); the output
+    exchange happens at round 2L+2 and parties output at 2L+3.
+
+    Like its namesake, the protocol is secure against *semi-honest*
+    adversaries (a malicious party can flip shares undetected — the
+    maliciously secure-with-abort substrate of this repository is
+    {!Spdz}); and it is maximally unfair: the rushing adversary reads the
+    honest output shares before revealing its own, learns the output, and
+    can withhold — exactly the behaviour the paper's introduction assigns
+    to plain SFE. *)
+
+module Protocol = Fair_exec.Protocol
+
+val protocol :
+  name:string ->
+  circuit:Boolcirc.t ->
+  encode_input:(id:int -> string -> bool array) ->
+  (* bit values for the party's input wires, in wire order *)
+  decode_output:(bool array -> string) ->
+  Protocol.t
+(** Two parties only (the circuit's owners must be in {0,1,2}).
+    @raise Invalid_argument otherwise. *)
+
+val rounds : circuit:Boolcirc.t -> int
+(** Total rounds of an honest execution. *)

@@ -1,0 +1,22 @@
+module Rng = Fair_crypto.Rng
+
+type sender_corr = { r0 : bool; r1 : bool }
+type receiver_corr = { c : bool; rc : bool }
+
+let deal rng =
+  let r0 = Rng.bool rng and r1 = Rng.bool rng in
+  let c = Rng.bool rng in
+  ({ r0; r1 }, { c; rc = (if c then r1 else r0) })
+
+let receiver_round1 rc ~choice = choice <> rc.c
+
+let sender_round2 sc ~d ~m0 ~m1 =
+  let pad b = if b then sc.r1 else sc.r0 in
+  (m0 <> pad d, m1 <> pad (not d))
+
+let receiver_output rc ~choice ~e0 ~e1 = (if choice then e1 else e0) <> rc.rc
+
+let transfer ~sender ~receiver ~m0 ~m1 ~choice =
+  let d = receiver_round1 receiver ~choice in
+  let e0, e1 = sender_round2 sender ~d ~m0 ~m1 in
+  receiver_output receiver ~choice ~e0 ~e1

@@ -1,0 +1,37 @@
+(** 1-out-of-2 oblivious transfer from trusted-dealer correlations
+    (Beaver's precomputed OT) — the transfer primitive underneath the GMW
+    protocol's AND gates.
+
+    The dealer hands the sender two random pads (r0, r1) and the receiver a
+    random choice bit c together with r_c.  Online, for actual messages
+    (m0, m1) and choice b:
+
+    + receiver publishes d = b ⊕ c;
+    + sender publishes (e0, e1) = (m0 ⊕ r_d, m1 ⊕ r_{1⊕d});
+    + receiver outputs m_b = e_b ⊕ r_c.
+
+    Correctness: e_b = m_b ⊕ r_{b⊕d} = m_b ⊕ r_c.  The sender learns
+    nothing about b (d is one-time-padded by c) and the receiver learns
+    nothing about m_{1−b} (padded by the pad it does not hold).
+
+    This replaces the computational OT of the GMW paper — see DESIGN.md's
+    substitution table. *)
+
+type sender_corr = { r0 : bool; r1 : bool }
+type receiver_corr = { c : bool; rc : bool }
+
+val deal : Fair_crypto.Rng.t -> sender_corr * receiver_corr
+(** One fresh correlation (consumed by one transfer). *)
+
+val receiver_round1 : receiver_corr -> choice:bool -> bool
+(** d = choice ⊕ c, sent to the sender. *)
+
+val sender_round2 : sender_corr -> d:bool -> m0:bool -> m1:bool -> bool * bool
+(** (e0, e1), sent back to the receiver. *)
+
+val receiver_output : receiver_corr -> choice:bool -> e0:bool -> e1:bool -> bool
+(** m_choice. *)
+
+val transfer :
+  sender:sender_corr -> receiver:receiver_corr -> m0:bool -> m1:bool -> choice:bool -> bool
+(** The whole dance locally — used by tests as the correctness oracle. *)

@@ -1,0 +1,1 @@
+lib/protocols/adversaries.ml: Array Fair_crypto Fair_exec Fair_mpc Hashtbl List Printf String

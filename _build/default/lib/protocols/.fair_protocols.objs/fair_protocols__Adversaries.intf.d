@@ -1,0 +1,1 @@
+lib/protocols/adversaries.mli: Fair_crypto Fair_exec Fair_mpc

@@ -1,0 +1,1 @@
+lib/protocols/artificial.ml: Fair_crypto Fair_exec Fair_mpc List Optn Printf

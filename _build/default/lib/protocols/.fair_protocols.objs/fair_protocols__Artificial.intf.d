@@ -1,0 +1,1 @@
+lib/protocols/artificial.mli: Fair_exec Fair_mpc

@@ -1,0 +1,1 @@
+lib/protocols/coin_toss.ml: Fair_crypto Fair_exec List Printf

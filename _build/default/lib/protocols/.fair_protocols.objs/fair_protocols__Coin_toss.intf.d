@@ -1,0 +1,1 @@
+lib/protocols/coin_toss.mli: Fair_exec

@@ -1,0 +1,1 @@
+lib/protocols/contract.ml: Adversaries Fair_crypto Fair_exec Fair_mpc List String

@@ -1,0 +1,1 @@
+lib/protocols/contract.mli: Fair_exec Fair_mpc

@@ -1,0 +1,1 @@
+lib/protocols/gmw_half.ml: Array Char Fair_crypto Fair_exec Fair_field Fair_mpc Fair_sharing List Printf String

@@ -1,0 +1,1 @@
+lib/protocols/gmw_half.mli: Fair_exec Fair_mpc

@@ -1,0 +1,1 @@
+lib/protocols/gordon_katz.ml: Adversaries Array Char Fair_crypto Fair_exec Fair_mpc Fairness List Printf String

@@ -1,0 +1,1 @@
+lib/protocols/gordon_katz.mli: Fair_crypto Fair_exec Fair_mpc Fairness

@@ -1,0 +1,1 @@
+lib/protocols/leaky_and.ml: Fair_crypto Fair_exec Fair_mpc Gordon_katz List

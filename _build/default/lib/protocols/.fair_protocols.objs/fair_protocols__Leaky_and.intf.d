@@ -1,0 +1,1 @@
+lib/protocols/leaky_and.mli: Fair_exec Gordon_katz

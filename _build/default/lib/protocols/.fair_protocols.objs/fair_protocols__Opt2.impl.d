@@ -1,0 +1,1 @@
+lib/protocols/opt2.ml: Array Fair_crypto Fair_exec Fair_field Fair_mpc Fair_sharing List Option Printf

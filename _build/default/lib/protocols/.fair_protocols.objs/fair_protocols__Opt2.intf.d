@@ -1,0 +1,1 @@
+lib/protocols/opt2.mli: Fair_exec Fair_field Fair_mpc

@@ -1,0 +1,1 @@
+lib/protocols/optn.ml: Array Fair_crypto Fair_exec Fair_mpc Lazy List Printf

@@ -1,0 +1,1 @@
+lib/protocols/optn.mli: Fair_exec Fair_mpc

@@ -1,0 +1,25 @@
+(** The "artificial" protocol of Lemma 18: optimally γ-fair, yet not
+    utility-balanced.
+
+    Phase 1 is ΠOpt-nSFE's (a random holder i* receives the signed output).
+    Then every party sends the bit 0 to every other party; the holder
+    broadcasts the value if it received only 0s, and otherwise flips a fair
+    coin — heads it broadcasts anyway, tails it sends the value *only* to
+    the parties that did not send a 0.
+
+    Against coalitions of size n−1 this behaves exactly like ΠOpt-nSFE
+    (optimal).  But a single corrupted party that sends a 1 gets the value
+    privately with probability 1/2 whenever the holder is honest, pushing
+    the t = 1 utility to γ10/n + (n−1)/n·(γ10+γ11)/2 and the profile sum
+    over ((3n−1)γ10 + (n+1)γ11)/2n — strictly above the balanced bound. *)
+
+module Protocol = Fair_exec.Protocol
+module Adversary = Fair_exec.Adversary
+module Func = Fair_mpc.Func
+
+val hybrid : Func.t -> Protocol.t
+val hybrid_rounds : int
+
+val lemma18_t1 : Adversary.t
+(** The single-corruption attack from the proof of Lemma 18: abort if
+    holding i*, otherwise send 1s and pocket the private delivery. *)

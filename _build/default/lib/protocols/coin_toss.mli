@@ -1,0 +1,36 @@
+(** Blum coin tossing [4] — the subprotocol Π2 uses to decide who opens
+    first, packaged standalone.
+
+    Round 1: both parties commit to a random bit; round 2: both open;
+    round 3: each party outputs the XOR (⊥ on a bad or missing opening).
+
+    Binding commitments stop a rushing adversary from *flipping* the
+    outcome, but not from vetoing it: it sees the honest opening first and
+    can abort whenever the XOR displeases it.  That residual power is
+    Cleve's impossibility [10] — the result the whole fairness literature,
+    this paper included, starts from — and {!veto_adversary} exhibits it:
+    conditioned on the honest party producing an output at all, the coin is
+    completely biased. *)
+
+module Protocol = Fair_exec.Protocol
+module Adversary = Fair_exec.Adversary
+
+val protocol : Protocol.t
+(** Two parties; inputs are ignored (pass ""). *)
+
+val rounds : int
+
+val veto_adversary : target:int -> want:string -> Adversary.t
+(** Corrupt p[target]; play honestly but withhold the final opening
+    whenever the toss would not equal [want] ("0" or "1"). *)
+
+type bias_stats = {
+  trials : int;
+  honest_zero : int;  (** honest party output "0" *)
+  honest_one : int;
+  honest_abort : int;
+}
+
+val measure_bias : adversary:Adversary.t -> trials:int -> seed:int -> bias_stats
+(** Run the toss [trials] times against [adversary] and tabulate the honest
+    party's outputs. *)

@@ -1,0 +1,25 @@
+(** The honest-majority "GMW-1/2" protocol of Lemma 17: fully secure
+    (including fair) for t < ⌈n/2⌉ corruptions, but a total loss beyond.
+
+    Phase 1 (hybrid): the trusted party evaluates f, draws a random pad s,
+    hands every party the ciphertext y ⊕ PRG(s) together with a ⌈n/2⌉-out-
+    of-n VSS package of s ({!Fair_sharing.Vss} — Shamir plus pairwise
+    information-theoretic MACs, so wrong shares are rejected, not merely
+    suspected).  Phase 2 publicly reconstructs s by a single broadcast
+    round.
+
+    A rushing coalition of any size sees all honest announcements before
+    speaking, so it always learns y; it can additionally block the honest
+    parties iff n − t < ⌈n/2⌉ + … — concretely iff t ≥ ⌈n/2⌉.  Hence the
+    per-t utility profile γ11 / γ10 of Lemma 17, and for even n the profile
+    sum exceeds the utility-balanced bound: the protocol is optimal for
+    small coalitions yet not utility-balanced. *)
+
+module Protocol = Fair_exec.Protocol
+module Func = Fair_mpc.Func
+
+val hybrid : Func.t -> Protocol.t
+val hybrid_rounds : int
+
+val reconstruction_threshold : n:int -> int
+(** ⌊n/2⌋ + 1: shares needed to recover the pad. *)

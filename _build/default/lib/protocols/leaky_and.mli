@@ -1,0 +1,37 @@
+(** Π̃, the "leaky" AND protocol of Section 5 / Appendix C.5: the separating
+    example showing that 1/p-security (even with full privacy as two
+    separate conditions) does not imply utility-based fairness.
+
+    - Round 1: p2 sends a bit to p1 — an honest p2 sends 0.
+    - Round 2: if p2 sent 1, p1 tosses a coin with Pr[C=1] = 1/4 and, on
+      C = 1, sends its input x1 to p2 in the clear.
+    - Then the parties run the standard 1/4-secure Gordon–Katz protocol for
+      AND ({!Gordon_katz} with p = 4, offset 2).
+
+    Lemma 27: the protocol is still 1/2-secure and fully private in the
+    sense of [18].  Lemma 26: it does not realize F^∧,$_sfe — the leak path
+    hands p1's input to a corrupted p2 with probability exactly 1/4.  The
+    experiments reproduce the leak probability and the real-world statistics
+    Pr[real_{Z1} = 1] = Pr[real_{Z2} = 1] = 1/4 used in Lemma 26's proof. *)
+
+module Protocol = Fair_exec.Protocol
+module Adversary = Fair_exec.Adversary
+
+val protocol : Protocol.t
+val variant : Gordon_katz.variant
+(** The embedded 1/4-secure AND instance. *)
+
+val total_rounds : int
+
+val leak_adversary : Adversary.t
+(** Corrupt p2, send the 1-bit, follow the rest honestly, and claim p1's
+    input if it leaks.  The claim records the *input* (not the output):
+    experiment E12 reads the leak probability from the claim rate. *)
+
+type z_result = { z1_accepts : bool; z2_accepts : bool }
+
+val run_z_environments : seed:int -> z_result
+(** One trial of the Z1/Z2 environments from the proof of Lemma 26: x1
+    uniform, p2 corrupted sending a 1-bit, x2 = 0 played honestly;
+    Z2 accepts iff a non-empty first-round reply arrives, Z1 iff that reply
+    equals x1 and the final output is 0. *)

@@ -1,0 +1,59 @@
+(** ΠOpt-2SFE (Section 4.1): the optimally γ-fair two-party SFE protocol.
+
+    Phase 1 evaluates — via an unfair, secure-with-abort substrate — the
+    augmented function f' that outputs an authenticated 2-out-of-2 sharing
+    (Appendix A) of y = f(x1, x2) together with a uniformly random index
+    i ∈ {1, 2}.  If phase 1 aborts, the honest party substitutes the default
+    input for its peer and evaluates f locally.
+
+    Phase 2 reconstructs the sharing towards p_i first, then towards p_¬i;
+    a bad or missing opening in the first reconstruction round again sends
+    p_i to the local default evaluation, while one in the second round makes
+    p_¬i output ⊥.
+
+    Two instantiations of the substrate are provided:
+    {!hybrid} runs phase 1 inside the ideal functionality F'^⊥_sfe (the
+    model in which Theorem 3 is proven); {!spdz} replaces the hybrid with
+    the {!Fair_mpc.Spdz} protocol for functions expressible as arithmetic
+    circuits, demonstrating the composition step of the RPD framework.
+
+    The best attacker's utility is (γ10 + γ11)/2 — Theorems 3 and 4. *)
+
+module Protocol = Fair_exec.Protocol
+module Func = Fair_mpc.Func
+
+val hybrid : Func.t -> Protocol.t
+(** Works for any two-party {!Func.t}. *)
+
+val hybrid_biased : q:float -> Func.t -> Protocol.t
+(** The designer-strategy family of the RPD attack-game experiment (E13):
+    identical to {!hybrid} except that the reconstruct-first index is 1
+    with probability [q] instead of 1/2.  [hybrid f = hybrid_biased ~q:0.5 f]
+    up to the index distribution; the attack game's minimax sits at
+    q = 1/2. *)
+
+val hybrid_rounds : int
+(** Total rounds of {!hybrid} (phase 1 dummy rounds + 2 reconstruction
+    rounds). *)
+
+val reconstruction_rounds : int
+(** 2 — see Lemma 9. *)
+
+val one_round_variant : Func.t -> Protocol.t
+(** The straw-man with a single reconstruction round (both parties open
+    simultaneously): used by Lemma 10's experiment to show it collapses to
+    γ10 against a rushing adversary. *)
+
+val spdz :
+  name:string ->
+  circuit:Fair_mpc.Circuit.t ->
+  func:Func.t ->
+  encode_input:(id:int -> string -> Fair_field.Field.t list) ->
+  decode_output:(Fair_field.Field.t array -> string) ->
+  Protocol.t
+(** Composition-theorem instantiation: phase 1 is the SPDZ online protocol
+    computing [circuit] without opening; the staged opening plan then opens
+    a dealer-random index bit publicly, and the output — masked towards the
+    indexed party — in two further stages.  [func] must agree with the
+    circuit on the common input encoding (it is used for the local default
+    evaluation on abort and for ground truth). *)

@@ -1,0 +1,24 @@
+(** ΠOpt-nSFE (Section 4.2 / Appendix B): the optimally γ-fair and
+    utility-balanced multi-party SFE protocol.
+
+    Phase 1 evaluates — via the secure-with-abort hybrid F^⊥_priv-sfe — the
+    private-output function that hands a uniformly chosen party i* the value
+    (y, Sign(y)) and every other party ⊥, all alongside the verification
+    key.  Phase 2 is a single broadcast round: everyone announces its
+    phase-1 value; a validly signed y is adopted, otherwise everyone aborts.
+
+    A t-adversary learns y early only by having corrupted i* (probability
+    t/n), whence Lemma 11's bound (t·γ10 + (n−t)·γ11)/n.  Signatures are
+    Lamport one-time signatures ({!Fair_crypto.Signature.Lamport}). *)
+
+module Protocol = Fair_exec.Protocol
+module Func = Fair_mpc.Func
+
+val hybrid : Func.t -> Protocol.t
+(** For any n-party {!Func.t} (n = arity ≥ 2). *)
+
+val hybrid_rounds : int
+
+val priv_outputs : Func.t -> Fair_mpc.Ideal.per_party_outputs
+(** The F^⊥_priv-sfe output assignment (exposed for the Lemma 18 protocol,
+    which shares phase 1). *)

@@ -1,0 +1,1 @@
+lib/sharing/additive.ml: Array Fair_crypto Fair_field

@@ -1,0 +1,1 @@
+lib/sharing/additive.mli: Fair_crypto Fair_field

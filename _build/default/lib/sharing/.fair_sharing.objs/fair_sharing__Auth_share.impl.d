@@ -1,0 +1,1 @@
+lib/sharing/auth_share.ml: Array Fair_crypto Fair_field Format List String

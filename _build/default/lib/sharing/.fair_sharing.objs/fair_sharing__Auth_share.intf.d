@@ -1,0 +1,1 @@
+lib/sharing/auth_share.mli: Fair_crypto Fair_field Format

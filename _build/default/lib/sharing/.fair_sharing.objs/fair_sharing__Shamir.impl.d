@@ -1,0 +1,1 @@
+lib/sharing/shamir.ml: Array Fair_crypto Fair_field List String

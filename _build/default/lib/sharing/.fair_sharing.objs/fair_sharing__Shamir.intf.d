@@ -1,0 +1,1 @@
+lib/sharing/shamir.mli: Fair_crypto Fair_field

@@ -1,0 +1,1 @@
+lib/sharing/vss.ml: Array Fair_crypto Fair_field Hashtbl List Shamir String

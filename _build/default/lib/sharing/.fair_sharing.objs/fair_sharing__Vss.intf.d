@@ -1,0 +1,1 @@
+lib/sharing/vss.mli: Fair_crypto Fair_field Shamir

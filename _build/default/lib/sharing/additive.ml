@@ -1,0 +1,36 @@
+module Field = Fair_field.Field
+module Rng = Fair_crypto.Rng
+
+type share = Field.t array
+
+let share rng ~n secret =
+  if n < 1 then invalid_arg "Additive.share: n < 1";
+  let len = Array.length secret in
+  let shares = Array.init n (fun i -> if i < n - 1 then Rng.field_vector rng len else Array.make len Field.zero) in
+  for j = 0 to len - 1 do
+    let partial = ref Field.zero in
+    for i = 0 to n - 2 do
+      partial := Field.add !partial shares.(i).(j)
+    done;
+    shares.(n - 1).(j) <- Field.sub secret.(j) !partial
+  done;
+  shares
+
+let reconstruct shares =
+  match Array.length shares with
+  | 0 -> invalid_arg "Additive.reconstruct: no shares"
+  | n ->
+      let len = Array.length shares.(0) in
+      Array.iter
+        (fun s -> if Array.length s <> len then invalid_arg "Additive.reconstruct: ragged shares")
+        shares;
+      Array.init len (fun j ->
+          let acc = ref Field.zero in
+          for i = 0 to n - 1 do
+            acc := Field.add !acc shares.(i).(j)
+          done;
+          !acc)
+
+let share_scalar rng ~n secret = Array.map (fun s -> s.(0)) (share rng ~n [| secret |])
+
+let reconstruct_scalar shares = (reconstruct (Array.map (fun s -> [| s |]) shares)).(0)

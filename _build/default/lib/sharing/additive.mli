@@ -1,0 +1,18 @@
+(** Plain n-out-of-n additive secret sharing over GF(2^31-1).
+
+    A secret vector [s] is split into [n] random vectors summing to [s]
+    componentwise.  Any [n-1] shares are uniformly distributed and carry no
+    information about the secret. *)
+
+module Field = Fair_field.Field
+
+type share = Field.t array
+
+val share : Fair_crypto.Rng.t -> n:int -> Field.t array -> share array
+(** [share rng ~n secret] with [n >= 1]. *)
+
+val reconstruct : share array -> Field.t array
+(** Componentwise sum.  @raise Invalid_argument on ragged shares. *)
+
+val share_scalar : Fair_crypto.Rng.t -> n:int -> Field.t -> Field.t array
+val reconstruct_scalar : Field.t array -> Field.t

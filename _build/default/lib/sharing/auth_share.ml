@@ -1,0 +1,101 @@
+module Field = Fair_field.Field
+module Poly_mac = Fair_crypto.Poly_mac
+module Rng = Fair_crypto.Rng
+
+type share = {
+  index : int;
+  summand : Field.t array;
+  summand_tag : Poly_mac.tag;
+  key : Poly_mac.key;
+}
+
+type error = [ `Bad_summand_tag | `Bad_secret_tag | `Length_mismatch ]
+
+let pp_error fmt = function
+  | `Bad_summand_tag -> Format.pp_print_string fmt "invalid MAC on received summand"
+  | `Bad_secret_tag -> Format.pp_print_string fmt "invalid MAC on reconstructed secret"
+  | `Length_mismatch -> Format.pp_print_string fmt "summand length mismatch"
+
+let share rng s =
+  let k1 = Poly_mac.gen rng and k2 = Poly_mac.gen rng in
+  let t1 = Poly_mac.tag k1 s and t2 = Poly_mac.tag k2 s in
+  (* augmented secret (s, tag(s,k1), tag(s,k2)) *)
+  let augmented = Array.append s [| t1; t2 |] in
+  let len = Array.length augmented in
+  let s1 = Rng.field_vector rng len in
+  let s2 = Array.init len (fun j -> Field.sub augmented.(j) s1.(j)) in
+  ( { index = 1; summand = s1; summand_tag = Poly_mac.tag k2 s1; key = k1 },
+    { index = 2; summand = s2; summand_tag = Poly_mac.tag k1 s2; key = k2 } )
+
+let reconstruct ~mine ~theirs_summand ~theirs_tag =
+  if Array.length theirs_summand <> Array.length mine.summand then Error `Length_mismatch
+  else if not (Poly_mac.verify mine.key theirs_summand theirs_tag) then Error `Bad_summand_tag
+  else begin
+    let len = Array.length mine.summand in
+    let augmented = Array.init len (fun j -> Field.add mine.summand.(j) theirs_summand.(j)) in
+    let s = Array.sub augmented 0 (len - 2) in
+    let embedded = augmented.(len - 2 + (mine.index - 1)) in
+    if Poly_mac.verify mine.key s embedded then Ok s else Error `Bad_secret_tag
+  end
+
+let reconstruct_shares a b =
+  reconstruct ~mine:a ~theirs_summand:b.summand ~theirs_tag:b.summand_tag
+
+(* Wire format: decimal integers joined by ';'.
+   index ; key ; summand_tag ; len ; summand... *)
+let share_to_string sh =
+  let parts =
+    string_of_int sh.index
+    :: Poly_mac.key_to_string sh.key
+    :: Poly_mac.tag_to_string sh.summand_tag
+    :: string_of_int (Array.length sh.summand)
+    :: Array.to_list (Array.map (fun x -> string_of_int (Field.to_int x)) sh.summand)
+  in
+  String.concat ";" parts
+
+let share_of_string s =
+  match String.split_on_char ';' s with
+  | index :: key :: tag :: len :: rest -> (
+      match (int_of_string_opt index, int_of_string_opt len) with
+      | Some index, Some len when List.length rest = len ->
+          let summand =
+            Array.of_list
+              (List.map
+                 (fun x ->
+                   match int_of_string_opt x with
+                   | Some v -> Field.of_int v
+                   | None -> invalid_arg "Auth_share.share_of_string")
+                 rest)
+          in
+          { index;
+            summand;
+            summand_tag = Poly_mac.tag_of_string tag;
+            key = Poly_mac.key_of_string key }
+      | _ -> invalid_arg "Auth_share.share_of_string")
+  | _ -> invalid_arg "Auth_share.share_of_string"
+
+let opening_of_share sh = (sh.summand, sh.summand_tag)
+
+let opening_to_string (summand, tag) =
+  String.concat ";"
+    (Poly_mac.tag_to_string tag
+    :: string_of_int (Array.length summand)
+    :: Array.to_list (Array.map (fun x -> string_of_int (Field.to_int x)) summand))
+
+let opening_of_string s =
+  match String.split_on_char ';' s with
+  | tag :: len :: rest -> (
+      match int_of_string_opt len with
+      | Some len when List.length rest = len ->
+          let summand =
+            Array.of_list
+              (List.map
+                 (fun x ->
+                   match int_of_string_opt x with
+                   | Some v -> Field.of_int v
+                   | None -> invalid_arg "Auth_share.opening_of_string")
+                 rest)
+          in
+          (summand, Poly_mac.tag_of_string tag)
+      | _ -> invalid_arg "Auth_share.opening_of_string")
+  | _ -> invalid_arg "Auth_share.opening_of_string"

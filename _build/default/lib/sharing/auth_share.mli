@@ -1,0 +1,48 @@
+(** Authenticated two-out-of-two additive secret sharing — the scheme of the
+    paper's Appendix A.
+
+    The sharing of a secret [s] is a pair of random summands [(s1, s2)] with
+    [s1 + s2 = (s, tag(s,k1), tag(s,k2))], where [k1], [k2] are one-time MAC
+    keys held by p1 and p2.  Party [i] holds its summand [s_i] together with
+    [tag(s_i, k_{¬i})] — so the *other* party can check the summand it
+    receives — and its own key [k_i], used to verify both the received
+    summand and the reconstructed secret's embedded tag.
+
+    Reconstruction towards p_i: p_{¬i} sends its share; p_i verifies the
+    summand tag under [k_i], sums, and verifies the embedded [tag(s, k_i)].
+    A corrupted sender can cause an abort but cannot make p_i accept a value
+    other than [s] (except with probability ≤ l/2^31). *)
+
+module Field = Fair_field.Field
+module Poly_mac = Fair_crypto.Poly_mac
+
+type share = private {
+  index : int;  (** 1 or 2: which party this share belongs to *)
+  summand : Field.t array;
+  summand_tag : Poly_mac.tag;  (** tag of [summand] under the other party's key *)
+  key : Poly_mac.key;  (** this party's verification key k_i *)
+}
+
+type error = [ `Bad_summand_tag | `Bad_secret_tag | `Length_mismatch ]
+
+val pp_error : Format.formatter -> error -> unit
+
+val share : Fair_crypto.Rng.t -> Field.t array -> share * share
+(** [share rng s] deals shares for (p1, p2). *)
+
+val reconstruct : mine:share -> theirs_summand:Field.t array -> theirs_tag:Poly_mac.tag
+  -> (Field.t array, error) result
+(** Run the verification procedure of Appendix A and return the secret. *)
+
+val reconstruct_shares : share -> share -> (Field.t array, error) result
+(** Honest-case helper: reconstruct from both full shares (towards the first). *)
+
+val share_to_string : share -> string
+val share_of_string : string -> share
+(** Wire forms. @raise Invalid_argument on malformed input. *)
+
+val opening_of_share : share -> Field.t array * Poly_mac.tag
+(** What a party transmits during reconstruction: its summand and tag. *)
+
+val opening_to_string : Field.t array * Poly_mac.tag -> string
+val opening_of_string : string -> Field.t array * Poly_mac.tag

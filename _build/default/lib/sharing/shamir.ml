@@ -1,0 +1,38 @@
+module Field = Fair_field.Field
+module Poly = Fair_field.Poly
+module Rng = Fair_crypto.Rng
+
+type share = { x : Field.t; y : Field.t }
+
+let share rng ~threshold ~n s =
+  if threshold < 1 || threshold > n || n >= Field.p then invalid_arg "Shamir.share";
+  let poly = Poly.random ~degree:(threshold - 1) ~constant:s (fun () -> Rng.field rng) in
+  Array.init n (fun i ->
+      let x = Field.of_int (i + 1) in
+      { x; y = Poly.eval poly x })
+
+let reconstruct shares =
+  if shares = [] then invalid_arg "Shamir.reconstruct: no shares";
+  Poly.interpolate_at Field.zero (List.map (fun s -> (s.x, s.y)) shares)
+
+let share_vector rng ~threshold ~n secret =
+  let per_component = Array.map (share rng ~threshold ~n) secret in
+  Array.init n (fun i -> Array.map (fun comps -> comps.(i)) per_component)
+
+let reconstruct_vector share_vectors =
+  match share_vectors with
+  | [] -> invalid_arg "Shamir.reconstruct_vector: no shares"
+  | first :: _ ->
+      Array.init (Array.length first) (fun j ->
+          reconstruct (List.map (fun sv -> sv.(j)) share_vectors))
+
+let share_to_string s =
+  string_of_int (Field.to_int s.x) ^ "," ^ string_of_int (Field.to_int s.y)
+
+let share_of_string str =
+  match String.split_on_char ',' str with
+  | [ x; y ] -> (
+      match (int_of_string_opt x, int_of_string_opt y) with
+      | Some x, Some y -> { x = Field.of_int x; y = Field.of_int y }
+      | _ -> invalid_arg "Shamir.share_of_string")
+  | _ -> invalid_arg "Shamir.share_of_string"

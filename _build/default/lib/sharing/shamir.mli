@@ -1,0 +1,29 @@
+(** Shamir t-out-of-n threshold secret sharing over GF(2^31-1).
+
+    A secret [s] is the constant term of a uniformly random polynomial of
+    degree [t-1]; party [i] (1-based) holds the evaluation at [x = i].  Any
+    [t] shares reconstruct by Lagrange interpolation; any [t-1] shares are
+    uniform and independent of the secret. *)
+
+module Field = Fair_field.Field
+
+type share = { x : Field.t; y : Field.t }
+
+val share : Fair_crypto.Rng.t -> threshold:int -> n:int -> Field.t -> share array
+(** [share rng ~threshold ~n s]: [threshold] shares are needed to recover.
+    Requires [1 <= threshold <= n < Field.p]. *)
+
+val reconstruct : share list -> Field.t
+(** Interpolate at 0.  Requires at least one share with distinct x's; with
+    fewer than [threshold] honest shares the result is uniform garbage, and
+    the caller is responsible for supplying enough.
+    @raise Invalid_argument on duplicate x-coordinates. *)
+
+val share_vector :
+  Fair_crypto.Rng.t -> threshold:int -> n:int -> Field.t array -> share array array
+(** Componentwise sharing of a vector: result.(i) is party i's share vector. *)
+
+val reconstruct_vector : share array list -> Field.t array
+
+val share_to_string : share -> string
+val share_of_string : string -> share

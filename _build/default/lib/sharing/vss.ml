@@ -1,0 +1,100 @@
+module Field = Fair_field.Field
+module Poly_mac = Fair_crypto.Poly_mac
+module Rng = Fair_crypto.Rng
+
+type package = {
+  index : int;
+  share : Shamir.share;
+  tags : Poly_mac.tag array;
+  keys : Poly_mac.key array;
+}
+
+type announcement = { from : int; share : Shamir.share; tags : Poly_mac.tag array }
+
+let share_msg (s : Shamir.share) = [| s.Shamir.x; s.Shamir.y |]
+
+let deal rng ~threshold ~n secret =
+  let shares = Shamir.share rng ~threshold ~n secret in
+  (* keys.(i).(j) = k_{i+1 -> j+1}, held by party j+1, authenticating i+1's share *)
+  let keys = Array.init n (fun _ -> Array.init n (fun _ -> Poly_mac.gen rng)) in
+  Array.init n (fun i ->
+      { index = i + 1;
+        share = shares.(i);
+        tags = Array.init n (fun j -> Poly_mac.tag keys.(i).(j) (share_msg shares.(i)));
+        keys = Array.init n (fun j -> keys.(j).(i)) })
+
+let announce pkg = { from = pkg.index; share = pkg.share; tags = pkg.tags }
+
+let check pkg ann =
+  ann.from >= 1
+  && ann.from <= Array.length pkg.keys
+  && Array.length ann.tags > pkg.index - 1
+  && Poly_mac.verify pkg.keys.(ann.from - 1) (share_msg ann.share) ann.tags.(pkg.index - 1)
+
+let reconstruct pkg announcements ~threshold =
+  let valid =
+    List.filter_map
+      (fun ann ->
+        if ann.from = pkg.index || check pkg ann then Some (ann.from, ann.share) else None)
+      announcements
+  in
+  (* Our own share is trusted even if we did not broadcast it. *)
+  let valid =
+    if List.mem_assoc pkg.index valid then valid else (pkg.index, pkg.share) :: valid
+  in
+  (* De-duplicate by announcer. *)
+  let seen = Hashtbl.create 8 in
+  let distinct =
+    List.filter
+      (fun (from, _) ->
+        if Hashtbl.mem seen from then false
+        else begin
+          Hashtbl.add seen from ();
+          true
+        end)
+      valid
+  in
+  if List.length distinct < threshold then None
+  else
+    let points = List.filteri (fun i _ -> i < threshold) distinct in
+    Some (Shamir.reconstruct (List.map snd points))
+
+let announcement_to_string ann =
+  String.concat ";"
+    (string_of_int ann.from
+    :: Shamir.share_to_string ann.share
+    :: string_of_int (Array.length ann.tags)
+    :: Array.to_list (Array.map Poly_mac.tag_to_string ann.tags))
+
+let package_to_string pkg =
+  String.concat "&"
+    (string_of_int pkg.index
+    :: Shamir.share_to_string pkg.share
+    :: string_of_int (Array.length pkg.tags)
+    :: (Array.to_list (Array.map Poly_mac.tag_to_string pkg.tags)
+       @ Array.to_list (Array.map Poly_mac.key_to_string pkg.keys)))
+
+let package_of_string s =
+  match String.split_on_char '&' s with
+  | index :: share :: len :: rest -> (
+      match (int_of_string_opt index, int_of_string_opt len) with
+      | Some index, Some len when List.length rest = 2 * len ->
+          let tags = List.filteri (fun i _ -> i < len) rest in
+          let keys = List.filteri (fun i _ -> i >= len) rest in
+          { index;
+            share = Shamir.share_of_string share;
+            tags = Array.of_list (List.map Poly_mac.tag_of_string tags);
+            keys = Array.of_list (List.map Poly_mac.key_of_string keys) }
+      | _ -> invalid_arg "Vss.package_of_string")
+  | _ -> invalid_arg "Vss.package_of_string"
+
+let announcement_of_string s =
+  match String.split_on_char ';' s with
+  | from :: share :: len :: rest -> (
+      match (int_of_string_opt from, int_of_string_opt len) with
+      | Some from, Some len when List.length rest = len ->
+          { from;
+            share = Shamir.share_of_string share;
+            tags = Array.of_list (List.map Poly_mac.tag_of_string rest) }
+      | _ -> invalid_arg "Vss.announcement_of_string")
+  | _ -> invalid_arg "Vss.announcement_of_string"

@@ -1,0 +1,45 @@
+(** Shamir sharing with pairwise information-theoretic MACs — the
+    "verifiable secret sharing" used by the honest-majority GMW-style
+    protocol of Lemma 17.
+
+    The dealer authenticates party i's share towards every other party j
+    with a one-time key [k_{i→j}] held by j.  During public reconstruction
+    each party announces its share with its tag vector; receivers keep only
+    announcements whose tag verifies under their own key.  A coalition of
+    fewer than [threshold] parties can *block* reconstruction (by staying
+    silent) but cannot make an honest party accept a wrong secret, except
+    with forgery probability ≤ 2/2^31 per tag — exactly the property the
+    proof of Lemma 17 relies on (footnote 17 of the paper). *)
+
+module Field = Fair_field.Field
+module Poly_mac = Fair_crypto.Poly_mac
+
+type package = private {
+  index : int;  (** this party, 1-based *)
+  share : Shamir.share;
+  tags : Poly_mac.tag array;  (** [tags.(j)] authenticates our share towards party j+1 *)
+  keys : Poly_mac.key array;  (** [keys.(j)] verifies announcements from party j+1 *)
+}
+
+type announcement = { from : int; share : Shamir.share; tags : Poly_mac.tag array }
+(** What a party broadcasts during reconstruction. *)
+
+val deal : Fair_crypto.Rng.t -> threshold:int -> n:int -> Field.t -> package array
+
+val announce : package -> announcement
+
+val check : package -> announcement -> bool
+(** Does [announcement]'s tag towards us verify under our key? *)
+
+val reconstruct : package -> announcement list -> threshold:int -> Field.t option
+(** Keep announcements that {!check} (our own share always counts), and
+    interpolate once [threshold] valid shares are available; [None] if the
+    valid announcements are insufficient. *)
+
+val announcement_to_string : announcement -> string
+val announcement_of_string : string -> announcement
+
+val package_to_string : package -> string
+val package_of_string : string -> package
+(** Wire forms for a dealer (ideal functionality) handing packages to
+    parties. @raise Invalid_argument on malformed input. *)

@@ -1,0 +1,1 @@
+test/test_adversaries.ml: Alcotest Fair_crypto Fair_exec Fair_mpc Fair_protocols List Printf

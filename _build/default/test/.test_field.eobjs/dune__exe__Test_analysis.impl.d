@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Buffer Fair_analysis Fairness Format List Option Printf String

@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Array Fair_crypto Fair_field Gen List Printf QCheck QCheck_alcotest String

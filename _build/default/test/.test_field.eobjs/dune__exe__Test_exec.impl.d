@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Fair_crypto Fair_exec Gen List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_fairness.ml: Alcotest Bounds Cost Events Fair_crypto Fair_exec Fair_mpc Fairness Format List Montecarlo Payoff Printf QCheck QCheck_alcotest Relation Rpd Statdist Utility

@@ -1,0 +1,1 @@
+test/test_field.ml: Alcotest Array Fair_field Gen List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Array Events Fair_crypto Fair_exec Fair_field Fair_mpc Fair_protocols Fairness List Montecarlo Printexc Printf String

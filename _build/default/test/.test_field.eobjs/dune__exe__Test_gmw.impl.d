@@ -1,0 +1,1 @@
+test/test_gmw.ml: Alcotest Array Fair_crypto Fair_exec Fair_mpc Fair_protocols Fairness List Montecarlo Payoff Printf QCheck QCheck_alcotest

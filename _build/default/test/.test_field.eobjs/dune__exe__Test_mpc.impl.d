@@ -1,0 +1,1 @@
+test/test_mpc.ml: Alcotest Array Fair_crypto Fair_exec Fair_field Fair_mpc List Printf QCheck QCheck_alcotest String

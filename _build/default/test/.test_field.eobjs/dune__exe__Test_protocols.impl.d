@@ -1,0 +1,1 @@
+test/test_protocols.ml: Alcotest Array Bounds Fair_crypto Fair_exec Fair_field Fair_mpc Fair_protocols Fairness List Montecarlo Payoff Printf Reconstruction Utility

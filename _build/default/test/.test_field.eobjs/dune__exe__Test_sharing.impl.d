@@ -1,0 +1,1 @@
+test/test_sharing.ml: Alcotest Array Fair_crypto Fair_field Fair_sharing Format Gen List Printf QCheck QCheck_alcotest String

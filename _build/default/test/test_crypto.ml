@@ -1,0 +1,286 @@
+(* Tests for the crypto substrate: SHA-256 (FIPS vectors), HMAC (RFC 4231),
+   the deterministic RNG, commitments, the polynomial MAC, and the
+   hash-based signatures. *)
+
+module Sha256 = Fair_crypto.Sha256
+module Hmac = Fair_crypto.Hmac
+module Rng = Fair_crypto.Rng
+module Commit = Fair_crypto.Commit
+module Poly_mac = Fair_crypto.Poly_mac
+module Signature = Fair_crypto.Signature
+module Field = Fair_field.Field
+
+let qtest name count arb law =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb law)
+
+(* -------------------------- SHA-256 -------------------------------- *)
+
+let fips_vectors =
+  [ ("", "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+    ("abc", "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+    ( "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1" );
+    ( "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmno\
+       ijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu",
+      "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1" ) ]
+
+let test_sha256_vectors () =
+  List.iter
+    (fun (msg, expect) ->
+      Alcotest.(check string) (Printf.sprintf "sha256(%d bytes)" (String.length msg)) expect
+        (Sha256.hex_digest msg))
+    fips_vectors
+
+let test_sha256_million_a () =
+  Alcotest.(check string) "million a's"
+    "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+    (Sha256.hex_digest (String.make 1_000_000 'a'))
+
+let test_hex_roundtrip () =
+  let s = "\x00\x01\xfe\xff8al" in
+  Alcotest.(check string) "hex roundtrip" s (Sha256.of_hex (Sha256.to_hex s));
+  Alcotest.check_raises "odd length" (Invalid_argument "Sha256.of_hex: odd length") (fun () ->
+      ignore (Sha256.of_hex "abc"));
+  Alcotest.check_raises "bad char" (Invalid_argument "Sha256.of_hex: bad character") (fun () ->
+      ignore (Sha256.of_hex "zz"))
+
+(* --------------------------- HMAC ---------------------------------- *)
+
+(* RFC 4231 test cases 1, 2 and 3. *)
+let test_hmac_rfc4231 () =
+  Alcotest.(check string) "case 1"
+    "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+    (Hmac.hex_mac ~key:(String.make 20 '\x0b') "Hi There");
+  Alcotest.(check string) "case 2"
+    "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+    (Hmac.hex_mac ~key:"Jefe" "what do ya want for nothing?");
+  Alcotest.(check string) "case 3"
+    "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+    (Hmac.hex_mac ~key:(String.make 20 '\xaa') (String.make 50 '\xdd'))
+
+let test_hmac_long_key () =
+  (* RFC 4231 case 6: 131-byte key is hashed first. *)
+  Alcotest.(check string) "case 6"
+    "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+    (Hmac.hex_mac
+       ~key:(String.make 131 '\xaa')
+       "Test Using Larger Than Block-Size Key - Hash Key First")
+
+let test_hmac_verify () =
+  let key = "k" and msg = "m" in
+  let tag = Hmac.mac ~key msg in
+  Alcotest.(check bool) "accepts" true (Hmac.verify ~key ~msg ~tag);
+  Alcotest.(check bool) "rejects wrong msg" false (Hmac.verify ~key ~msg:"m2" ~tag);
+  Alcotest.(check bool) "rejects truncated" false
+    (Hmac.verify ~key ~msg ~tag:(String.sub tag 0 16))
+
+(* ---------------------------- RNG ----------------------------------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:"s" and b = Rng.create ~seed:"s" in
+  Alcotest.(check string) "same stream" (Rng.bytes a 64) (Rng.bytes b 64)
+
+let test_rng_seeds_differ () =
+  let a = Rng.create ~seed:"s1" and b = Rng.create ~seed:"s2" in
+  Alcotest.(check bool) "different streams" false
+    (String.equal (Rng.bytes a 32) (Rng.bytes b 32))
+
+let test_rng_split_independent () =
+  let g = Rng.create ~seed:"s" in
+  let c1 = Rng.split g ~label:"a" and c2 = Rng.split g ~label:"b" in
+  Alcotest.(check bool) "children differ" false (String.equal (Rng.bytes c1 32) (Rng.bytes c2 32));
+  (* splitting does not advance the parent *)
+  let g' = Rng.create ~seed:"s" in
+  ignore (Rng.split g ~label:"c");
+  Alcotest.(check string) "parent unaffected" (Rng.bytes g' 32) (Rng.bytes g 32)
+
+let test_rng_int_range () =
+  let g = Rng.create ~seed:"range" in
+  for _ = 1 to 1000 do
+    let v = Rng.int g 7 in
+    if v < 0 || v >= 7 then Alcotest.fail "out of range"
+  done
+
+let test_rng_bernoulli_bias () =
+  let g = Rng.create ~seed:"bern" in
+  let hits = ref 0 in
+  let n = 20000 in
+  for _ = 1 to n do
+    if Rng.bernoulli g 0.25 then incr hits
+  done;
+  let p = float_of_int !hits /. float_of_int n in
+  if abs_float (p -. 0.25) > 0.02 then
+    Alcotest.failf "bernoulli(0.25) measured %.3f" p
+
+let test_rng_field_uniform_smoke () =
+  let g = Rng.create ~seed:"field" in
+  let below_half = ref 0 in
+  let n = 10000 in
+  for _ = 1 to n do
+    if Field.to_int (Rng.field g) < Field.p / 2 then incr below_half
+  done;
+  let p = float_of_int !below_half /. float_of_int n in
+  if abs_float (p -. 0.5) > 0.03 then Alcotest.failf "field sampling biased: %.3f" p
+
+let test_rng_shuffle_permutes () =
+  let g = Rng.create ~seed:"shuffle" in
+  let a = Array.init 20 (fun i -> i) in
+  Rng.shuffle g a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 20 (fun i -> i)) sorted
+
+(* ------------------------- Commitments ------------------------------ *)
+
+let test_commit_verify () =
+  let g = Rng.create ~seed:"commit" in
+  let c, o = Commit.commit g "secret" in
+  Alcotest.(check bool) "opens" true (Commit.verify c o);
+  Alcotest.(check string) "message" "secret" (Commit.message o)
+
+let test_commit_binding_smoke () =
+  let g = Rng.create ~seed:"commit2" in
+  let c, _ = Commit.commit g "a" in
+  let _, o' = Commit.commit g "b" in
+  Alcotest.(check bool) "other opening rejected" false (Commit.verify c o')
+
+let test_commit_hiding_smoke () =
+  (* Two commitments to the same message with different randomness differ. *)
+  let g = Rng.create ~seed:"commit3" in
+  let c1, _ = Commit.commit g "same" in
+  let c2, _ = Commit.commit g "same" in
+  Alcotest.(check bool) "fresh randomness" false
+    (String.equal (Commit.commitment_to_string c1) (Commit.commitment_to_string c2))
+
+let test_commit_wire () =
+  let g = Rng.create ~seed:"commit4" in
+  let c, o = Commit.commit g "wire" in
+  let o' = Commit.opening_of_string (Commit.opening_to_string o) in
+  Alcotest.(check bool) "roundtripped opening verifies" true (Commit.verify c o')
+
+(* --------------------------- Poly MAC ------------------------------- *)
+
+let arb_field_list = QCheck.(list_of_size (Gen.int_bound 10) (int_bound (Field.p - 1)))
+
+let prop_mac_verifies =
+  qtest "tagged message verifies" 200 arb_field_list (fun xs ->
+      let g = Rng.create ~seed:(String.concat "," (List.map string_of_int xs)) in
+      let key = Poly_mac.gen g in
+      let m = Array.of_list (List.map Field.of_int xs) in
+      Poly_mac.verify key m (Poly_mac.tag key m))
+
+let prop_mac_rejects_modified =
+  qtest "modified message rejected" 200
+    QCheck.(pair (int_bound (Field.p - 2)) (int_bound 9))
+    (fun (v, pos) ->
+      let g = Rng.create ~seed:("mac" ^ string_of_int v) in
+      let key = Poly_mac.gen g in
+      let m = Array.init 10 (fun i -> Field.of_int (i + v)) in
+      let t = Poly_mac.tag key m in
+      let m' = Array.copy m in
+      m'.(pos) <- Field.add m'.(pos) Field.one;
+      not (Poly_mac.verify key m' t))
+
+let test_mac_string () =
+  let g = Rng.create ~seed:"macstr" in
+  let key = Poly_mac.gen g in
+  let t = Poly_mac.tag_string key "hello" in
+  Alcotest.(check bool) "verifies" true (Poly_mac.verify_string key "hello" t);
+  Alcotest.(check bool) "rejects other" false (Poly_mac.verify_string key "hellp" t)
+
+let test_mac_wire () =
+  let g = Rng.create ~seed:"macwire" in
+  let key = Poly_mac.gen g in
+  let key' = Poly_mac.key_of_string (Poly_mac.key_to_string key) in
+  let m = [| Field.of_int 7 |] in
+  Alcotest.(check bool) "key roundtrip verifies" true (Poly_mac.verify key' m (Poly_mac.tag key m));
+  let t = Poly_mac.tag key m in
+  let t' = Poly_mac.tag_of_string (Poly_mac.tag_to_string t) in
+  Alcotest.(check bool) "tag roundtrip" true (Field.equal t t')
+
+let test_mac_double () =
+  let g = Rng.create ~seed:"macdouble" in
+  let key = Poly_mac.Double.gen g in
+  let m = [| Field.of_int 1; Field.of_int 2 |] in
+  let t = Poly_mac.Double.tag key m in
+  Alcotest.(check bool) "verifies" true (Poly_mac.Double.verify key m t);
+  Alcotest.(check bool) "rejects" false (Poly_mac.Double.verify key [| Field.of_int 1 |] t)
+
+(* -------------------------- Signatures ------------------------------ *)
+
+let test_lamport () =
+  let g = Rng.create ~seed:"lamport" in
+  let sk, pk = Signature.Lamport.keygen g in
+  let s = Signature.Lamport.sign sk "message" in
+  Alcotest.(check bool) "verifies" true (Signature.Lamport.verify pk "message" s);
+  Alcotest.(check bool) "wrong message" false (Signature.Lamport.verify pk "other" s)
+
+let test_lamport_wire () =
+  let g = Rng.create ~seed:"lamport2" in
+  let sk, pk = Signature.Lamport.keygen g in
+  let s = Signature.Lamport.sign sk "m" in
+  let pk' = Signature.Lamport.public_key_of_string (Signature.Lamport.public_key_to_string pk) in
+  let s' = Signature.Lamport.signature_of_string (Signature.Lamport.signature_to_string s) in
+  Alcotest.(check bool) "roundtrip verifies" true (Signature.Lamport.verify pk' "m" s')
+
+let test_lamport_cross_key () =
+  let g = Rng.create ~seed:"lamport3" in
+  let sk, _ = Signature.Lamport.keygen g in
+  let _, pk2 = Signature.Lamport.keygen g in
+  let s = Signature.Lamport.sign sk "m" in
+  Alcotest.(check bool) "other key rejects" false (Signature.Lamport.verify pk2 "m" s)
+
+let test_merkle () =
+  let g = Rng.create ~seed:"merkle" in
+  let signer, root = Signature.Merkle.keygen g ~height:3 in
+  Alcotest.(check int) "8 keys" 8 (Signature.Merkle.remaining signer);
+  let sigs = List.init 8 (fun i -> (i, Signature.Merkle.sign signer (Printf.sprintf "m%d" i))) in
+  Alcotest.(check int) "exhausted" 0 (Signature.Merkle.remaining signer);
+  List.iter
+    (fun (i, s) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "sig %d verifies" i)
+        true
+        (Signature.Merkle.verify root (Printf.sprintf "m%d" i) s);
+      Alcotest.(check bool)
+        (Printf.sprintf "sig %d wrong message" i)
+        false
+        (Signature.Merkle.verify root "bogus" s))
+    sigs;
+  Alcotest.check_raises "ninth signature" (Failure "Merkle.sign: keys exhausted") (fun () ->
+      ignore (Signature.Merkle.sign signer "overflow"))
+
+let () =
+  Alcotest.run "fair_crypto"
+    [ ( "sha256",
+        [ Alcotest.test_case "FIPS 180-4 vectors" `Quick test_sha256_vectors;
+          Alcotest.test_case "million a's" `Slow test_sha256_million_a;
+          Alcotest.test_case "hex roundtrip" `Quick test_hex_roundtrip ] );
+      ( "hmac",
+        [ Alcotest.test_case "RFC 4231 vectors" `Quick test_hmac_rfc4231;
+          Alcotest.test_case "long key" `Quick test_hmac_long_key;
+          Alcotest.test_case "verify" `Quick test_hmac_verify ] );
+      ( "rng",
+        [ Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed separation" `Quick test_rng_seeds_differ;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "int range" `Quick test_rng_int_range;
+          Alcotest.test_case "bernoulli bias" `Quick test_rng_bernoulli_bias;
+          Alcotest.test_case "field sampling uniform (smoke)" `Quick test_rng_field_uniform_smoke;
+          Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutes ] );
+      ( "commit",
+        [ Alcotest.test_case "commit/open" `Quick test_commit_verify;
+          Alcotest.test_case "binding (smoke)" `Quick test_commit_binding_smoke;
+          Alcotest.test_case "hiding randomness" `Quick test_commit_hiding_smoke;
+          Alcotest.test_case "wire forms" `Quick test_commit_wire ] );
+      ( "poly_mac",
+        [ prop_mac_verifies;
+          prop_mac_rejects_modified;
+          Alcotest.test_case "string MAC" `Quick test_mac_string;
+          Alcotest.test_case "wire forms" `Quick test_mac_wire;
+          Alcotest.test_case "double MAC" `Quick test_mac_double ] );
+      ( "signature",
+        [ Alcotest.test_case "lamport sign/verify" `Quick test_lamport;
+          Alcotest.test_case "lamport wire forms" `Quick test_lamport_wire;
+          Alcotest.test_case "lamport cross-key" `Quick test_lamport_cross_key;
+          Alcotest.test_case "merkle many-time" `Quick test_merkle ] ) ]

@@ -1,0 +1,316 @@
+(* Tests for the execution layer: wire framing, machine persistence, and
+   the synchronous engine's delivery / rushing / corruption semantics. *)
+
+module Wire = Fair_exec.Wire
+module Machine = Fair_exec.Machine
+module Protocol = Fair_exec.Protocol
+module Adversary = Fair_exec.Adversary
+module Engine = Fair_exec.Engine
+module Trace = Fair_exec.Trace
+module Rng = Fair_crypto.Rng
+
+let qtest name count arb law =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb law)
+
+let rng () = Rng.create ~seed:"exec-test"
+
+(* ----------------------------- wire --------------------------------- *)
+
+let prop_frame_roundtrip =
+  qtest "frame/unframe roundtrip" 300
+    QCheck.(list_of_size (Gen.int_range 1 5) string)
+    (fun fields -> Wire.unframe (Wire.frame fields) = fields)
+
+let test_frame_escaping () =
+  let fields = [ "a|b"; "c\\d"; "|"; "\\"; "" ] in
+  Alcotest.(check (list string)) "pipes and backslashes" fields (Wire.unframe (Wire.frame fields))
+
+let test_frame_empty_rejected () =
+  Alcotest.check_raises "empty list" (Invalid_argument "Wire.frame: empty field list")
+    (fun () -> ignore (Wire.frame []))
+
+let test_unframe_rejects () =
+  Alcotest.check_raises "dangling escape" (Invalid_argument "Wire.unframe: dangling escape")
+    (fun () -> ignore (Wire.unframe "abc\\"));
+  Alcotest.check_raises "bad escape" (Invalid_argument "Wire.unframe: bad escape") (fun () ->
+      ignore (Wire.unframe "\\q"))
+
+(* ---------------------------- machine ------------------------------- *)
+
+let counter_machine () =
+  (* Outputs the number of messages it has ever received, at round 3. *)
+  Machine.make 0 (fun count ~round ~inbox ->
+      let count = count + List.length inbox in
+      if round = 3 then (count, [ Machine.Output (string_of_int count) ]) else (count, []))
+
+let test_machine_persistent () =
+  let m = counter_machine () in
+  let m1, _ = m.Machine.step ~round:1 ~inbox:[ (1, "x"); (2, "y") ] in
+  (* Probing m1 twice from the same state gives the same result and does
+     not disturb the retained value. *)
+  let p1 = Machine.probe_output m1 ~round:3 ~inbox:[ (1, "z") ] in
+  let p2 = Machine.probe_output m1 ~round:3 ~inbox:[ (1, "z") ] in
+  Alcotest.(check (option string)) "probe deterministic" p1 p2;
+  Alcotest.(check (option string)) "probe sees 3 messages" (Some "3") p1;
+  let p3 = Machine.probe_output m1 ~round:3 ~inbox:[] in
+  Alcotest.(check (option string)) "original state undisturbed" (Some "2") p3
+
+let test_run_to_completion () =
+  let m = counter_machine () in
+  let out = Machine.run_to_completion m ~max_rounds:5 ~feed:(fun ~round:_ -> [ (1, "m") ]) in
+  Alcotest.(check (option string)) "three rounds of one message" (Some "3") out;
+  let aborting =
+    Machine.make () (fun () ~round ~inbox:_ ->
+        if round = 2 then ((), [ Machine.Abort_self ]) else ((), []))
+  in
+  Alcotest.(check (option string)) "abort yields None" None
+    (Machine.run_to_completion aborting ~max_rounds:5 ~feed:(fun ~round:_ -> []))
+
+(* ----------------------------- engine ------------------------------- *)
+
+(* Ping-pong: p1 sends "ping" in round 1; p2 replies with what it received;
+   both output the peer's message. *)
+let pingpong =
+  Protocol.make ~name:"pingpong" ~parties:2 ~max_rounds:5
+    (fun ~rng:_ ~id ~n:_ ~input ~setup:_ ->
+      Machine.make () (fun () ~round ~inbox ->
+          match (id, round) with
+          | 1, 1 -> ((), [ Machine.Send (Wire.To 2, input) ])
+          | 2, 2 -> (
+              match inbox with
+              | (1, msg) :: _ -> ((), [ Machine.Send (Wire.To 1, msg ^ "+pong"); Machine.Output msg ])
+              | _ -> ((), [ Machine.Abort_self ]))
+          | 1, 3 -> (
+              match inbox with
+              | (2, msg) :: _ -> ((), [ Machine.Output msg ])
+              | _ -> ((), [ Machine.Abort_self ]))
+          | _ -> ((), [])))
+
+let test_engine_delivery () =
+  let o = Engine.run ~protocol:pingpong ~adversary:Adversary.passive ~inputs:[| "hello"; "" |] ~rng:(rng ()) in
+  Alcotest.(check (list (pair int (option string))))
+    "both output"
+    [ (1, Some "hello+pong"); (2, Some "hello") ]
+    (Engine.honest_outputs o);
+  Alcotest.(check int) "three rounds" 3 o.Engine.rounds
+
+let broadcaster =
+  Protocol.make ~name:"broadcaster" ~parties:3 ~max_rounds:3
+    (fun ~rng:_ ~id ~n:_ ~input ~setup:_ ->
+      Machine.make () (fun () ~round ~inbox ->
+          match round with
+          | 1 -> ((), if id = 1 then [ Machine.Send (Wire.Broadcast, input) ] else [])
+          | 2 ->
+              let from_1 = List.filter (fun (s, _) -> s = 1) inbox in
+              ((), [ Machine.Output (String.concat "," (List.map snd from_1)) ])
+          | _ -> ((), [])))
+
+let test_engine_broadcast () =
+  let o =
+    Engine.run ~protocol:broadcaster ~adversary:Adversary.passive ~inputs:[| "b"; ""; "" |]
+      ~rng:(rng ())
+  in
+  List.iter
+    (fun (id, v) ->
+      Alcotest.(check (option string)) (Printf.sprintf "party %d got broadcast" id) (Some "b") v)
+    (Engine.honest_outputs o)
+
+let test_engine_rushing_visibility () =
+  (* The adversary corrupting p2 must see p1's round-1 message to p2 in its
+     round-1 view (before answering). *)
+  let seen = ref None in
+  let adv =
+    Adversary.make ~name:"observer" (fun _rng ~protocol:_ ->
+        { Adversary.initial = [ 2 ];
+          step =
+            (fun view ->
+              if view.Adversary.round = 1 then
+                seen :=
+                  List.find_map
+                    (fun (env : Wire.envelope) ->
+                      if env.Wire.src = 1 then Some env.Wire.payload else None)
+                    view.Adversary.rushed;
+              Adversary.silent_decision) })
+  in
+  let _ = Engine.run ~protocol:pingpong ~adversary:adv ~inputs:[| "rush"; "" |] ~rng:(rng ()) in
+  Alcotest.(check (option string)) "rushed message visible same round" (Some "rush") !seen
+
+let test_engine_corrupted_excluded () =
+  let adv =
+    Adversary.make ~name:"corrupt1" (fun _rng ~protocol:_ ->
+        { Adversary.initial = [ 1 ]; step = (fun _ -> Adversary.silent_decision) })
+  in
+  let o = Engine.run ~protocol:pingpong ~adversary:adv ~inputs:[| "x"; "" |] ~rng:(rng ()) in
+  (match List.assoc 1 o.Engine.results with
+  | Engine.Was_corrupted -> ()
+  | _ -> Alcotest.fail "p1 should be excluded as corrupted");
+  (* p2 gets nothing from the silent corrupted p1 and aborts *)
+  match List.assoc 2 o.Engine.results with
+  | Engine.Honest_abort -> ()
+  | _ -> Alcotest.fail "p2 should abort"
+
+let test_engine_adaptive_corruption () =
+  (* Corrupt p2 after round 1; the engine stops stepping it, so p1 never
+     receives the reply. *)
+  let adv =
+    Adversary.make ~name:"adaptive" (fun _rng ~protocol:_ ->
+        { Adversary.initial = [];
+          step =
+            (fun view ->
+              if view.Adversary.round = 1 then
+                { Adversary.silent_decision with Adversary.corrupt = [ 2 ] }
+              else Adversary.silent_decision) })
+  in
+  let o = Engine.run ~protocol:pingpong ~adversary:adv ~inputs:[| "x"; "" |] ~rng:(rng ()) in
+  (match List.assoc 2 o.Engine.results with
+  | Engine.Was_corrupted -> ()
+  | _ -> Alcotest.fail "p2 should be corrupted");
+  match List.assoc 1 o.Engine.results with
+  | Engine.Honest_abort -> ()
+  | r ->
+      Alcotest.failf "p1 should abort, got %s"
+        (match r with
+        | Engine.Honest_output v -> "output " ^ v
+        | Engine.Honest_no_output -> "no output"
+        | _ -> "?")
+
+let test_engine_adversary_sends () =
+  (* The adversary, having corrupted p1, forges the ping itself. *)
+  let adv =
+    Adversary.make ~name:"forger" (fun _rng ~protocol:_ ->
+        { Adversary.initial = [ 1 ];
+          step =
+            (fun view ->
+              if view.Adversary.round = 1 then
+                { Adversary.silent_decision with
+                  Adversary.send = [ (1, Wire.To 2, "forged") ] }
+              else Adversary.silent_decision) })
+  in
+  let o = Engine.run ~protocol:pingpong ~adversary:adv ~inputs:[| "real"; "" |] ~rng:(rng ()) in
+  Alcotest.(check (list (pair int (option string))))
+    "p2 believes the forgery"
+    [ (2, Some "forged") ]
+    (Engine.honest_outputs o)
+
+let test_engine_rejects_unauthorized_send () =
+  let adv =
+    Adversary.make ~name:"imposter" (fun _rng ~protocol:_ ->
+        { Adversary.initial = [];
+          step =
+            (fun _ -> { Adversary.silent_decision with Adversary.send = [ (1, Wire.To 2, "x") ] })
+        })
+  in
+  Alcotest.check_raises "unauthorized send"
+    (Invalid_argument "Engine.run: adversary sent from a non-corrupted party") (fun () ->
+      ignore (Engine.run ~protocol:pingpong ~adversary:adv ~inputs:[| "a"; "" |] ~rng:(rng ())))
+
+let test_engine_max_rounds () =
+  let stubborn =
+    Protocol.make ~name:"stubborn" ~parties:1 ~max_rounds:4 (fun ~rng:_ ~id:_ ~n:_ ~input:_ ~setup:_ ->
+        Machine.silent)
+  in
+  let o = Engine.run ~protocol:stubborn ~adversary:Adversary.passive ~inputs:[| "" |] ~rng:(rng ()) in
+  Alcotest.(check int) "stops at max_rounds" 4 o.Engine.rounds;
+  match List.assoc 1 o.Engine.results with
+  | Engine.Honest_no_output -> ()
+  | _ -> Alcotest.fail "expected Honest_no_output"
+
+let test_engine_claims_recorded () =
+  let adv =
+    Adversary.make ~name:"claimer" (fun _rng ~protocol:_ ->
+        { Adversary.initial = [ 2 ];
+          step =
+            (fun view ->
+              if view.Adversary.round = 2 then
+                { Adversary.silent_decision with Adversary.claim_learned = Some "the-output" }
+              else Adversary.silent_decision) })
+  in
+  let o = Engine.run ~protocol:pingpong ~adversary:adv ~inputs:[| "a"; "" |] ~rng:(rng ()) in
+  Alcotest.(check bool) "claim recorded" true (Engine.claimed o ~truth:"the-output");
+  Alcotest.(check bool) "other value not claimed" false (Engine.claimed o ~truth:"other")
+
+let test_engine_deterministic () =
+  let run () =
+    Engine.run ~protocol:pingpong ~adversary:Adversary.passive ~inputs:[| "d"; "" |]
+      ~rng:(Rng.create ~seed:"fixed")
+  in
+  let o1 = run () and o2 = run () in
+  Alcotest.(check (list (pair int (option string))))
+    "identical outcomes" (Engine.honest_outputs o1) (Engine.honest_outputs o2)
+
+let test_trace_records_messages () =
+  let o = Engine.run ~protocol:pingpong ~adversary:Adversary.passive ~inputs:[| "t"; "" |] ~rng:(rng ()) in
+  let round1 = Trace.messages_in_round o.Engine.trace 1 in
+  Alcotest.(check int) "one round-1 message" 1 (List.length round1);
+  match round1 with
+  | [ env ] ->
+      Alcotest.(check int) "src" 1 env.Wire.src;
+      Alcotest.(check string) "payload" "t" env.Wire.payload
+  | _ -> Alcotest.fail "unexpected trace"
+
+let test_engine_input_arity () =
+  Alcotest.check_raises "wrong arity" (Invalid_argument "Engine.run: wrong number of inputs")
+    (fun () ->
+      ignore
+        (Engine.run ~protocol:pingpong ~adversary:Adversary.passive ~inputs:[| "only-one" |]
+           ~rng:(rng ())))
+
+(* Delivery-exactness property: under a random send schedule, every message
+   party 1 sends in round r arrives at party 2 exactly once, in round r+1,
+   with the right sender — and nothing else arrives. *)
+let prop_delivery_exact =
+  qtest "every message delivered exactly once, next round" 100
+    QCheck.(list_of_size (Gen.int_range 1 12) (pair (int_range 1 4) small_printable_string))
+    (fun schedule ->
+      (* schedule: (round, payload) pairs for p1 to send to p2 *)
+      let received = ref [] in
+      let proto =
+        Protocol.make ~name:"schedule" ~parties:2 ~max_rounds:7
+          (fun ~rng:_ ~id ~n:_ ~input:_ ~setup:_ ->
+            Machine.make () (fun () ~round ~inbox ->
+                if id = 1 then
+                  ( (),
+                    List.filter_map
+                      (fun (r, p) ->
+                        if r = round then Some (Machine.Send (Wire.To 2, p)) else None)
+                      schedule )
+                else begin
+                  List.iter (fun (src, p) -> received := (round, src, p) :: !received) inbox;
+                  ((), [])
+                end))
+      in
+      let _ =
+        Engine.run ~protocol:proto ~adversary:Adversary.passive ~inputs:[| ""; "" |]
+          ~rng:(Rng.create ~seed:"delivery")
+      in
+      let expected =
+        List.sort compare (List.map (fun (r, p) -> (r + 1, 1, p)) schedule)
+      in
+      List.sort compare !received = expected)
+
+let () =
+  Alcotest.run "fair_exec"
+    [ ( "wire",
+        [ prop_frame_roundtrip;
+          Alcotest.test_case "escaping" `Quick test_frame_escaping;
+          Alcotest.test_case "empty field list rejected" `Quick test_frame_empty_rejected;
+          Alcotest.test_case "malformed rejected" `Quick test_unframe_rejects ] );
+      ( "machine",
+        [ Alcotest.test_case "persistence and probing" `Quick test_machine_persistent;
+          Alcotest.test_case "run_to_completion" `Quick test_run_to_completion ] );
+      ( "engine",
+        [ Alcotest.test_case "point-to-point delivery" `Quick test_engine_delivery;
+          Alcotest.test_case "broadcast" `Quick test_engine_broadcast;
+          Alcotest.test_case "rushing visibility" `Quick test_engine_rushing_visibility;
+          Alcotest.test_case "corrupted excluded from results" `Quick
+            test_engine_corrupted_excluded;
+          Alcotest.test_case "adaptive corruption" `Quick test_engine_adaptive_corruption;
+          Alcotest.test_case "adversary impersonates corrupted" `Quick test_engine_adversary_sends;
+          Alcotest.test_case "unauthorized send rejected" `Quick
+            test_engine_rejects_unauthorized_send;
+          Alcotest.test_case "max_rounds stop" `Quick test_engine_max_rounds;
+          Alcotest.test_case "claims recorded" `Quick test_engine_claims_recorded;
+          Alcotest.test_case "deterministic under fixed seed" `Quick test_engine_deterministic;
+          Alcotest.test_case "trace records messages" `Quick test_trace_records_messages;
+          Alcotest.test_case "input arity checked" `Quick test_engine_input_arity;
+          prop_delivery_exact ] ) ]

@@ -1,0 +1,200 @@
+(* Unit and property tests for the GF(2^31-1) field and polynomial layers. *)
+
+module Field = Fair_field.Field
+module Poly = Fair_field.Poly
+
+let field = Alcotest.testable Field.pp Field.equal
+
+let arb_field =
+  QCheck.map ~rev:Field.to_int Field.of_int (QCheck.int_bound (Field.p - 1))
+
+let arb_nonzero =
+  QCheck.map
+    ~rev:Field.to_int
+    (fun n -> Field.of_int (1 + (n mod (Field.p - 1))))
+    (QCheck.int_bound (Field.p - 2))
+
+let qtest name count arb law =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb law)
+
+(* ----------------------------- units ------------------------------- *)
+
+let test_modulus () =
+  Alcotest.(check int) "p is 2^31-1" 2147483647 Field.p;
+  Alcotest.check field "0" Field.zero (Field.of_int 0);
+  Alcotest.check field "p reduces to 0" Field.zero (Field.of_int Field.p);
+  Alcotest.check field "negative reduces" (Field.of_int (Field.p - 1)) (Field.of_int (-1))
+
+let test_add_wraps () =
+  let a = Field.of_int (Field.p - 1) in
+  Alcotest.check field "p-1 + 1 = 0" Field.zero (Field.add a Field.one);
+  Alcotest.check field "p-1 + 2 = 1" Field.one (Field.add a Field.two)
+
+let test_mul_known () =
+  (* (p-1)^2 = 1 mod p since p-1 = -1 *)
+  let a = Field.of_int (Field.p - 1) in
+  Alcotest.check field "(-1)*(-1) = 1" Field.one (Field.mul a a);
+  Alcotest.check field "2*3 = 6" (Field.of_int 6) (Field.mul Field.two (Field.of_int 3))
+
+let test_inv_edge () =
+  Alcotest.check field "inv 1 = 1" Field.one (Field.inv Field.one);
+  Alcotest.check field "inv (p-1) = p-1" (Field.of_int (Field.p - 1))
+    (Field.inv (Field.of_int (Field.p - 1)));
+  Alcotest.check_raises "inv 0 raises" Division_by_zero (fun () -> ignore (Field.inv Field.zero))
+
+let test_pow () =
+  Alcotest.check field "x^0 = 1" Field.one (Field.pow (Field.of_int 12345) 0);
+  Alcotest.check field "2^30" (Field.of_int (1 lsl 30)) (Field.pow Field.two 30);
+  (* Fermat: x^(p-1) = 1 *)
+  Alcotest.check field "Fermat" Field.one (Field.pow (Field.of_int 987654321) (Field.p - 1));
+  Alcotest.check_raises "negative exponent" (Invalid_argument "Field.pow: negative exponent")
+    (fun () -> ignore (Field.pow Field.two (-1)))
+
+let test_encode_string () =
+  List.iter
+    (fun s ->
+      Alcotest.(check string)
+        (Printf.sprintf "roundtrip %S" s)
+        s
+        (Field.decode_string (Field.encode_string s)))
+    [ ""; "a"; "ab"; "abc"; "hello world"; String.make 1000 'x'; "\x00\xff\x7f" ]
+
+let test_encode_int () =
+  List.iter
+    (fun n -> Alcotest.(check int) (string_of_int n) n (Field.decode_int (Field.encode_int n)))
+    [ 0; 1; 42; Field.p; Field.p * Field.p; max_int ]
+
+let test_decode_rejects () =
+  Alcotest.check_raises "empty" (Invalid_argument "Field.decode_string: empty") (fun () ->
+      ignore (Field.decode_string [||]));
+  Alcotest.check_raises "bad length" (Invalid_argument "Field.decode_string: bad length")
+    (fun () -> ignore (Field.decode_string [| Field.of_int 10 |]))
+
+(* --------------------------- properties ---------------------------- *)
+
+let prop_add_comm =
+  qtest "add commutative" 500
+    QCheck.(pair arb_field arb_field)
+    (fun (a, b) -> Field.equal (Field.add a b) (Field.add b a))
+
+let prop_add_assoc =
+  qtest "add associative" 500
+    QCheck.(triple arb_field arb_field arb_field)
+    (fun (a, b, c) -> Field.equal (Field.add (Field.add a b) c) (Field.add a (Field.add b c)))
+
+let prop_mul_assoc =
+  qtest "mul associative" 500
+    QCheck.(triple arb_field arb_field arb_field)
+    (fun (a, b, c) -> Field.equal (Field.mul (Field.mul a b) c) (Field.mul a (Field.mul b c)))
+
+let prop_distrib =
+  qtest "distributivity" 500
+    QCheck.(triple arb_field arb_field arb_field)
+    (fun (a, b, c) ->
+      Field.equal (Field.mul a (Field.add b c)) (Field.add (Field.mul a b) (Field.mul a c)))
+
+let prop_sub_neg =
+  qtest "a - b = a + (-b)" 500
+    QCheck.(pair arb_field arb_field)
+    (fun (a, b) -> Field.equal (Field.sub a b) (Field.add a (Field.neg b)))
+
+let prop_inv =
+  qtest "x * inv x = 1" 200 arb_nonzero (fun x -> Field.equal (Field.mul x (Field.inv x)) Field.one)
+
+let prop_div =
+  qtest "(a/b)*b = a" 200
+    QCheck.(pair arb_field arb_nonzero)
+    (fun (a, b) -> Field.equal (Field.mul (Field.div a b) b) a)
+
+let prop_string_roundtrip =
+  qtest "encode/decode string" 200 QCheck.string (fun s ->
+      String.equal s (Field.decode_string (Field.encode_string s)))
+
+(* ------------------------------ poly ------------------------------- *)
+
+let test_poly_eval () =
+  (* 3 + 2x + x^2 at x = 5: 3 + 10 + 25 = 38 *)
+  let p = Poly.of_coeffs [| Field.of_int 3; Field.of_int 2; Field.one |] in
+  Alcotest.check field "horner" (Field.of_int 38) (Poly.eval p (Field.of_int 5));
+  Alcotest.check field "zero poly" Field.zero (Poly.eval Poly.zero (Field.of_int 5));
+  Alcotest.(check int) "degree" 2 (Poly.degree p);
+  Alcotest.(check int) "zero degree" (-1) (Poly.degree Poly.zero)
+
+let test_poly_trim () =
+  let p = Poly.of_coeffs [| Field.one; Field.zero; Field.zero |] in
+  Alcotest.(check int) "trailing zeros trimmed" 0 (Poly.degree p)
+
+let test_interpolate_exact () =
+  let points = [ (Field.of_int 1, Field.of_int 2); (Field.of_int 2, Field.of_int 5) ] in
+  (* line through (1,2),(2,5): y = 3x - 1 *)
+  let p = Poly.interpolate points in
+  Alcotest.check field "at 0" (Field.of_int (-1) |> fun x -> Field.of_int (Field.to_int x))
+    (Poly.eval p Field.zero);
+  Alcotest.check field "at 3" (Field.of_int 8) (Poly.eval p (Field.of_int 3))
+
+let test_interpolate_dup () =
+  Alcotest.check_raises "duplicate x"
+    (Invalid_argument "Poly.interpolate: duplicate x-coordinates") (fun () ->
+      ignore (Poly.interpolate [ (Field.one, Field.one); (Field.one, Field.two) ]))
+
+let prop_interpolate_roundtrip =
+  (* Random degree-k polynomial, evaluated at k+1 points, interpolates back. *)
+  qtest "interpolate recovers polynomial" 100
+    QCheck.(pair (int_bound 6) (list_of_size (Gen.return 8) arb_field))
+    (fun (k, coeffs) ->
+      let coeffs = Array.of_list coeffs in
+      let p = Poly.of_coeffs (Array.sub coeffs 0 (min (k + 1) (Array.length coeffs))) in
+      let points =
+        List.init (k + 2) (fun i ->
+            let x = Field.of_int (i + 1) in
+            (x, Poly.eval p x))
+      in
+      let q = Poly.interpolate points in
+      Poly.equal p q)
+
+let prop_interpolate_at_matches =
+  qtest "interpolate_at agrees with materialized interpolation" 100
+    QCheck.(list_of_size (Gen.return 4) arb_field)
+    (fun ys ->
+      let points = List.mapi (fun i y -> (Field.of_int (i + 1), y)) ys in
+      let q = Poly.interpolate points in
+      Field.equal (Poly.interpolate_at Field.zero points) (Poly.eval q Field.zero))
+
+let test_poly_mul () =
+  (* (1+x)(1-x) = 1 - x^2 *)
+  let a = Poly.of_coeffs [| Field.one; Field.one |] in
+  let b = Poly.of_coeffs [| Field.one; Field.neg Field.one |] in
+  let c = Poly.mul a b in
+  Alcotest.check field "constant" Field.one (Poly.eval c Field.zero);
+  Alcotest.check field "(1+2)(1-2) = -3"
+    (Field.of_int (-3))
+    (Poly.eval c Field.two)
+
+let () =
+  Alcotest.run "fair_field"
+    [ ( "field",
+        [ Alcotest.test_case "modulus and reduction" `Quick test_modulus;
+          Alcotest.test_case "addition wraps" `Quick test_add_wraps;
+          Alcotest.test_case "known products" `Quick test_mul_known;
+          Alcotest.test_case "inverse edge cases" `Quick test_inv_edge;
+          Alcotest.test_case "pow" `Quick test_pow;
+          prop_add_comm;
+          prop_add_assoc;
+          prop_mul_assoc;
+          prop_distrib;
+          prop_sub_neg;
+          prop_inv;
+          prop_div ] );
+      ( "encoding",
+        [ Alcotest.test_case "string roundtrips" `Quick test_encode_string;
+          Alcotest.test_case "int roundtrips" `Quick test_encode_int;
+          Alcotest.test_case "malformed decode rejected" `Quick test_decode_rejects;
+          prop_string_roundtrip ] );
+      ( "poly",
+        [ Alcotest.test_case "evaluation" `Quick test_poly_eval;
+          Alcotest.test_case "canonical trim" `Quick test_poly_trim;
+          Alcotest.test_case "interpolation through points" `Quick test_interpolate_exact;
+          Alcotest.test_case "duplicate x rejected" `Quick test_interpolate_dup;
+          Alcotest.test_case "product of polynomials" `Quick test_poly_mul;
+          prop_interpolate_roundtrip;
+          prop_interpolate_at_matches ] ) ]

@@ -1,0 +1,146 @@
+(* Robustness fuzzing: an adversary that sprays malformed payloads at the
+   honest parties (and the trusted party) must never crash a machine, never
+   hang the engine, and never trick honest parties into accepting an
+   illegitimate output.  Protocols whose relaxed functionality permits
+   random outputs (the Gordon–Katz family under F_sfe^$) are exempt from
+   the breach check but not from the no-crash check. *)
+
+open Fairness
+module Engine = Fair_exec.Engine
+module Protocol = Fair_exec.Protocol
+module Adversary = Fair_exec.Adversary
+module Wire = Fair_exec.Wire
+module Rng = Fair_crypto.Rng
+module Func = Fair_mpc.Func
+module Field = Fair_field.Field
+
+(* Corrupt one random party and send bursts of random bytes to random
+   destinations (peers, the functionality, broadcast) every round. *)
+let fuzzer =
+  Adversary.make ~name:"fuzzer" (fun rng ~protocol ->
+      let n = protocol.Protocol.parties in
+      let me = 1 + Rng.int rng n in
+      let step (view : Adversary.view) =
+        let burst = 1 + Rng.int rng 3 in
+        let sends =
+          List.init burst (fun _ ->
+              let dst =
+                match Rng.int rng 3 with
+                | 0 -> Wire.To (Rng.int rng (n + 1)) (* includes the functionality *)
+                | 1 -> Wire.Broadcast
+                | _ -> Wire.To (1 + Rng.int rng n)
+              in
+              let len = Rng.int rng 40 in
+              let payload =
+                match Rng.int rng 4 with
+                | 0 -> Rng.bytes rng len (* raw bytes, possibly invalid framing *)
+                | 1 -> Wire.frame [ "output"; Rng.bytes rng len ] (* spoofed F messages *)
+                | 2 -> Wire.frame [ "opening"; Rng.bytes rng len ]
+                | _ -> String.concat "|" [ "shares"; Rng.bytes rng len; "\\" ]
+              in
+              (me, dst, payload))
+        in
+        ignore view;
+        { Adversary.send = sends; corrupt = []; claim_learned = None }
+      in
+      { Adversary.initial = [ me ]; step })
+
+(* Honest machines mixed with a fuzzing peer: like fuzzer, but the corrupted
+   machine also runs honestly so deeper protocol states get reached before
+   the garbage lands. *)
+let hybrid_fuzzer =
+  Adversary.make ~name:"hybrid-fuzzer" (fun rng ~protocol ->
+      let inner = fuzzer.Adversary.make (Rng.split rng ~label:"inner") ~protocol in
+      let honest =
+        (Fair_protocols.Adversaries.semi_honest (Fair_protocols.Adversaries.Fixed inner.Adversary.initial))
+          .Adversary.make
+          (Rng.split rng ~label:"honest")
+          ~protocol
+      in
+      { Adversary.initial = inner.Adversary.initial;
+        step =
+          (fun view ->
+            let a = inner.Adversary.step view in
+            let b = honest.Adversary.step view in
+            { Adversary.send = b.Adversary.send @ a.Adversary.send;
+              corrupt = [];
+              claim_learned = None }) })
+
+let protocols : (string * Protocol.t * Func.t * (Rng.t -> string array) * bool) list =
+  (* (name, protocol, func, env, check_breach) *)
+  let env2 = Montecarlo.uniform_field_inputs ~n:2 in
+  let bits = Montecarlo.uniform_bit_inputs ~n:2 in
+  let gk_variant =
+    Fair_protocols.Gordon_katz.poly_domain ~func:Func.and_ ~p:2 ~domain1:[ "0"; "1" ]
+      ~domain2:[ "0"; "1" ]
+  in
+  [ ("pi1", Fair_protocols.Contract.pi1, Func.contract, env2, true);
+    ("pi2", Fair_protocols.Contract.pi2, Func.contract, env2, true);
+    ("opt2", Fair_protocols.Opt2.hybrid Func.swap, Func.swap, env2, true);
+    ( "opt2-1round",
+      Fair_protocols.Opt2.one_round_variant Func.swap,
+      Func.swap,
+      env2,
+      true );
+    ( "optn-4",
+      Fair_protocols.Optn.hybrid (Func.concat ~n:4),
+      Func.concat ~n:4,
+      Montecarlo.uniform_field_inputs ~n:4,
+      true );
+    ( "gmw-half-4",
+      Fair_protocols.Gmw_half.hybrid (Func.concat ~n:4),
+      Func.concat ~n:4,
+      Montecarlo.uniform_field_inputs ~n:4,
+      true );
+    ( "artificial-3",
+      Fair_protocols.Artificial.hybrid (Func.concat ~n:3),
+      Func.concat ~n:3,
+      Montecarlo.uniform_field_inputs ~n:3,
+      true );
+    ( "gordon-katz",
+      Fair_protocols.Gordon_katz.protocol ~func:Func.and_ ~variant:gk_variant,
+      Func.and_,
+      bits,
+      false (* random fallback outputs are the F_sfe^$ semantics *) );
+    ("leaky-and", Fair_protocols.Leaky_and.protocol, Func.and_, bits, false);
+    ( "spdz-swap",
+      Fair_mpc.Spdz.sfe ~name:"fuzz-spdz" ~circuit:Fair_mpc.Circuit.identity2 ~n:2
+        ~encode_input:(fun ~id:_ s -> [ Field.of_int (int_of_string s) ])
+        ~decode_output:(fun ys ->
+          Printf.sprintf "%d,%d" (Field.to_int ys.(1)) (Field.to_int ys.(0))),
+      Func.swap,
+      (fun rng ->
+        [| string_of_int (Rng.int rng 1000); string_of_int (Rng.int rng 1000) |]),
+      true );
+    ( "gmw-and",
+      Fair_mpc.Gmw.protocol ~name:"fuzz-gmw" ~circuit:Fair_mpc.Boolcirc.and2
+        ~encode_input:(fun ~id:_ s -> [| s = "1" |])
+        ~decode_output:(fun o -> if o.(0) then "1" else "0"),
+      Func.and_,
+      bits,
+      true ) ]
+
+let fuzz_case ~adversary ~adversary_name (name, proto, func, env, check_breach) =
+  Alcotest.test_case (Printf.sprintf "%s vs %s" name adversary_name) `Slow (fun () ->
+      for i = 0 to 59 do
+        let master = Rng.create ~seed:(Printf.sprintf "fuzz:%s:%s:%d" adversary_name name i) in
+        let inputs = env (Rng.split master ~label:"env") in
+        match
+          Engine.run ~protocol:proto ~adversary ~inputs ~rng:(Rng.split master ~label:"exec")
+        with
+        | exception e ->
+            Alcotest.failf "%s crashed on fuzz input %d: %s" name i (Printexc.to_string e)
+        | outcome ->
+            if check_breach then begin
+              let trial = { Events.outcome; inputs; func } in
+              let c = Events.classify trial in
+              if c.Events.correctness_breach then
+                Alcotest.failf "%s: fuzz input %d produced an illegitimate honest output" name i
+            end
+      done)
+
+let () =
+  Alcotest.run "fair_fuzz"
+    [ ("raw-garbage", List.map (fuzz_case ~adversary:fuzzer ~adversary_name:"fuzzer") protocols);
+      ( "garbage-behind-honest-play",
+        List.map (fuzz_case ~adversary:hybrid_fuzzer ~adversary_name:"hybrid") protocols ) ]

@@ -1,0 +1,200 @@
+(* Tests for the boolean-circuit GMW substrate: the OT primitive, circuit
+   builders, honest executions, and the protocol's (intended) unfairness
+   against a rushing adversary. *)
+
+module B = Fair_mpc.Boolcirc
+module Ot = Fair_mpc.Ot
+module Gmw = Fair_mpc.Gmw
+module Engine = Fair_exec.Engine
+module Adversary = Fair_exec.Adversary
+module Rng = Fair_crypto.Rng
+module Adv = Fair_protocols.Adversaries
+
+let qtest name count arb law =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb law)
+
+(* ------------------------------- OT --------------------------------- *)
+
+let prop_ot_correct =
+  qtest "transfer delivers m_choice" 500
+    QCheck.(triple bool bool (pair bool int))
+    (fun (m0, m1, (choice, seed)) ->
+      let sender, receiver = Ot.deal (Rng.of_int_seed seed) in
+      Ot.transfer ~sender ~receiver ~m0 ~m1 ~choice = if choice then m1 else m0)
+
+let test_ot_receiver_blinds_choice () =
+  (* d is uniform regardless of the choice bit: over many correlations, the
+     two choices yield (statistically) identical d distributions. *)
+  let count_d choice =
+    let hits = ref 0 in
+    for i = 0 to 999 do
+      let _, receiver = Ot.deal (Rng.of_int_seed i) in
+      if Ot.receiver_round1 receiver ~choice then incr hits
+    done;
+    !hits
+  in
+  let d0 = count_d false and d1 = count_d true in
+  if abs (d0 - 500) > 80 || abs (d1 - 500) > 80 then
+    Alcotest.failf "d biased: %d / %d" d0 d1
+
+let test_ot_other_message_hidden () =
+  (* The receiver's pad never matches the pad of the message it did not
+     choose... decrypting the wrong slot gives the wrong message half the
+     time (i.e., it is blinded, not readable). *)
+  let wrong = ref 0 in
+  let n = 2000 in
+  for i = 0 to n - 1 do
+    let sender, receiver = Ot.deal (Rng.of_int_seed i) in
+    let m0 = i land 1 = 0 and m1 = i land 2 = 0 in
+    let d = Ot.receiver_round1 receiver ~choice:false in
+    let e0, e1 = Ot.sender_round2 sender ~d ~m0 ~m1 in
+    ignore e0;
+    (* decrypt the unchosen slot with the pad we do hold *)
+    if e1 <> receiver.Ot.rc <> m1 then incr wrong
+  done;
+  (* ~half the decodings must be wrong: the slot is one-time-padded *)
+  if abs (!wrong - (n / 2)) > n / 10 then
+    Alcotest.failf "unchosen slot readable: %d/%d wrong" !wrong n
+
+(* ---------------------------- circuits ------------------------------ *)
+
+let test_builders () =
+  Alcotest.(check (array bool)) "and2" [| true |] (B.eval B.and2 [| true; true |]);
+  Alcotest.(check (array bool)) "and2 f" [| false |] (B.eval B.and2 [| true; false |]);
+  Alcotest.(check (array bool)) "xor3"
+    [| true |]
+    (B.eval (B.xor_n ~n:3) [| true; true; true |]);
+  Alcotest.(check int) "and count of millionaires-8" 16 (B.n_ands (B.millionaires ~bits:8))
+
+let prop_equality_circuit =
+  qtest "equality circuit vs (=)" 200
+    QCheck.(pair (int_bound 255) (int_bound 255))
+    (fun (a, b) ->
+      let c = B.equality ~bits:8 in
+      let inputs = Array.append (B.encode_int_input ~bits:8 a) (B.encode_int_input ~bits:8 b) in
+      (B.eval c inputs).(0) = (a = b))
+
+let prop_millionaires_circuit =
+  qtest "millionaires circuit vs (>)" 200
+    QCheck.(pair (int_bound 1023) (int_bound 1023))
+    (fun (a, b) ->
+      let c = B.millionaires ~bits:10 in
+      let inputs = Array.append (B.encode_int_input ~bits:10 a) (B.encode_int_input ~bits:10 b) in
+      (B.eval c inputs).(0) = (a > b))
+
+let test_encode_range () =
+  Alcotest.check_raises "too large"
+    (Invalid_argument "Boolcirc.encode_int_input: value out of range") (fun () ->
+      ignore (B.encode_int_input ~bits:4 16))
+
+(* ------------------------------ GMW --------------------------------- *)
+
+let gmw_of circuit bits =
+  Gmw.protocol ~name:"t" ~circuit
+    ~encode_input:(fun ~id:_ s -> B.encode_int_input ~bits (int_of_string s))
+    ~decode_output:(fun o -> if o.(0) then "1" else "0")
+
+let run_gmw proto a b seed =
+  let o =
+    Engine.run ~protocol:proto ~adversary:Adversary.passive
+      ~inputs:[| string_of_int a; string_of_int b |] ~rng:(Rng.of_int_seed seed)
+  in
+  Engine.honest_outputs o
+
+let prop_gmw_matches_plain_eval =
+  qtest "secure evaluation agrees with the circuit" 40
+    QCheck.(pair (int_bound 255) (int_bound 255))
+    (fun (a, b) ->
+      let proto = gmw_of (B.millionaires ~bits:8) 8 in
+      let expect = if a > b then "1" else "0" in
+      List.for_all (fun (_, v) -> v = Some expect) (run_gmw proto a b (a + (1000 * b))))
+
+let prop_gmw_equality =
+  qtest "equality via GMW" 25
+    QCheck.(pair (int_bound 15) (int_bound 15))
+    (fun (a, b) ->
+      let proto = gmw_of (B.equality ~bits:4) 4 in
+      let expect = if a = b then "1" else "0" in
+      List.for_all (fun (_, v) -> v = Some expect) (run_gmw proto a b (a + (100 * b))))
+
+let test_gmw_and_table () =
+  let proto =
+    Gmw.protocol ~name:"and" ~circuit:B.and2
+      ~encode_input:(fun ~id:_ s -> [| s = "1" |])
+      ~decode_output:(fun o -> if o.(0) then "1" else "0")
+  in
+  List.iter
+    (fun (a, b, y) ->
+      let o =
+        Engine.run ~protocol:proto ~adversary:Adversary.passive ~inputs:[| a; b |]
+          ~rng:(Rng.of_int_seed 3)
+      in
+      List.iter
+        (fun (id, v) ->
+          Alcotest.(check (option string)) (Printf.sprintf "AND(%s,%s) at p%d" a b id) (Some y) v)
+        (Engine.honest_outputs o))
+    [ ("0", "0", "0"); ("0", "1", "0"); ("1", "0", "0"); ("1", "1", "1") ]
+
+let test_gmw_rushing_unfair () =
+  (* The probing rushing adversary always ends with γ10 (no fallback output
+     to confuse it, so no default filter is needed). *)
+  let open Fairness in
+  let proto = gmw_of (B.millionaires ~bits:8) 8 in
+  let env rng =
+    [| string_of_int (Rng.int rng 256); string_of_int (Rng.int rng 256) |]
+  in
+  let e =
+    Montecarlo.estimate ~protocol:proto
+      ~adversary:(Adv.greedy Adv.Random_party)
+      ~func:Fair_mpc.Func.greater ~gamma:Payoff.default ~env ~trials:150 ~seed:5 ()
+  in
+  if abs_float (e.Montecarlo.utility -. 1.0) > 0.01 then
+    Alcotest.failf "rushing adversary got %.4f, expected 1.0" e.Montecarlo.utility
+
+let test_gmw_silent_abort () =
+  let proto = gmw_of (B.millionaires ~bits:8) 8 in
+  let silent =
+    Adversary.make ~name:"silent2" (fun _rng ~protocol:_ ->
+        { Adversary.initial = [ 2 ]; step = (fun _ -> Adversary.silent_decision) })
+  in
+  let o =
+    Engine.run ~protocol:proto ~adversary:silent ~inputs:[| "5"; "3" |] ~rng:(Rng.of_int_seed 6)
+  in
+  match List.assoc 1 o.Engine.results with
+  | Engine.Honest_abort -> ()
+  | _ -> Alcotest.fail "honest party should end with ⊥"
+
+let test_gmw_setup_roundtrip () =
+  let circuit = B.millionaires ~bits:4 in
+  let rng = Rng.of_int_seed 9 in
+  (* deal through the protocol's setup hook and check honest runs still work:
+     this exercises setup_to_string/of_string end to end *)
+  let proto = gmw_of circuit 4 in
+  List.iter
+    (fun (a, b) ->
+      let expect = if a > b then "1" else "0" in
+      List.iter
+        (fun (_, v) -> Alcotest.(check (option string)) "roundtrip" (Some expect) v)
+        (run_gmw proto a b (Rng.int rng 10000)))
+    [ (15, 0); (0, 15); (7, 7) ]
+
+let () =
+  Alcotest.run "fair_gmw"
+    [ ( "ot",
+        [ prop_ot_correct;
+          Alcotest.test_case "choice bit blinded" `Quick test_ot_receiver_blinds_choice;
+          Alcotest.test_case "unchosen message blinded" `Quick test_ot_other_message_hidden ] );
+      ( "boolcirc",
+        [ Alcotest.test_case "builders" `Quick test_builders;
+          prop_equality_circuit;
+          prop_millionaires_circuit;
+          Alcotest.test_case "encode range check" `Quick test_encode_range ] );
+      ( "gmw",
+        [ Alcotest.test_case "AND truth table" `Quick test_gmw_and_table;
+          prop_gmw_matches_plain_eval;
+          prop_gmw_equality;
+          Alcotest.test_case "rushing adversary is maximally unfair" `Slow
+            test_gmw_rushing_unfair;
+          Alcotest.test_case "silent peer causes ⊥" `Quick test_gmw_silent_abort;
+          Alcotest.test_case "setup serialization end-to-end" `Quick test_gmw_setup_roundtrip ] )
+    ]

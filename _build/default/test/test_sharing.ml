@@ -1,0 +1,219 @@
+(* Tests for the secret-sharing layer: additive, authenticated 2-of-2
+   (Appendix A of the paper), Shamir, and MAC'd VSS. *)
+
+module Field = Fair_field.Field
+module Rng = Fair_crypto.Rng
+module Poly_mac = Fair_crypto.Poly_mac
+module Additive = Fair_sharing.Additive
+module Auth_share = Fair_sharing.Auth_share
+module Shamir = Fair_sharing.Shamir
+module Vss = Fair_sharing.Vss
+
+let field = Alcotest.testable Field.pp Field.equal
+let qtest name count arb law =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb law)
+let rng_of seed = Rng.create ~seed
+
+(* --------------------------- additive ------------------------------- *)
+
+let prop_additive_roundtrip =
+  qtest "n-of-n reconstructs" 200
+    QCheck.(pair (int_range 1 8) (list_of_size (Gen.int_range 1 6) (int_bound (Field.p - 1))))
+    (fun (n, xs) ->
+      let secret = Array.of_list (List.map Field.of_int xs) in
+      let g = rng_of (Printf.sprintf "add%d-%d" n (List.length xs)) in
+      let shares = Additive.share g ~n secret in
+      let r = Additive.reconstruct shares in
+      Array.length r = Array.length secret && Array.for_all2 Field.equal r secret)
+
+let test_additive_partial_is_not_secret () =
+  (* With one share missing the sum is (whp) not the secret. *)
+  let g = rng_of "partial" in
+  let secret = [| Field.of_int 12345 |] in
+  let shares = Additive.share g ~n:4 secret in
+  let partial = Additive.reconstruct (Array.sub shares 0 3) in
+  Alcotest.(check bool) "partial sum differs" false (Field.equal partial.(0) secret.(0))
+
+let test_additive_scalar () =
+  let g = rng_of "scalar" in
+  let shares = Additive.share_scalar g ~n:5 (Field.of_int 99) in
+  Alcotest.check field "scalar roundtrip" (Field.of_int 99) (Additive.reconstruct_scalar shares)
+
+let test_additive_rejects () =
+  Alcotest.check_raises "n < 1" (Invalid_argument "Additive.share: n < 1") (fun () ->
+      ignore (Additive.share (rng_of "x") ~n:0 [| Field.one |]));
+  Alcotest.check_raises "no shares" (Invalid_argument "Additive.reconstruct: no shares")
+    (fun () -> ignore (Additive.reconstruct [||]))
+
+(* -------------------------- auth 2-of-2 ----------------------------- *)
+
+let prop_auth_roundtrip =
+  qtest "honest reconstruction" 100 QCheck.string (fun s ->
+      let secret = Field.encode_string s in
+      let g = rng_of ("auth" ^ s) in
+      let s1, s2 = Auth_share.share g secret in
+      match (Auth_share.reconstruct_shares s1 s2, Auth_share.reconstruct_shares s2 s1) with
+      | Ok r1, Ok r2 ->
+          String.equal (Field.decode_string r1) s && String.equal (Field.decode_string r2) s
+      | _ -> false)
+
+let test_auth_tamper_summand () =
+  let g = rng_of "tamper" in
+  let s1, s2 = Auth_share.share g (Field.encode_string "secret") in
+  let summand, tag = Auth_share.opening_of_share s2 in
+  let bad = Array.copy summand in
+  bad.(0) <- Field.add bad.(0) Field.one;
+  (match Auth_share.reconstruct ~mine:s1 ~theirs_summand:bad ~theirs_tag:tag with
+  | Error `Bad_summand_tag -> ()
+  | Ok _ -> Alcotest.fail "accepted tampered summand"
+  | Error e -> Alcotest.failf "unexpected error %s" (Format.asprintf "%a" Auth_share.pp_error e));
+  (* tampered tag *)
+  match
+    Auth_share.reconstruct ~mine:s1 ~theirs_summand:summand ~theirs_tag:(Field.add tag Field.one)
+  with
+  | Error `Bad_summand_tag -> ()
+  | _ -> Alcotest.fail "accepted tampered tag"
+
+let test_auth_length_mismatch () =
+  let g = rng_of "len" in
+  let s1, s2 = Auth_share.share g (Field.encode_string "abc") in
+  let summand, tag = Auth_share.opening_of_share s2 in
+  match
+    Auth_share.reconstruct ~mine:s1 ~theirs_summand:(Array.sub summand 0 1) ~theirs_tag:tag
+  with
+  | Error `Length_mismatch -> ()
+  | _ -> Alcotest.fail "accepted mismatched length"
+
+let test_auth_wire () =
+  let g = rng_of "wire" in
+  let s1, s2 = Auth_share.share g (Field.encode_string "roundtrip") in
+  let s1' = Auth_share.share_of_string (Auth_share.share_to_string s1) in
+  let opening = Auth_share.opening_of_string (Auth_share.opening_to_string (Auth_share.opening_of_share s2)) in
+  let summand, tag = opening in
+  match Auth_share.reconstruct ~mine:s1' ~theirs_summand:summand ~theirs_tag:tag with
+  | Ok r -> Alcotest.(check string) "decodes" "roundtrip" (Field.decode_string r)
+  | Error e -> Alcotest.failf "wire roundtrip failed: %s" (Format.asprintf "%a" Auth_share.pp_error e)
+
+(* ---------------------------- Shamir -------------------------------- *)
+
+let prop_shamir_roundtrip =
+  qtest "any threshold-subset reconstructs" 100
+    QCheck.(triple (int_range 1 6) (int_range 0 4) (int_bound (Field.p - 1)))
+    (fun (threshold, extra, secret_i) ->
+      let n = threshold + extra in
+      let secret = Field.of_int secret_i in
+      let g = rng_of (Printf.sprintf "sh%d-%d-%d" threshold n secret_i) in
+      let shares = Shamir.share g ~threshold ~n secret in
+      (* take the *last* threshold shares to vary the subset *)
+      let subset = Array.to_list (Array.sub shares (n - threshold) threshold) in
+      Field.equal (Shamir.reconstruct subset) secret)
+
+let test_shamir_below_threshold_uniform () =
+  (* t-1 shares must not determine the secret: reconstructing from them
+     (pretending threshold is t-1) gives the wrong value whp. *)
+  let g = rng_of "below" in
+  let secret = Field.of_int 424242 in
+  let shares = Shamir.share g ~threshold:3 ~n:5 secret in
+  let guess = Shamir.reconstruct [ shares.(0); shares.(1) ] in
+  Alcotest.(check bool) "under-threshold wrong" false (Field.equal guess secret)
+
+let test_shamir_vector () =
+  let g = rng_of "vec" in
+  let secret = Field.encode_string "vector secret" in
+  let per_party = Shamir.share_vector g ~threshold:2 ~n:4 secret in
+  let r = Shamir.reconstruct_vector [ per_party.(1); per_party.(3) ] in
+  Alcotest.(check string) "vector roundtrip" "vector secret" (Field.decode_string r)
+
+let test_shamir_rejects () =
+  Alcotest.check_raises "threshold 0" (Invalid_argument "Shamir.share") (fun () ->
+      ignore (Shamir.share (rng_of "x") ~threshold:0 ~n:3 Field.one));
+  Alcotest.check_raises "threshold > n" (Invalid_argument "Shamir.share") (fun () ->
+      ignore (Shamir.share (rng_of "x") ~threshold:4 ~n:3 Field.one))
+
+(* ------------------------------ VSS --------------------------------- *)
+
+let test_vss_honest_reconstruct () =
+  let g = rng_of "vss" in
+  let secret = Field.of_int 31337 in
+  let pkgs = Vss.deal g ~threshold:3 ~n:5 secret in
+  let announcements = Array.to_list (Array.map Vss.announce pkgs) in
+  Array.iter
+    (fun pkg ->
+      match Vss.reconstruct pkg announcements ~threshold:3 with
+      | Some v -> Alcotest.check field "reconstructs" secret v
+      | None -> Alcotest.fail "reconstruction failed")
+    pkgs
+
+let test_vss_checks_tags () =
+  let g = rng_of "vss2" in
+  let pkgs = Vss.deal g ~threshold:2 ~n:3 (Field.of_int 7) in
+  let a1 = Vss.announce pkgs.(1) in
+  Alcotest.(check bool) "valid announcement accepted" true (Vss.check pkgs.(0) a1);
+  (* forge the share value *)
+  let forged =
+    Vss.announcement_of_string (Vss.announcement_to_string a1)
+    |> fun a ->
+    { a with Vss.share = { a.Vss.share with Shamir.y = Field.add a.Vss.share.Shamir.y Field.one } }
+  in
+  Alcotest.(check bool) "forged announcement rejected" false (Vss.check pkgs.(0) forged)
+
+let test_vss_wrong_share_is_ignored () =
+  (* A corrupted announcer cannot swing the reconstructed value; its bad
+     share is dropped, and with enough honest shares the result is right. *)
+  let g = rng_of "vss3" in
+  let secret = Field.of_int 5555 in
+  let pkgs = Vss.deal g ~threshold:3 ~n:5 secret in
+  let honest = List.map (fun i -> Vss.announce pkgs.(i)) [ 0; 1; 2; 3 ] in
+  let bad =
+    let a = Vss.announce pkgs.(4) in
+    { a with Vss.share = { a.Vss.share with Shamir.y = Field.of_int 1 } }
+  in
+  match Vss.reconstruct pkgs.(0) (bad :: honest) ~threshold:3 with
+  | Some v -> Alcotest.check field "bad share ignored" secret v
+  | None -> Alcotest.fail "reconstruction failed"
+
+let test_vss_blocking () =
+  (* With fewer than threshold valid announcements, reconstruction fails. *)
+  let g = rng_of "vss4" in
+  let pkgs = Vss.deal g ~threshold:4 ~n:5 (Field.of_int 9) in
+  let two = [ Vss.announce pkgs.(1); Vss.announce pkgs.(2) ] in
+  (match Vss.reconstruct pkgs.(0) two ~threshold:4 with
+  | None -> ()
+  | Some _ -> Alcotest.fail "blocked reconstruction succeeded");
+  ()
+
+let test_vss_wire () =
+  let g = rng_of "vss5" in
+  let pkgs = Vss.deal g ~threshold:2 ~n:3 (Field.of_int 404) in
+  let pkg' = Vss.package_of_string (Vss.package_to_string pkgs.(0)) in
+  let anns = [ Vss.announce pkgs.(1); Vss.announce pkgs.(2) ] in
+  let anns = List.map (fun a -> Vss.announcement_of_string (Vss.announcement_to_string a)) anns in
+  match Vss.reconstruct pkg' anns ~threshold:2 with
+  | Some v -> Alcotest.check field "wire roundtrip" (Field.of_int 404) v
+  | None -> Alcotest.fail "reconstruction failed after wire roundtrip"
+
+let () =
+  Alcotest.run "fair_sharing"
+    [ ( "additive",
+        [ prop_additive_roundtrip;
+          Alcotest.test_case "partial sum is not the secret" `Quick
+            test_additive_partial_is_not_secret;
+          Alcotest.test_case "scalar helpers" `Quick test_additive_scalar;
+          Alcotest.test_case "argument validation" `Quick test_additive_rejects ] );
+      ( "auth_share",
+        [ prop_auth_roundtrip;
+          Alcotest.test_case "tampered summand detected" `Quick test_auth_tamper_summand;
+          Alcotest.test_case "length mismatch detected" `Quick test_auth_length_mismatch;
+          Alcotest.test_case "wire forms" `Quick test_auth_wire ] );
+      ( "shamir",
+        [ prop_shamir_roundtrip;
+          Alcotest.test_case "below threshold reveals nothing" `Quick
+            test_shamir_below_threshold_uniform;
+          Alcotest.test_case "vector sharing" `Quick test_shamir_vector;
+          Alcotest.test_case "argument validation" `Quick test_shamir_rejects ] );
+      ( "vss",
+        [ Alcotest.test_case "honest reconstruction" `Quick test_vss_honest_reconstruct;
+          Alcotest.test_case "tag check" `Quick test_vss_checks_tags;
+          Alcotest.test_case "wrong share ignored" `Quick test_vss_wrong_share_is_ignored;
+          Alcotest.test_case "coalition can block" `Quick test_vss_blocking;
+          Alcotest.test_case "wire forms" `Quick test_vss_wire ] ) ]
