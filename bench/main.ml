@@ -25,18 +25,57 @@ module Adv = Fair_protocols.Adversaries
 (* ------------------------------------------------------------------ *)
 
 let run_experiments () =
-  print_endline "=== Reproduction: every quantitative claim of the paper (E1..E13) ===";
+  print_endline "=== Reproduction: every quantitative claim of the paper (E1..E15) ===";
   print_endline "";
   let failures = ref 0 in
   List.iter
     (fun (s : E.spec) ->
-      let r = s.E.run ~trials:400 ~seed:42 in
+      let r = s.E.run ~trials:400 ~seed:42 ~jobs:Fairness.Parallel.default_jobs in
       Format.printf "%a@." E.pp r;
       if not (E.all_ok r) then incr failures)
     E.registry;
   if !failures = 0 then print_endline "reproduction: ALL EXPERIMENTS PASS"
   else Printf.printf "reproduction: %d EXPERIMENT(S) FAILED\n" !failures;
   print_endline ""
+
+(* ------------------------------------------------------------------ *)
+(* Part 1b: sequential vs parallel Monte-Carlo throughput              *)
+(* ------------------------------------------------------------------ *)
+
+(* The domain-parallel estimate kernel, head to head with the sequential
+   path on the same seed: the utilities must agree bit-for-bit (the
+   determinism guarantee of Fairness.Montecarlo) while the wall clock
+   shrinks with the core count. *)
+let run_parallel_comparison () =
+  let module Mc = Fairness.Montecarlo in
+  let swap = Func.concat ~n:5 in
+  let protocol = Fair_protocols.Optn.hybrid swap in
+  let adversary = Adv.greedy ~func:swap (Adv.Random_subset 4) in
+  let estimate ~jobs =
+    Mc.estimate ~jobs ~protocol ~adversary ~func:swap ~gamma:Fairness.Payoff.default
+      ~env:(Mc.uniform_field_inputs ~n:5) ~trials:1500 ~seed:42 ()
+  in
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let jobs = Fairness.Parallel.default_jobs in
+  Printf.printf "=== Monte-Carlo engine: sequential vs parallel (%d domain%s available) ===\n\n"
+    jobs (if jobs = 1 then "" else "s");
+  ignore (estimate ~jobs:1);  (* warm up (Lamport key pool, allocator) *)
+  let e_seq, t_seq = wall (fun () -> estimate ~jobs:1) in
+  let e_par, t_par = wall (fun () -> estimate ~jobs) in
+  let throughput e t = float_of_int e.Mc.trials /. t in
+  Printf.printf "  jobs=1   %7.2f s   %8.0f trials/s   u = %.6f\n" t_seq (throughput e_seq t_seq)
+    e_seq.Mc.utility;
+  Printf.printf "  jobs=%-2d  %7.2f s   %8.0f trials/s   u = %.6f\n" jobs t_par
+    (throughput e_par t_par) e_par.Mc.utility;
+  Printf.printf "  speedup: %.2fx   bit-identical: %b\n\n" (t_seq /. t_par)
+    (e_seq.Mc.utility = e_par.Mc.utility
+    && e_seq.Mc.std_err = e_par.Mc.std_err
+    && e_seq.Mc.counts = e_par.Mc.counts
+    && e_seq.Mc.corrupted_counts = e_par.Mc.corrupted_counts)
 
 (* ------------------------------------------------------------------ *)
 (* Part 2: timing kernels                                              *)
@@ -259,4 +298,5 @@ let run_timings () =
 
 let () =
   run_experiments ();
+  run_parallel_comparison ();
   run_timings ()

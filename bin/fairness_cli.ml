@@ -15,6 +15,14 @@ let seed_arg =
   let doc = "Master seed; every run with the same seed is bit-for-bit reproducible." in
   Arg.(value & opt int 42 & info [ "s"; "seed" ] ~docv:"SEED" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for the Monte-Carlo engine (default: the hardware's recommended \
+     domain count). Parallelism never changes the numbers — the same seed gives \
+     bit-identical output at any -j."
+  in
+  Arg.(value & opt int Fairness.Parallel.default_jobs & info [ "j"; "jobs" ] ~docv:"JOBS" ~doc)
+
 let markdown_arg =
   let doc = "Emit Markdown (the EXPERIMENTS.md format) instead of plain text." in
   Arg.(value & flag & info [ "markdown" ] ~doc)
@@ -34,26 +42,26 @@ let run_cmd =
   let id_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc:"Experiment id (e.g. E3).")
   in
-  let run id trials seed markdown =
+  let run id trials seed jobs markdown =
     match E.find id with
     | None ->
         Printf.eprintf "unknown experiment %S; try `fairness list`\n" id;
         exit 2
     | Some spec ->
-        let r = spec.E.run ~trials ~seed in
+        let r = spec.E.run ~trials ~seed ~jobs in
         print_result ~markdown r;
         if E.all_ok r then 0 else 1
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one experiment and check its paper bounds.")
-    Term.(const run $ id_arg $ trials_arg $ seed_arg $ markdown_arg)
+    Term.(const run $ id_arg $ trials_arg $ seed_arg $ jobs_arg $ markdown_arg)
 
 let all_cmd =
-  let run trials seed markdown =
+  let run trials seed jobs markdown =
     let failures = ref 0 in
     List.iter
       (fun (s : E.spec) ->
-        let r = s.E.run ~trials ~seed in
+        let r = s.E.run ~trials ~seed ~jobs in
         print_result ~markdown r;
         print_newline ();
         if not (E.all_ok r) then incr failures)
@@ -68,8 +76,8 @@ let all_cmd =
     end
   in
   Cmd.v
-    (Cmd.info "all" ~doc:"Run every experiment (E1..E13).")
-    Term.(const run $ trials_arg $ seed_arg $ markdown_arg)
+    (Cmd.info "all" ~doc:"Run every experiment (E1..E15).")
+    Term.(const run $ trials_arg $ seed_arg $ jobs_arg $ markdown_arg)
 
 let sweep_cmd =
   let kind_arg =
@@ -78,12 +86,12 @@ let sweep_cmd =
       & pos 0 (some (enum [ ("gamma", `Gamma); ("n", `N); ("q", `Q) ])) None
       & info [] ~docv:"KIND" ~doc:"Sweep kind: gamma, n, or q.")
   in
-  let run kind trials seed markdown =
+  let run kind trials seed jobs markdown =
     let table =
       match kind with
-      | `Gamma -> Fair_analysis.Sweep.gamma_sweep ~trials ~seed ()
-      | `N -> Fair_analysis.Sweep.n_sweep ~ns:[ 2; 3; 4; 5; 6; 7 ] ~trials ~seed ()
-      | `Q -> Fair_analysis.Sweep.q_sweep ~qs:[ 0.0; 0.125; 0.25; 0.375; 0.5; 0.625; 0.75; 0.875; 1.0 ] ~trials ~seed ()
+      | `Gamma -> Fair_analysis.Sweep.gamma_sweep ~jobs ~trials ~seed ()
+      | `N -> Fair_analysis.Sweep.n_sweep ~jobs ~ns:[ 2; 3; 4; 5; 6; 7 ] ~trials ~seed ()
+      | `Q -> Fair_analysis.Sweep.q_sweep ~jobs ~qs:[ 0.0; 0.125; 0.25; 0.375; 0.5; 0.625; 0.75; 0.875; 1.0 ] ~trials ~seed ()
     in
     print_endline (Fair_analysis.Sweep.render ~markdown table);
     0
@@ -93,7 +101,7 @@ let sweep_cmd =
        ~doc:
          "Sweep a parameter (preference vector, party count, or designer bias) and tabulate \
           the measured fairness landscape.")
-    Term.(const run $ kind_arg $ trials_arg $ seed_arg $ markdown_arg)
+    Term.(const run $ kind_arg $ trials_arg $ seed_arg $ jobs_arg $ markdown_arg)
 
 let demo_cmd =
   let name_arg =

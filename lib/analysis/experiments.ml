@@ -97,18 +97,18 @@ let env_n n = Mc.uniform_field_inputs ~n
 
 (* ------------------------------------------------------------------ *)
 
-let e1 ~trials ~seed =
+let e1 ~trials ~seed ~jobs =
   let module C = Fair_protocols.Contract in
   let best proto seed =
-    Mc.best_response ~protocol:proto ~adversaries:C.zoo ~func:C.func ~gamma ~env:(env_n 2)
-      ~trials ~seed ()
+    Mc.best_response ~jobs ~protocol:proto ~adversaries:C.zoo ~func:C.func ~gamma
+      ~env:(env_n 2) ~trials ~seed ()
   in
   let _, u1 = best C.pi1 seed in
   let _, u2 = best C.pi2 (seed + 1) in
   let ratio = Relation.fairness_ratio ~pi:u2 ~pi':u1 in
   let best01 proto seed =
-    Mc.best_response ~protocol:proto ~adversaries:C.zoo ~func:C.func ~gamma:Payoff.zero_one
-      ~env:(env_n 2) ~trials ~seed ()
+    Mc.best_response ~jobs ~protocol:proto ~adversaries:C.zoo ~func:C.func
+      ~gamma:Payoff.zero_one ~env:(env_n 2) ~trials ~seed ()
   in
   let _, v1 = best01 C.pi1 (seed + 2) in
   let _, v2 = best01 C.pi2 (seed + 3) in
@@ -131,7 +131,7 @@ let e1 ~trials ~seed =
           (Format.asprintf "%a" Relation.pp_verdict (Relation.compare_sup ~pi:u2 ~pi':u1)) ];
     rows = None }
 
-let e2 ~trials ~seed =
+let e2 ~trials ~seed ~jobs =
   let swap = Func.swap in
   let proto = Fair_protocols.Opt2.hybrid swap in
   let zoo = Adv.standard_zoo ~func:swap ~n:2 ~max_round:Fair_protocols.Opt2.hybrid_rounds () in
@@ -140,7 +140,7 @@ let e2 ~trials ~seed =
       (List.mapi
          (fun i g ->
            let _, e =
-             Mc.best_response ~protocol:proto ~adversaries:zoo ~func:swap ~gamma:g
+             Mc.best_response ~jobs ~protocol:proto ~adversaries:zoo ~func:swap ~gamma:g
                ~env:(env_n 2) ~trials:(max 100 (trials / 2)) ~seed:(seed + i) ()
            in
            ( check_estimate
@@ -160,11 +160,12 @@ let e2 ~trials ~seed =
     notes = [];
     rows = Some ([ "gamma"; "sup_A u (measured)"; "bound" ], rows) }
 
-let e3 ~trials ~seed =
+let e3 ~trials ~seed ~jobs =
   let swap = Func.swap in
   let proto = Fair_protocols.Opt2.hybrid swap in
   let run adv seed =
-    Mc.estimate ~protocol:proto ~adversary:adv ~func:swap ~gamma ~env:(env_n 2) ~trials ~seed ()
+    Mc.estimate ~jobs ~protocol:proto ~adversary:adv ~func:swap ~gamma ~env:(env_n 2)
+      ~trials ~seed ()
   in
   let e_gen = run (Adv.greedy ~func:swap Adv.Random_party) seed in
   let e_a1 = run (Adv.greedy ~func:swap (Adv.Fixed [ 1 ])) (seed + 1) in
@@ -185,7 +186,7 @@ let e3 ~trials ~seed =
     notes = [];
     rows = None }
 
-let e4 ~trials ~seed =
+let e4 ~trials ~seed ~jobs =
   let swap = Func.swap in
   let proto = Fair_protocols.Opt2.hybrid swap in
   (* Aborting during phase 1 means aborting the unfair SFE subprotocol: in
@@ -202,13 +203,13 @@ let e4 ~trials ~seed =
     else [ Adv.abort_at ~round (Adv.Fixed [ 1 ]); Adv.abort_at ~round (Adv.Fixed [ 2 ]) ]
   in
   let profile =
-    Reconstruction.analyze ~protocol:proto ~abort_family ~func:swap ~gamma ~env:(env_n 2)
-      ~total_rounds:(Fair_protocols.Opt2.hybrid_rounds - 1) ~trials ~seed
+    Reconstruction.analyze ~jobs ~protocol:proto ~abort_family ~func:swap ~gamma ~env:(env_n 2)
+      ~total_rounds:(Fair_protocols.Opt2.hybrid_rounds - 1) ~trials ~seed ()
   in
   let one_round = Fair_protocols.Opt2.one_round_variant swap in
   let zoo = Adv.standard_zoo ~func:swap ~n:2 ~max_round:6 () in
   let _, e1r =
-    Mc.best_response ~protocol:one_round ~adversaries:zoo ~func:swap ~gamma ~env:(env_n 2)
+    Mc.best_response ~jobs ~protocol:one_round ~adversaries:zoo ~func:swap ~gamma ~env:(env_n 2)
       ~trials ~seed:(seed + 77) ()
   in
   { id = "E4";
@@ -227,15 +228,15 @@ let e4 ~trials ~seed =
           profile.Reconstruction.fair_through profile.Reconstruction.total_rounds ];
     rows = None }
 
-let per_t_estimates ~proto ~func ~n ~trials ~seed =
+let per_t_estimates ~proto ~func ~n ~trials ~seed ~jobs =
   List.mapi
     (fun i adv ->
       ( i + 1,
-        Mc.estimate ~protocol:proto ~adversary:adv ~func ~gamma ~env:(env_n n) ~trials
+        Mc.estimate ~jobs ~protocol:proto ~adversary:adv ~func ~gamma ~env:(env_n n) ~trials
           ~seed:(seed + i) () ))
     (Adv.greedy_per_t ~func ~n ())
 
-let e5 ~trials ~seed =
+let e5 ~trials ~seed ~jobs =
   let checks, rows =
     List.split
       (List.concat_map
@@ -251,7 +252,7 @@ let e5 ~trials ~seed =
                    string_of_int t;
                    Report.fmt_pm e.Mc.utility e.Mc.std_err;
                    Report.fmt_float (Bounds.optn gamma ~n ~t) ] ))
-             (per_t_estimates ~proto ~func ~n ~trials ~seed:(seed + (100 * n))))
+             (per_t_estimates ~proto ~func ~n ~trials ~seed:(seed + (100 * n)) ~jobs))
          [ 3; 5 ])
   in
   { id = "E5";
@@ -261,13 +262,14 @@ let e5 ~trials ~seed =
     notes = [];
     rows = Some ([ "n"; "t"; "measured"; "bound" ], rows) }
 
-let e6 ~trials ~seed =
+let e6 ~trials ~seed ~jobs =
   let n = 4 in
   let func = Func.concat ~n in
   let proto = Fair_protocols.Optn.hybrid func in
   let adv = Adv.greedy ~func (Adv.Random_subset (n - 1)) in
   let e =
-    Mc.estimate ~protocol:proto ~adversary:adv ~func ~gamma ~env:(env_n n) ~trials ~seed ()
+    Mc.estimate ~jobs ~protocol:proto ~adversary:adv ~func ~gamma ~env:(env_n n) ~trials
+      ~seed ()
   in
   { id = "E6";
     title = "Lemma 13: the mixed (n-1)-adversary attains ((n-1)g10+g11)/n";
@@ -280,14 +282,14 @@ let e6 ~trials ~seed =
     notes = [];
     rows = None }
 
-let e7 ~trials ~seed =
+let e7 ~trials ~seed ~jobs =
   let checks, rows =
     List.split
       (List.map
          (fun n ->
            let func = Func.concat ~n in
            let proto = Fair_protocols.Optn.hybrid func in
-           let per_t = per_t_estimates ~proto ~func ~n ~trials ~seed:(seed + (10 * n)) in
+           let per_t = per_t_estimates ~proto ~func ~n ~trials ~seed:(seed + (10 * n)) ~jobs in
            let sum = Balanced.sum_over_t per_t in
            let tol = 3.0 *. Balanced.sum_std_err per_t in
            ( mk_check
@@ -306,13 +308,13 @@ let e7 ~trials ~seed =
     notes = [];
     rows = Some ([ "n"; "sum_t u_t"; "bound"; "balanced" ], rows) }
 
-let e8 ~trials ~seed =
+let e8 ~trials ~seed ~jobs =
   let results =
     List.map
       (fun n ->
         let func = Func.concat ~n in
         let proto = Fair_protocols.Gmw_half.hybrid func in
-        let per_t = per_t_estimates ~proto ~func ~n ~trials ~seed:(seed + (10 * n)) in
+        let per_t = per_t_estimates ~proto ~func ~n ~trials ~seed:(seed + (10 * n)) ~jobs in
         (n, per_t, Balanced.sum_over_t per_t))
       [ 4; 5 ]
   in
@@ -365,16 +367,16 @@ let e8 ~trials ~seed =
     notes = excess;
     rows = None }
 
-let e9 ~trials ~seed =
+let e9 ~trials ~seed ~jobs =
   let n = 3 in
   let func = Func.concat ~n in
   let proto = Fair_protocols.Artificial.hybrid func in
   let e_t1 =
-    Mc.estimate ~protocol:proto ~adversary:Fair_protocols.Artificial.lemma18_t1 ~func ~gamma
-      ~env:(env_n n) ~trials ~seed ()
+    Mc.estimate ~jobs ~protocol:proto ~adversary:Fair_protocols.Artificial.lemma18_t1 ~func
+      ~gamma ~env:(env_n n) ~trials ~seed ()
   in
   let e_tn =
-    Mc.estimate ~protocol:proto
+    Mc.estimate ~jobs ~protocol:proto
       ~adversary:(Adv.greedy ~func (Adv.Random_subset (n - 1)))
       ~func ~gamma ~env:(env_n n) ~trials ~seed:(seed + 1) ()
   in
@@ -398,11 +400,11 @@ let e9 ~trials ~seed =
     notes = [];
     rows = None }
 
-let e10 ~trials ~seed =
+let e10 ~trials ~seed ~jobs =
   let n = 4 in
   let func = Func.concat ~n in
   let proto = Fair_protocols.Optn.hybrid func in
-  let per_t = per_t_estimates ~proto ~func ~n ~trials ~seed in
+  let per_t = per_t_estimates ~proto ~func ~n ~trials ~seed ~jobs in
   let cost = Cost.theorem6 gamma ~n in
   let cost_checks =
     (* Lemma 22's comparison: the cost-adjusted utility of the best
@@ -455,7 +457,7 @@ let e10 ~trials ~seed =
              (List.map (fun t -> Printf.sprintf "%.4f" (cost t)) (List.init (n - 1) (fun i -> i + 1)))) ];
     rows = None }
 
-let e11 ~trials ~seed =
+let e11 ~trials ~seed ~jobs =
   let module GK = Fair_protocols.Gordon_katz in
   let func = Func.and_ in
   let gk_trials = max 100 (trials / 2) in
@@ -466,7 +468,7 @@ let e11 ~trials ~seed =
            let variant = GK.poly_domain ~func ~p ~domain1:[ "0"; "1" ] ~domain2:[ "0"; "1" ] in
            let proto = GK.protocol ~func ~variant in
            let ba, e =
-             Mc.best_response ~overrides:(GK.overrides ~offset:0) ~protocol:proto
+             Mc.best_response ~jobs ~overrides:(GK.overrides ~offset:0) ~protocol:proto
                ~adversaries:(GK.zoo ~variant) ~func ~gamma:Payoff.zero_one
                ~env:(Mc.uniform_bit_inputs ~n:2) ~trials:gk_trials ~seed:(seed + p) ()
            in
@@ -484,7 +486,7 @@ let e11 ~trials ~seed =
      protocol is stuck at 1/2 under gamma=(0,0,1,0). *)
   let opt2 = Fair_protocols.Opt2.hybrid func in
   let _, e_opt =
-    Mc.best_response ~protocol:opt2
+    Mc.best_response ~jobs ~protocol:opt2
       ~adversaries:(Adv.standard_zoo ~func ~n:2 ~max_round:Fair_protocols.Opt2.hybrid_rounds ())
       ~func ~gamma:Payoff.zero_one ~env:(Mc.uniform_bit_inputs ~n:2) ~trials:gk_trials
       ~seed:(seed + 50) ()
@@ -492,7 +494,7 @@ let e11 ~trials ~seed =
   let variant = GK.poly_range ~func ~p:2 ~range:[ "0"; "1" ] in
   let proto = GK.protocol ~func ~variant in
   let _, e_range =
-    Mc.best_response ~overrides:(GK.overrides ~offset:0) ~protocol:proto
+    Mc.best_response ~jobs ~overrides:(GK.overrides ~offset:0) ~protocol:proto
       ~adversaries:(GK.zoo ~variant) ~func ~gamma:Payoff.zero_one
       ~env:(Mc.uniform_bit_inputs ~n:2)
       ~trials:(max 60 (gk_trials / 4))
@@ -514,17 +516,24 @@ let e11 ~trials ~seed =
     notes = [];
     rows = Some ([ "p"; "rounds"; "best strategy"; "measured"; "1/p" ], rows) }
 
-let e12 ~trials ~seed =
+let e12 ~trials ~seed ~jobs =
   let module L = Fair_protocols.Leaky_and in
   let n = max 400 trials in
-  let z1 = ref 0 and z2 = ref 0 in
-  for i = 0 to n - 1 do
-    let r = L.run_z_environments ~seed:(seed + i) in
-    if r.L.z1_accepts then incr z1;
-    if r.L.z2_accepts then incr z2
-  done;
-  let p1 = float_of_int !z1 /. float_of_int n in
-  let p2 = float_of_int !z2 /. float_of_int n in
+  (* Per-trial seeding makes the Z1/Z2 statistics embarrassingly parallel;
+     integer sums merge commutatively, so the counts are jobs-independent. *)
+  let z1, z2 =
+    Fairness.Parallel.map_range ~jobs ~chunk_size:64 ~lo:0 ~hi:n (fun ~lo ~hi ->
+        let z1 = ref 0 and z2 = ref 0 in
+        for i = lo to hi - 1 do
+          let r = L.run_z_environments ~seed:(seed + i) in
+          if r.L.z1_accepts then incr z1;
+          if r.L.z2_accepts then incr z2
+        done;
+        (!z1, !z2))
+    |> List.fold_left (fun (a, b) (da, db) -> (a + da, b + db)) (0, 0)
+  in
+  let p1 = float_of_int z1 /. float_of_int n in
+  let p2 = float_of_int z2 /. float_of_int n in
   let tol = 3.0 *. 0.5 /. sqrt (float_of_int n) in
   { id = "E12";
     title = "Lemmas 26/27: the leaky AND protocol separates the notions";
@@ -546,7 +555,7 @@ let e12 ~trials ~seed =
          GK conditions (Lemma 27)." ];
     rows = None }
 
-let e13 ~trials ~seed =
+let e13 ~trials ~seed ~jobs =
   let swap = Func.swap in
   let qs = [ 0.0; 0.25; 0.5; 0.75; 1.0 ] in
   let attackers =
@@ -562,8 +571,8 @@ let e13 ~trials ~seed =
            Array.of_list
              (List.mapi
                 (fun j (_, adv) ->
-                  (Mc.estimate ~protocol:proto ~adversary:adv ~func:swap ~gamma ~env:(env_n 2)
-                     ~trials ~seed:(seed + (10 * i) + j) ())
+                  (Mc.estimate ~jobs ~protocol:proto ~adversary:adv ~func:swap ~gamma
+                     ~env:(env_n 2) ~trials ~seed:(seed + (10 * i) + j) ())
                     .Mc.utility)
                 attackers))
          qs)
@@ -590,7 +599,7 @@ let e13 ~trials ~seed =
     notes = [ Format.asprintf "full table:@.%a" Rpd.pp table ];
     rows = None }
 
-let e14 ~trials ~seed =
+let e14 ~trials ~seed ~jobs =
   let n = 5 in
   let func = Func.concat ~n in
   let proto = Fair_protocols.Optn.hybrid func in
@@ -599,7 +608,7 @@ let e14 ~trials ~seed =
       (List.map
          (fun budget ->
            let e =
-             Mc.estimate ~protocol:proto
+             Mc.estimate ~jobs ~protocol:proto
                ~adversary:(Adv.adaptive_hunter ~func ~budget ())
                ~func ~gamma ~env:(env_n n) ~trials ~seed:(seed + budget) ()
            in
@@ -621,7 +630,7 @@ let e14 ~trials ~seed =
     notes = [];
     rows = Some ([ "corruption budget"; "measured"; "static bound" ], rows) }
 
-let e15 ~trials ~seed =
+let e15 ~trials ~seed ~jobs =
   (* 1/p-security as a *statistical* statement (Appendix C.1 / Lemma 25):
      the real-world ensemble (inputs, honest output, adversary-held value)
      under a fixed-round abort is within TV distance 1/p of the ensemble
@@ -684,7 +693,7 @@ let e15 ~trials ~seed =
                  let honest = if a > istar then y else variant.GK.fake1 rng ~inputs in
                  Printf.sprintf "%s,%s|%s;%s" inputs.(0) inputs.(1) honest held
                in
-               let tv = Statdist.sample_distance ~a:real ~b:ideal ~trials in
+               let tv = Statdist.sample_distance ~jobs ~a:real ~b:ideal ~trials () in
                let slack = Statdist.bias_bound ~support:16 ~trials in
                ( mk_check
                    ~label:(Printf.sprintf "p=%d abort@%d: TV(real, ideal) <= 1/p" p a)
@@ -709,7 +718,7 @@ let e15 ~trials ~seed =
 type spec = {
   eid : string;
   etitle : string;
-  run : trials:int -> seed:int -> result;
+  run : trials:int -> seed:int -> jobs:int -> result;
 }
 
 let registry =

@@ -5,7 +5,9 @@
 
     [trials] scales all Monte-Carlo sample sizes (each experiment applies
     its own multiplier to keep runtimes balanced); [seed] makes the whole
-    run reproducible. *)
+    run reproducible; [jobs] bounds the number of domains each estimate may
+    use — it changes the wall clock only, never the numbers (see
+    {!Fairness.Montecarlo}). *)
 
 type check = {
   label : string;
@@ -35,7 +37,7 @@ val to_markdown : result -> string
 type spec = {
   eid : string;
   etitle : string;
-  run : trials:int -> seed:int -> result;
+  run : trials:int -> seed:int -> jobs:int -> result;
 }
 
 val registry : spec list
@@ -44,18 +46,18 @@ val registry : spec list
 val find : string -> spec option
 (** Case-insensitive lookup by id. *)
 
-val e1 : trials:int -> seed:int -> result
-val e2 : trials:int -> seed:int -> result
-val e3 : trials:int -> seed:int -> result
-val e4 : trials:int -> seed:int -> result
-val e5 : trials:int -> seed:int -> result
-val e6 : trials:int -> seed:int -> result
-val e7 : trials:int -> seed:int -> result
-val e8 : trials:int -> seed:int -> result
-val e9 : trials:int -> seed:int -> result
-val e10 : trials:int -> seed:int -> result
-val e11 : trials:int -> seed:int -> result
-val e12 : trials:int -> seed:int -> result
-val e13 : trials:int -> seed:int -> result
-val e14 : trials:int -> seed:int -> result
-val e15 : trials:int -> seed:int -> result
+val e1 : trials:int -> seed:int -> jobs:int -> result
+val e2 : trials:int -> seed:int -> jobs:int -> result
+val e3 : trials:int -> seed:int -> jobs:int -> result
+val e4 : trials:int -> seed:int -> jobs:int -> result
+val e5 : trials:int -> seed:int -> jobs:int -> result
+val e6 : trials:int -> seed:int -> jobs:int -> result
+val e7 : trials:int -> seed:int -> jobs:int -> result
+val e8 : trials:int -> seed:int -> jobs:int -> result
+val e9 : trials:int -> seed:int -> jobs:int -> result
+val e10 : trials:int -> seed:int -> jobs:int -> result
+val e11 : trials:int -> seed:int -> jobs:int -> result
+val e12 : trials:int -> seed:int -> jobs:int -> result
+val e13 : trials:int -> seed:int -> jobs:int -> result
+val e14 : trials:int -> seed:int -> jobs:int -> result
+val e15 : trials:int -> seed:int -> jobs:int -> result

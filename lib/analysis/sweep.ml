@@ -11,7 +11,7 @@ type table = {
 
 let render ?markdown t = Report.render ?markdown ~header:t.header t.rows
 
-let gamma_sweep ?(gammas = Payoff.sweep) ~trials ~seed () =
+let gamma_sweep ?(gammas = Payoff.sweep) ?(jobs = Parallel.default_jobs) ~trials ~seed () =
   let swap = Func.swap in
   let proto = Fair_protocols.Opt2.hybrid swap in
   let zoo = Adv.standard_zoo ~func:swap ~n:2 ~max_round:Fair_protocols.Opt2.hybrid_rounds () in
@@ -19,7 +19,7 @@ let gamma_sweep ?(gammas = Payoff.sweep) ~trials ~seed () =
     List.mapi
       (fun i gamma ->
         let _, e =
-          Mc.best_response ~protocol:proto ~adversaries:zoo ~func:swap ~gamma
+          Mc.best_response ~jobs ~protocol:proto ~adversaries:zoo ~func:swap ~gamma
             ~env:(Mc.uniform_field_inputs ~n:2) ~trials ~seed:(seed + i) ()
         in
         (gamma, e))
@@ -36,7 +36,7 @@ let gamma_sweep ?(gammas = Payoff.sweep) ~trials ~seed () =
         results;
     data = List.map (fun (g, (e : Mc.estimate)) -> (Payoff.to_string g, e.Mc.utility)) results }
 
-let n_sweep ~ns ~trials ~seed () =
+let n_sweep ?(jobs = Parallel.default_jobs) ~ns ~trials ~seed () =
   let gamma = Payoff.default in
   let results =
     List.map
@@ -44,7 +44,7 @@ let n_sweep ~ns ~trials ~seed () =
         let func = Func.concat ~n in
         let proto = Fair_protocols.Optn.hybrid func in
         let e =
-          Mc.estimate ~protocol:proto
+          Mc.estimate ~jobs ~protocol:proto
             ~adversary:(Adv.greedy ~func (Adv.Random_subset (n - 1)))
             ~func ~gamma
             ~env:(Mc.uniform_field_inputs ~n)
@@ -63,7 +63,7 @@ let n_sweep ~ns ~trials ~seed () =
         results;
     data = List.map (fun (n, (e : Mc.estimate)) -> (string_of_int n, e.Mc.utility)) results }
 
-let q_sweep ~qs ~trials ~seed () =
+let q_sweep ?(jobs = Parallel.default_jobs) ~qs ~trials ~seed () =
   let gamma = Payoff.default in
   let swap = Func.swap in
   let results =
@@ -74,7 +74,7 @@ let q_sweep ~qs ~trials ~seed () =
           [ Adv.greedy ~func:swap (Adv.Fixed [ 1 ]); Adv.greedy ~func:swap (Adv.Fixed [ 2 ]) ]
         in
         let _, e =
-          Mc.best_response ~protocol:proto ~adversaries:attackers ~func:swap ~gamma
+          Mc.best_response ~jobs ~protocol:proto ~adversaries:attackers ~func:swap ~gamma
             ~env:(Mc.uniform_field_inputs ~n:2) ~trials ~seed:(seed + i) ()
         in
         (q, e))

@@ -13,15 +13,15 @@ type table = {
 val render : ?markdown:bool -> table -> string
 
 val gamma_sweep :
-  ?gammas:Fairness.Payoff.t list -> trials:int -> seed:int -> unit -> table
+  ?gammas:Fairness.Payoff.t list -> ?jobs:int -> trials:int -> seed:int -> unit -> table
 (** Best attacker against ΠOpt-2SFE (swap) per preference vector, against
     the Theorem 3 value (γ10+γ11)/2. *)
 
-val n_sweep : ns:int list -> trials:int -> seed:int -> unit -> table
+val n_sweep : ?jobs:int -> ns:int list -> trials:int -> seed:int -> unit -> table
 (** ΠOpt-nSFE's best (n−1)-coalition utility versus Lemma 13's
     ((n−1)γ10+γ11)/n as the party count grows: the multi-party fairness
     decay curve. *)
 
-val q_sweep : qs:float list -> trials:int -> seed:int -> unit -> table
+val q_sweep : ?jobs:int -> qs:float list -> trials:int -> seed:int -> unit -> table
 (** The E13 designer sweep: sup_A u against opt2(q) per bias q — the attack
     game's value curve with its minimum at q = 1/2. *)

@@ -25,47 +25,136 @@ type estimate = {
   trials : int;
 }
 
-let estimate ?(overrides = Events.no_overrides) ~protocol ~adversary ~func ~gamma ~env
-    ~trials ~seed () =
-  if trials < 1 then invalid_arg "Montecarlo.estimate: trials < 1";
-  let counts = Hashtbl.create 4 in
-  let corrupted_counts = Hashtbl.create 4 in
-  let breaches = ref 0 in
-  let sum = ref 0.0 and sum_sq = ref 0.0 in
-  for i = 0 to trials - 1 do
-    let master = Rng.create ~seed:(Printf.sprintf "mc:%d:%d" seed i) in
-    let inputs = env (Rng.split master ~label:"env") in
-    let outcome =
-      Engine.run ~protocol ~adversary ~inputs ~rng:(Rng.split master ~label:"exec")
-    in
-    let trial = { Events.outcome; inputs; func } in
-    let cl = Events.classify ~overrides trial in
-    if cl.Events.correctness_breach then incr breaches;
-    let bump tbl key = Hashtbl.replace tbl key (1 + try Hashtbl.find tbl key with Not_found -> 0) in
-    bump counts cl.Events.event;
-    bump corrupted_counts (List.length (Events.corrupted_parties trial));
-    let payoff =
-      match cl.Events.event with
-      | Events.E00 -> gamma.Payoff.g00
-      | Events.E01 -> gamma.Payoff.g01
-      | Events.E10 -> gamma.Payoff.g10
-      | Events.E11 -> gamma.Payoff.g11
-    in
-    sum := !sum +. payoff;
-    sum_sq := !sum_sq +. (payoff *. payoff)
-  done;
-  let n = float_of_int trials in
-  let mean = !sum /. n in
-  let var = max 0.0 ((!sum_sq /. n) -. (mean *. mean)) in
-  let std_err = sqrt (var /. n) in
-  let counts = Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts [] in
-  { utility = mean;
-    std_err;
+(* ------------------------------------------------------------------ *)
+(* Streaming accumulator: Welford within a chunk, Chan et al. between
+   chunks.  Both the per-trial update and the pairwise merge are exact
+   recurrences for (count, mean, M2 = Σ(x - mean)²), so the Bessel-corrected
+   sample variance M2/(n-1) falls out without a catastrophic
+   sum-of-squares subtraction. *)
+
+type acc = {
+  mutable count : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable breaches : int;
+  event_counts : (Events.event, int) Hashtbl.t;
+  corrupted_counts_tbl : (int, int) Hashtbl.t;
+}
+
+let acc_create () =
+  { count = 0;
+    mean = 0.0;
+    m2 = 0.0;
+    breaches = 0;
+    event_counts = Hashtbl.create 4;
+    corrupted_counts_tbl = Hashtbl.create 4 }
+
+let bump tbl key = Hashtbl.replace tbl key (1 + try Hashtbl.find tbl key with Not_found -> 0)
+let bump_by tbl key d = Hashtbl.replace tbl key (d + try Hashtbl.find tbl key with Not_found -> 0)
+
+let acc_observe a ~payoff ~event ~n_corrupted ~breach =
+  a.count <- a.count + 1;
+  let delta = payoff -. a.mean in
+  a.mean <- a.mean +. (delta /. float_of_int a.count);
+  a.m2 <- a.m2 +. (delta *. (payoff -. a.mean));
+  if breach then a.breaches <- a.breaches + 1;
+  bump a.event_counts event;
+  bump a.corrupted_counts_tbl n_corrupted
+
+(* Merge [b] into [a] (the left operand of the chunk-order fold). *)
+let acc_merge a b =
+  if b.count > 0 then begin
+    let na = float_of_int a.count and nb = float_of_int b.count in
+    let n = na +. nb in
+    let delta = b.mean -. a.mean in
+    a.mean <- a.mean +. (delta *. nb /. n);
+    a.m2 <- a.m2 +. b.m2 +. (delta *. delta *. na *. nb /. n);
+    a.count <- a.count + b.count;
+    a.breaches <- a.breaches + b.breaches;
+    Hashtbl.iter (fun k v -> bump_by a.event_counts k v) b.event_counts;
+    Hashtbl.iter (fun k v -> bump_by a.corrupted_counts_tbl k v) b.corrupted_counts_tbl
+  end;
+  a
+
+(* Bessel-corrected standard error of the mean: sqrt(M2/(n-1)/n). *)
+let acc_std_err a =
+  if a.count < 2 then 0.0
+  else
+    let n = float_of_int a.count in
+    sqrt (max 0.0 a.m2 /. (n -. 1.0) /. n)
+
+(* Hash-bucket layout must not leak into reported tables: sort both count
+   lists by key so output is stable across runs and merge strategies. *)
+let sorted_bindings tbl =
+  List.sort (fun (k, _) (k', _) -> compare k k') (Hashtbl.fold (fun k v l -> (k, v) :: l) tbl [])
+
+let acc_finalize a =
+  let counts = sorted_bindings a.event_counts in
+  { utility = a.mean;
+    std_err = acc_std_err a;
     distribution = Utility.of_counts counts;
     counts;
-    corrupted_counts = Hashtbl.fold (fun k v acc -> (k, v) :: acc) corrupted_counts [];
-    breaches = !breaches;
-    trials }
+    corrupted_counts = sorted_bindings a.corrupted_counts_tbl;
+    breaches = a.breaches;
+    trials = a.count }
+
+(* ------------------------------------------------------------------ *)
+
+(* Per-trial seeding: trial [i] depends only on (seed, i), so trials are
+   embarrassingly parallel and a range [lo, hi) can run on any domain. *)
+let run_trial ~overrides ~protocol ~adversary ~func ~gamma ~env ~seed a i =
+  let master = Rng.create ~seed:(Printf.sprintf "mc:%d:%d" seed i) in
+  let inputs = env (Rng.split master ~label:"env") in
+  let outcome =
+    Engine.run ~protocol ~adversary ~inputs ~rng:(Rng.split master ~label:"exec")
+  in
+  let trial = { Events.outcome; inputs; func } in
+  let cl = Events.classify ~overrides trial in
+  let payoff =
+    match cl.Events.event with
+    | Events.E00 -> gamma.Payoff.g00
+    | Events.E01 -> gamma.Payoff.g01
+    | Events.E10 -> gamma.Payoff.g10
+    | Events.E11 -> gamma.Payoff.g11
+  in
+  acc_observe a ~payoff ~event:cl.Events.event
+    ~n_corrupted:(List.length (Events.corrupted_parties trial))
+    ~breach:cl.Events.correctness_breach
+
+(* Chunk size is a fixed constant (never derived from the job count): chunk
+   boundaries, and hence the merge tree, depend only on the trial range, so
+   the final numbers are bit-identical for any [jobs]. *)
+let chunk_size = 64
+
+let run_range ~overrides ~protocol ~adversary ~func ~gamma ~env ~seed ~jobs ~lo ~hi acc =
+  let chunks =
+    Parallel.map_range ~jobs ~chunk_size ~lo ~hi (fun ~lo ~hi ->
+        let a = acc_create () in
+        for i = lo to hi - 1 do
+          run_trial ~overrides ~protocol ~adversary ~func ~gamma ~env ~seed a i
+        done;
+        a)
+  in
+  List.fold_left acc_merge acc chunks
+
+let estimate ?(overrides = Events.no_overrides) ?(jobs = Parallel.default_jobs)
+    ?target_std_err ?max_trials ~protocol ~adversary ~func ~gamma ~env ~trials ~seed () =
+  if trials < 1 then invalid_arg "Montecarlo.estimate: trials < 1";
+  let run = run_range ~overrides ~protocol ~adversary ~func ~gamma ~env ~seed ~jobs in
+  match target_std_err with
+  | None -> acc_finalize (run ~lo:0 ~hi:trials (acc_create ()))
+  | Some target ->
+      if target <= 0.0 then invalid_arg "Montecarlo.estimate: target_std_err <= 0";
+      let cap = match max_trials with Some c -> max c trials | None -> 20 * trials in
+      (* Batches double the total trial count until the (deterministically
+         merged, hence jobs-independent) standard error meets the target or
+         the cap is exhausted. *)
+      let rec go acc total =
+        let acc = run ~lo:acc.count ~hi:total acc in
+        if acc_std_err acc <= target || total >= cap then acc_finalize acc
+        else go acc (min cap (2 * total))
+      in
+      go (acc_create ()) (min cap trials)
 
 let estimate_with_cost e ~cost =
   let penalty =
@@ -75,15 +164,17 @@ let estimate_with_cost e ~cost =
   in
   e.utility -. penalty
 
-let best_response ?(overrides = Events.no_overrides) ~protocol ~adversaries ~func ~gamma
-    ~env ~trials ~seed () =
+let best_response ?(overrides = Events.no_overrides) ?(jobs = Parallel.default_jobs)
+    ?target_std_err ?max_trials ~protocol ~adversaries ~func ~gamma ~env ~trials ~seed () =
   match adversaries with
   | [] -> invalid_arg "Montecarlo.best_response: empty zoo"
   | _ ->
       let scored =
         List.map
           (fun adversary ->
-            (adversary, estimate ~overrides ~protocol ~adversary ~func ~gamma ~env ~trials ~seed ()))
+            ( adversary,
+              estimate ~overrides ~jobs ?target_std_err ?max_trials ~protocol ~adversary
+                ~func ~gamma ~env ~trials ~seed () ))
           adversaries
       in
       List.fold_left

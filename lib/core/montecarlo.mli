@@ -2,11 +2,20 @@
     against a protocol (Equation 2 of the paper, with the best-simulator
     event mapping supplied by {!Events.classify}).
 
-    Each trial derives an independent generator from the master seed, draws
-    environment inputs, runs the engine, classifies the execution, and
-    accumulates per-event counts.  Estimates carry the standard error of the
-    utility so bound checks can be phrased as "≤ bound + 3σ" — the
-    finite-sample reading of the paper's negligible slack. *)
+    Each trial derives an independent generator from the master seed
+    ([mc:<seed>:<i>]), draws environment inputs, runs the engine, classifies
+    the execution, and accumulates per-event counts.  Because trial [i]
+    depends only on [(seed, i)], trials are embarrassingly parallel: the
+    range is split into fixed-size chunks executed across up to [jobs]
+    domains (see {!Parallel}), and the per-chunk accumulators are merged in
+    chunk-index order.  {b Determinism guarantee:} the same [seed] and trial
+    schedule produce bit-identical estimates for every value of [jobs].
+
+    Estimates carry the standard error of the utility so bound checks can be
+    phrased as "≤ bound + 3σ" — the finite-sample reading of the paper's
+    negligible slack.  The variance is computed with a merge-friendly
+    Welford/Chan recurrence and Bessel correction ([M2/(n-1)]), i.e. it is
+    the unbiased sample variance, not the population variance. *)
 
 module Rng = Fair_crypto.Rng
 module Engine = Fair_exec.Engine
@@ -27,16 +36,20 @@ val uniform_mod_inputs : m:int -> n:int -> environment
 
 type estimate = {
   utility : float;  (** empirical û *)
-  std_err : float;  (** standard error of [utility] *)
+  std_err : float;  (** Bessel-corrected standard error of [utility] *)
   distribution : Utility.distribution;
-  counts : (Events.event * int) list;
-  corrupted_counts : (int * int) list;  (** (#corrupted, occurrences) *)
+  counts : (Events.event * int) list;  (** sorted by event *)
+  corrupted_counts : (int * int) list;
+      (** (#corrupted, occurrences), sorted by #corrupted *)
   breaches : int;  (** correctness breaches observed *)
-  trials : int;
+  trials : int;  (** trials actually spent (≥ [trials] in adaptive mode) *)
 }
 
 val estimate :
   ?overrides:Events.overrides ->
+  ?jobs:int ->
+  ?target_std_err:float ->
+  ?max_trials:int ->
   protocol:Protocol.t ->
   adversary:Adversary.t ->
   func:Func.t ->
@@ -46,12 +59,26 @@ val estimate :
   seed:int ->
   unit ->
   estimate
+(** [jobs] (default {!Parallel.default_jobs}) bounds the number of domains
+    used; it never affects the numbers, only the wall clock.
+
+    Without [target_std_err], exactly [trials] trials run.  With
+    [?target_std_err:σ*], {e adaptive sampling}: batches run (starting at
+    [trials], doubling the total each round) until the measured standard
+    error drops to [σ*] or the total reaches [max_trials] (default
+    [20 * trials]); [estimate.trials] reports how many were actually spent.
+    The stopping rule reads the deterministically-merged accumulator, so
+    adaptive runs are also jobs-independent.
+    @raise Invalid_argument if [trials < 1] or [target_std_err <= 0]. *)
 
 val estimate_with_cost : estimate -> cost:(int -> float) -> float
 (** Reinterpret an estimate under corruption costs (Equation 5). *)
 
 val best_response :
   ?overrides:Events.overrides ->
+  ?jobs:int ->
+  ?target_std_err:float ->
+  ?max_trials:int ->
   protocol:Protocol.t ->
   adversaries:Adversary.t list ->
   func:Func.t ->
@@ -62,7 +89,8 @@ val best_response :
   unit ->
   Adversary.t * estimate
 (** sup over a finite adversary zoo: the strategy with the highest measured
-    utility, with ties broken by listing order.
+    utility, with ties broken by listing order.  [jobs]/[target_std_err]/
+    [max_trials] are passed through to each per-adversary {!estimate}.
     @raise Invalid_argument on an empty zoo. *)
 
 val within_bound : estimate -> bound:float -> bool

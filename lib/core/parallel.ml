@@ -1,0 +1,44 @@
+let default_jobs = max 1 (Domain.recommended_domain_count ())
+
+(* Each worker repeatedly claims the next unprocessed task index from a
+   shared atomic counter; results land in a slot array indexed by task, so
+   the output order is the task order no matter which domain ran what. *)
+let run_tasks ~jobs ~n (task : int -> 'a) : 'a list =
+  if n = 0 then []
+  else if jobs <= 1 || n = 1 then List.init n task
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec go () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (results.(i) <- Some (try Ok (task i) with e -> Error e));
+          go ()
+        end
+      in
+      go ()
+    in
+    let spawned = Array.init (min jobs n - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join spawned;
+    Array.to_list results
+    |> List.map (function
+         | Some (Ok x) -> x
+         | Some (Error e) -> raise e
+         | None -> assert false)
+  end
+
+let map_range ~jobs ~chunk_size ~lo ~hi f =
+  if chunk_size < 1 then invalid_arg "Parallel.map_range: chunk_size < 1";
+  let span = hi - lo in
+  if span <= 0 then []
+  else
+    let n = (span + chunk_size - 1) / chunk_size in
+    run_tasks ~jobs ~n (fun k ->
+        let clo = lo + (k * chunk_size) in
+        f ~lo:clo ~hi:(min (clo + chunk_size) hi))
+
+let map_list ~jobs f xs =
+  let arr = Array.of_list xs in
+  run_tasks ~jobs ~n:(Array.length arr) (fun i -> f arr.(i))

@@ -1,0 +1,29 @@
+(** A minimal hand-rolled domain pool (domainslib is not available in the
+    build image).
+
+    The contract that makes Monte-Carlo results bit-identical at any
+    parallelism: work is split into {e fixed-size chunks whose boundaries
+    depend only on the index range}, never on the job count; each chunk is
+    computed independently (on whichever domain picks it up), and the
+    caller receives the chunk results {e in chunk-index order}.  Any
+    left-fold merge over that list is therefore deterministic — the job
+    count only decides which domain computes a chunk, not the shape of the
+    reduction. *)
+
+val default_jobs : int
+(** [Domain.recommended_domain_count ()], clamped to at least 1. *)
+
+val map_range :
+  jobs:int -> chunk_size:int -> lo:int -> hi:int -> (lo:int -> hi:int -> 'a) -> 'a list
+(** [map_range ~jobs ~chunk_size ~lo ~hi f] splits [\[lo, hi)] into chunks
+    [\[lo + k*chunk_size, lo + (k+1)*chunk_size) ∩ \[lo, hi)], evaluates
+    [f ~lo ~hi] on each chunk using up to [jobs] domains (work-stealing via
+    a shared atomic counter), and returns the results in chunk-index order.
+    [jobs <= 1] runs everything on the calling domain.  An exception raised
+    by [f] is re-raised after all domains are joined.
+    @raise Invalid_argument if [chunk_size < 1]. *)
+
+val map_list : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map_list ~jobs f xs] is [List.map f xs] computed on up to [jobs]
+    domains, results in input order.  Same exception semantics as
+    {!map_range}. *)

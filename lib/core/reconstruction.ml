@@ -16,13 +16,14 @@ let round_is_fair (e : Montecarlo.estimate) =
   let sigma = 0.5 /. sqrt (float_of_int e.Montecarlo.trials) in
   unfair <= (3.0 *. sigma) +. 1e-9
 
-let analyze ~protocol ~abort_family ~func ~gamma ~env ~total_rounds ~trials ~seed =
+let analyze ?(jobs = Parallel.default_jobs) ~protocol ~abort_family ~func ~gamma ~env
+    ~total_rounds ~trials ~seed () =
   let per_round =
     List.map
       (fun r ->
         let adversaries = abort_family ~round:r in
         let _, best =
-          Montecarlo.best_response ~protocol ~adversaries ~func ~gamma ~env ~trials
+          Montecarlo.best_response ~jobs ~protocol ~adversaries ~func ~gamma ~env ~trials
             ~seed:(seed + (1000 * r))
             ()
         in

@@ -20,6 +20,7 @@ type profile = {
 }
 
 val analyze :
+  ?jobs:int ->
   protocol:Protocol.t ->
   abort_family:(round:int -> Adversary.t list) ->
   func:Func.t ->
@@ -28,6 +29,7 @@ val analyze :
   total_rounds:int ->
   trials:int ->
   seed:int ->
+  unit ->
   profile
 (** Sweep abort rounds 1..[total_rounds] with the given adversary family
     (typically "corrupt a party, run it honestly, go silent from round r,

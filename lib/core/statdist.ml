@@ -1,11 +1,17 @@
 type counts = (string, int) Hashtbl.t
 
-let count sample ~trials =
+let count ?(jobs = Parallel.default_jobs) sample ~trials =
   let tbl = Hashtbl.create 16 in
-  for i = 0 to trials - 1 do
-    let x = sample i in
-    Hashtbl.replace tbl x (1 + try Hashtbl.find tbl x with Not_found -> 0)
-  done;
+  let bump t k d = Hashtbl.replace t k (d + try Hashtbl.find t k with Not_found -> 0) in
+  (* Integer histograms merge commutatively, so chunked counting is
+     deterministic at any parallelism. *)
+  Parallel.map_range ~jobs ~chunk_size:256 ~lo:0 ~hi:trials (fun ~lo ~hi ->
+      let t = Hashtbl.create 16 in
+      for i = lo to hi - 1 do
+        bump t (sample i) 1
+      done;
+      t)
+  |> List.iter (fun t -> Hashtbl.iter (fun k d -> bump tbl k d) t);
   tbl
 
 let total_of tbl = float_of_int (Hashtbl.fold (fun _ c acc -> acc + c) tbl 0)
@@ -28,5 +34,5 @@ let total_variation a b =
 
 let bias_bound ~support ~trials = sqrt (float_of_int support /. float_of_int trials)
 
-let sample_distance ~a ~b ~trials =
-  total_variation (count a ~trials) (count b ~trials)
+let sample_distance ?jobs ~a ~b ~trials () =
+  total_variation (count ?jobs a ~trials) (count ?jobs b ~trials)

@@ -10,8 +10,10 @@
 
 type counts = (string, int) Hashtbl.t
 
-val count : (int -> string) -> trials:int -> counts
-(** Tabulate [trials] samples (the function receives the trial index). *)
+val count : ?jobs:int -> (int -> string) -> trials:int -> counts
+(** Tabulate [trials] samples (the function receives the trial index).
+    Samples are drawn in parallel chunks on up to [jobs] domains (default
+    {!Parallel.default_jobs}); the result is independent of [jobs]. *)
 
 val total_variation : counts -> counts -> float
 (** Plug-in TV estimate between two empirical distributions (which may have
@@ -22,5 +24,5 @@ val bias_bound : support:int -> trials:int -> float
     √(support / trials). *)
 
 val sample_distance :
-  a:(int -> string) -> b:(int -> string) -> trials:int -> float
+  ?jobs:int -> a:(int -> string) -> b:(int -> string) -> trials:int -> unit -> float
 (** [total_variation (count a ...) (count b ...)]. *)

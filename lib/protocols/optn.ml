@@ -18,11 +18,16 @@ let key_pool =
     (Array.init 16 (fun i ->
          Signature.Lamport.keygen (Rng.create ~seed:("optn-key-pool-" ^ string_of_int i))))
 
+(* Monte-Carlo trials may run on several domains; forcing a lazy
+   concurrently raises, so the pool is materialised under a lock. *)
+let key_pool_lock = Mutex.create ()
+let key_pool () = Mutex.protect key_pool_lock (fun () -> Lazy.force key_pool)
+
 (* F^⊥_priv-sfe outputs: party i* gets (y, σ, vk); everyone else (⊥, vk). *)
 let priv_outputs (func : Func.t) rng ~inputs =
   let n = func.Func.arity in
   let y = Func.eval_exn func inputs in
-  let pool = Lazy.force key_pool in
+  let pool = key_pool () in
   let sk, pk = pool.(Rng.int rng (Array.length pool)) in
   let vk = Sha256.to_hex (Signature.Lamport.public_key_to_string pk) in
   let signature = Sha256.to_hex (Signature.Lamport.signature_to_string (Signature.Lamport.sign sk y)) in

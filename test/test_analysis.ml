@@ -43,7 +43,7 @@ let test_find () =
   Alcotest.(check bool) "unknown" true (E.find "E99" = None)
 
 let test_markdown_of_result () =
-  let r = E.e1 ~trials:60 ~seed:1 in
+  let r = E.e1 ~trials:60 ~seed:1 ~jobs:1 in
   let md = E.to_markdown r in
   Alcotest.(check bool) "has heading" true (String.length md > 3 && String.sub md 0 3 = "###");
   Alcotest.(check bool) "mentions E1" true
@@ -116,7 +116,9 @@ let experiment_case (s : E.spec) =
         (* E12's binomial checks need more samples than the others. *)
         match s.E.eid with "E12" -> 400 | _ -> 150
       in
-      let r = s.E.run ~trials ~seed:2026 in
+      (* jobs:2 exercises the domain-parallel path; by the determinism
+         guarantee the numbers are the same as jobs:1. *)
+      let r = s.E.run ~trials ~seed:2026 ~jobs:2 in
       List.iter
         (fun (c : E.check) ->
           if not c.E.ok then

@@ -285,12 +285,12 @@ let test_relation_verdicts () =
 
 let test_statdist_identical () =
   let sample i = string_of_int (i mod 4) in
-  let tv = Statdist.sample_distance ~a:sample ~b:sample ~trials:400 in
+  let tv = Statdist.sample_distance ~a:sample ~b:sample ~trials:400 () in
   Alcotest.(check (float 1e-9)) "identical samplers" 0.0 tv
 
 let test_statdist_disjoint () =
   let tv =
-    Statdist.sample_distance ~a:(fun _ -> "x") ~b:(fun _ -> "y") ~trials:100
+    Statdist.sample_distance ~a:(fun _ -> "x") ~b:(fun _ -> "y") ~trials:100 ()
   in
   Alcotest.(check (float 1e-9)) "disjoint supports" 1.0 tv
 
@@ -300,7 +300,7 @@ let test_statdist_half () =
     Statdist.sample_distance
       ~a:(fun i -> string_of_int (i mod 2))
       ~b:(fun _ -> "0")
-      ~trials:1000
+      ~trials:1000 ()
   in
   if abs_float (tv -. 0.5) > 0.01 then Alcotest.failf "TV %.3f, expected 0.5" tv
 

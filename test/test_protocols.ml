@@ -284,7 +284,7 @@ let test_reconstruction_rounds () =
   in
   let profile =
     Reconstruction.analyze ~protocol:proto ~abort_family ~func:Func.swap ~gamma ~env:env2
-      ~total_rounds:(Fair_protocols.Opt2.hybrid_rounds - 1) ~trials:150 ~seed:77
+      ~total_rounds:(Fair_protocols.Opt2.hybrid_rounds - 1) ~trials:150 ~seed:77 ()
   in
   Alcotest.(check int) "two reconstruction rounds" 2 profile.Reconstruction.reconstruction_rounds
 
