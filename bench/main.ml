@@ -46,14 +46,26 @@ let run_experiments () =
    path on the same seed: the utilities must agree bit-for-bit (the
    determinism guarantee of Fairness.Montecarlo) while the wall clock
    shrinks with the core count. *)
+type mc_comparison = {
+  mc_jobs : int;
+  mc_trials : int;
+  seq_seconds : float;
+  par_seconds : float;
+  seq_trials_per_s : float;
+  par_trials_per_s : float;
+  speedup : float;
+  bit_identical : bool;
+}
+
 let run_parallel_comparison () =
   let module Mc = Fairness.Montecarlo in
   let swap = Func.concat ~n:5 in
   let protocol = Fair_protocols.Optn.hybrid swap in
   let adversary = Adv.greedy ~func:swap (Adv.Random_subset 4) in
+  let trials = 1500 in
   let estimate ~jobs =
     Mc.estimate ~jobs ~protocol ~adversary ~func:swap ~gamma:Fairness.Payoff.default
-      ~env:(Mc.uniform_field_inputs ~n:5) ~trials:1500 ~seed:42 ()
+      ~env:(Mc.uniform_field_inputs ~n:5) ~trials ~seed:42 ()
   in
   let wall f =
     let t0 = Unix.gettimeofday () in
@@ -67,15 +79,25 @@ let run_parallel_comparison () =
   let e_seq, t_seq = wall (fun () -> estimate ~jobs:1) in
   let e_par, t_par = wall (fun () -> estimate ~jobs) in
   let throughput e t = float_of_int e.Mc.trials /. t in
+  let bit_identical =
+    e_seq.Mc.utility = e_par.Mc.utility
+    && e_seq.Mc.std_err = e_par.Mc.std_err
+    && e_seq.Mc.counts = e_par.Mc.counts
+    && e_seq.Mc.corrupted_counts = e_par.Mc.corrupted_counts
+  in
   Printf.printf "  jobs=1   %7.2f s   %8.0f trials/s   u = %.6f\n" t_seq (throughput e_seq t_seq)
     e_seq.Mc.utility;
   Printf.printf "  jobs=%-2d  %7.2f s   %8.0f trials/s   u = %.6f\n" jobs t_par
     (throughput e_par t_par) e_par.Mc.utility;
-  Printf.printf "  speedup: %.2fx   bit-identical: %b\n\n" (t_seq /. t_par)
-    (e_seq.Mc.utility = e_par.Mc.utility
-    && e_seq.Mc.std_err = e_par.Mc.std_err
-    && e_seq.Mc.counts = e_par.Mc.counts
-    && e_seq.Mc.corrupted_counts = e_par.Mc.corrupted_counts)
+  Printf.printf "  speedup: %.2fx   bit-identical: %b\n\n" (t_seq /. t_par) bit_identical;
+  { mc_jobs = jobs;
+    mc_trials = trials;
+    seq_seconds = t_seq;
+    par_seconds = t_par;
+    seq_trials_per_s = throughput e_seq t_seq;
+    par_trials_per_s = throughput e_par t_par;
+    speedup = t_seq /. t_par;
+    bit_identical }
 
 (* ------------------------------------------------------------------ *)
 (* Part 2: timing kernels                                              *)
@@ -289,14 +311,54 @@ let run_timings () =
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
   let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
-  List.iter
+  List.filter_map
     (fun (name, ols) ->
       match Analyze.OLS.estimates ols with
-      | Some [ est ] -> Printf.printf "%-50s %14.0f ns/run\n" name est
-      | _ -> Printf.printf "%-50s %14s\n" name "n/a")
+      | Some [ est ] ->
+          Printf.printf "%-50s %14.0f ns/run\n" name est;
+          Some (name, est)
+      | _ ->
+          Printf.printf "%-50s %14s\n" name "n/a";
+          None)
     rows
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable output                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* BENCH_mc.json: the numbers above in a stable, diffable shape, so perf
+   regressions can be tracked across commits without scraping stdout. *)
+let write_json ~path mc kernels =
+  let module J = Fair_search.Json in
+  let json =
+    J.Obj
+      [ ("schema", J.Str "fairness-bench/1");
+        ( "montecarlo",
+          J.Obj
+            [ ("kernel", J.Str "optn-n5-vs-greedy-t4");
+              ("trials", J.num_int mc.mc_trials);
+              ("jobs", J.num_int mc.mc_jobs);
+              ("seq_seconds", J.Num mc.seq_seconds);
+              ("par_seconds", J.Num mc.par_seconds);
+              ("seq_trials_per_sec", J.Num mc.seq_trials_per_s);
+              ("par_trials_per_sec", J.Num mc.par_trials_per_s);
+              ("speedup", J.Num mc.speedup);
+              ("bit_identical", J.Bool mc.bit_identical) ] );
+        ( "kernels",
+          J.List
+            (List.map
+               (fun (name, ns) ->
+                 J.Obj [ ("name", J.Str name); ("ns_per_op", J.Num ns) ])
+               kernels) ) ]
+  in
+  let oc = open_out path in
+  output_string oc (J.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nwrote %s (%d kernels)\n" path (List.length kernels)
 
 let () =
   run_experiments ();
-  run_parallel_comparison ();
-  run_timings ()
+  let mc = run_parallel_comparison () in
+  let kernels = run_timings () in
+  write_json ~path:"BENCH_mc.json" mc kernels

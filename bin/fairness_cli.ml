@@ -29,10 +29,14 @@ let markdown_arg =
 
 let list_cmd =
   let run () =
-    List.iter (fun (s : E.spec) -> Printf.printf "%-4s %s\n" s.E.eid s.E.etitle) E.registry;
+    List.iter
+      (fun (s : E.spec) ->
+        Printf.printf "%-4s %s\n%-4s   %s\n" s.E.eid s.E.etitle ""
+          s.E.eclaim)
+      E.registry;
     0
   in
-  Cmd.v (Cmd.info "list" ~doc:"List the experiments (paper claim per id).")
+  Cmd.v (Cmd.info "list" ~doc:"List the experiments (id, theorem, claim).")
     Term.(const run $ const ())
 
 let print_result ~markdown r =
@@ -103,6 +107,93 @@ let sweep_cmd =
           the measured fairness landscape.")
     Term.(const run $ kind_arg $ trials_arg $ seed_arg $ jobs_arg $ markdown_arg)
 
+let search_cmd =
+  let module Certificate = Fair_search.Certificate in
+  let module Landscape = Fair_search.Landscape in
+  let id_arg =
+    let doc = "Experiment id (e.g. E2), or `all' for every targeted experiment. Ignored with --grid." in
+    Arg.(value & pos 0 string "all" & info [] ~docv:"ID" ~doc)
+  in
+  let budget_arg =
+    let doc = "Total Monte-Carlo trial budget shared by all arms of one search." in
+    Arg.(value & opt int 20_000 & info [ "b"; "budget" ] ~docv:"B" ~doc)
+  in
+  let grid_arg =
+    let doc = "Instead of the registry, race the strategy space over a landscape grid (gamma or n)." in
+    Arg.(
+      value
+      & opt (some (enum [ ("gamma", `Gamma); ("n", `N) ])) None
+      & info [ "grid" ] ~docv:"KIND" ~doc)
+  in
+  let zoo_arg =
+    let doc =
+      "Race the fixed adversary zoo as extra arms (same seed derivation, same budget) and \
+       record its best raced estimate in each certificate for comparison."
+    in
+    Arg.(value & flag & info [ "zoo" ] ~doc)
+  in
+  let out_arg =
+    let doc = "Directory to write one certificate JSON per search (created if missing)." in
+    Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"DIR" ~doc)
+  in
+  let sanitize s =
+    String.map
+      (function ('a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.') as c -> c | _ -> '-')
+      s
+  in
+  let save_cert dir (c : Certificate.t) =
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    let path =
+      Filename.concat dir (sanitize (String.lowercase_ascii c.Certificate.experiment) ^ ".json")
+    in
+    Certificate.save ~path c;
+    Printf.eprintf "wrote %s\n%!" path
+  in
+  let run id budget grid zoo out seed jobs markdown =
+    match grid with
+    | Some kind ->
+        let table =
+          match kind with
+          | `Gamma -> Landscape.gamma_grid ~jobs ~budget ~seed ()
+          | `N -> Landscape.n_grid ~jobs ~budget ~seed ()
+        in
+        print_endline (Landscape.render ~markdown table);
+        Option.iter
+          (fun dir -> List.iter (fun (_, c) -> save_cert dir c) table.Landscape.points)
+          out;
+        if List.for_all (fun (_, c) -> c.Certificate.within_bound) table.Landscape.points then 0
+        else 1
+    | None ->
+        let specs =
+          if String.lowercase_ascii id = "all" then E.registry
+          else
+            match E.find id with
+            | Some s -> [ s ]
+            | None ->
+                Printf.eprintf "unknown experiment %S; try `fairness list`\n" id;
+                exit 2
+        in
+        let certs = List.filter_map (E.searched ~budget ~zoo ~seed ~jobs) specs in
+        if certs = [] then begin
+          Printf.eprintf
+            "%s has no search target (its number is not a supremum over adversaries)\n" id;
+          exit 2
+        end;
+        print_endline (E.search_table ~markdown certs);
+        Option.iter (fun dir -> List.iter (save_cert dir) certs) out;
+        if List.for_all (fun (c : Certificate.t) -> c.Certificate.within_bound) certs then 0
+        else 1
+  in
+  Cmd.v
+    (Cmd.info "search"
+       ~doc:
+         "Race the declarative adversary space against an experiment's protocol under a shared \
+          trial budget (successive halving) and certify the searched best response against the \
+          paper bound.")
+    Term.(
+      const run $ id_arg $ budget_arg $ grid_arg $ zoo_arg $ out_arg $ seed_arg $ jobs_arg
+      $ markdown_arg)
+
 let demo_cmd =
   let name_arg =
     Arg.(
@@ -148,6 +239,7 @@ let demos_cmd =
 
 let main =
   let doc = "Reproduction harness for 'How Fair is Your Protocol?' (PODC 2015)" in
-  Cmd.group (Cmd.info "fairness" ~version:"1.0.0" ~doc) [ list_cmd; run_cmd; all_cmd; demo_cmd; demos_cmd; sweep_cmd ]
+  Cmd.group (Cmd.info "fairness" ~version:"1.0.0" ~doc)
+    [ list_cmd; run_cmd; all_cmd; search_cmd; demo_cmd; demos_cmd; sweep_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -10,7 +10,7 @@
 
 open Fairness
 module C = Fair_protocols.Contract
-module Report = Fair_analysis.Report
+module Report = Fairness.Report
 
 let () =
   let trials = 2000 in

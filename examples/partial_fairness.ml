@@ -8,7 +8,7 @@
 open Fairness
 module GK = Fair_protocols.Gordon_katz
 module Func = Fair_mpc.Func
-module Report = Fair_analysis.Report
+module Report = Fairness.Report
 
 let () =
   let func = Func.and_ in

@@ -13,7 +13,7 @@
 open Fairness
 module Func = Fair_mpc.Func
 module Adv = Fair_protocols.Adversaries
-module Report = Fair_analysis.Report
+module Report = Fairness.Report
 
 let () =
   let n = 5 in

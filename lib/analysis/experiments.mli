@@ -34,10 +34,32 @@ val pp : Format.formatter -> result -> unit
 
 val to_markdown : result -> string
 
+(** {2 Best-response search integration}
+
+    The registry's headline numbers are suprema over adversaries; a
+    {!search_target} names the sup_A instance behind an experiment so the
+    {!Fair_search} subsystem can race the full strategy space over it
+    instead of trusting the hand-written zoo. *)
+
+type search_target = {
+  s_target : Fair_search.Racing.target;
+      (** protocol, function, payoff vector, environment, event accounting *)
+  s_space : Fair_search.Strategy_space.space;  (** arms to race *)
+  s_zoo : Fair_exec.Adversary.t list;
+      (** the fixed zoo the search must dominate (for the certificate's
+          searched-vs-zoo comparison) *)
+  s_bound : float;  (** the paper's closed-form bound on sup_A u *)
+  s_bound_label : string;
+}
+
 type spec = {
   eid : string;
   etitle : string;
+  eclaim : string;  (** one-line claim, printed by the CLI's [list] *)
   run : trials:int -> seed:int -> jobs:int -> result;
+  target : (unit -> search_target) option;
+      (** [None] when the experiment's number is not a supremum over
+          adversaries (E12, E15) *)
 }
 
 val registry : spec list
@@ -45,6 +67,34 @@ val registry : spec list
 
 val find : string -> spec option
 (** Case-insensitive lookup by id. *)
+
+val searched :
+  ?budget:int ->
+  ?zoo:bool ->
+  seed:int ->
+  jobs:int ->
+  spec ->
+  Fair_search.Certificate.t option
+(** Race the experiment's strategy space under [budget] total trials
+    (default 20k) and certify the result against the paper bound.  With
+    [~zoo:true] the fixed adversary zoo joins the race as extra arms
+    (same seed derivation, same budget), and the certificate records the
+    zoo's best raced estimate — so the searched best is a max over a
+    superset of the zoo arms and dominates it by construction.  [None]
+    iff the spec has no target.  Deterministic in ([budget], [seed]) —
+    [jobs] never changes the numbers. *)
+
+val search_summary :
+  ?budget:int ->
+  ?zoo:bool ->
+  seed:int ->
+  jobs:int ->
+  unit ->
+  Fair_search.Certificate.t list
+(** {!searched} over the whole registry (targeted experiments only). *)
+
+val search_table : ?markdown:bool -> Fair_search.Certificate.t list -> string
+(** The "searched" summary table (one row per experiment). *)
 
 val e1 : trials:int -> seed:int -> jobs:int -> result
 val e2 : trials:int -> seed:int -> jobs:int -> result

@@ -9,6 +9,45 @@ type table = {
   data : (string * float) list;
 }
 
+(* Natural-order label comparison: digit runs compare numerically, so
+   "n=10" sorts after "n=2" and zero-padding is never needed. *)
+let natural_compare a b =
+  let la = String.length a and lb = String.length b in
+  let is_digit c = c >= '0' && c <= '9' in
+  let digits s i =
+    let j = ref i in
+    let len = String.length s in
+    while !j < len && is_digit s.[!j] do incr j done;
+    !j
+  in
+  let rec go i j =
+    if i >= la && j >= lb then 0
+    else if i >= la then -1
+    else if j >= lb then 1
+    else if is_digit a.[i] && is_digit b.[j] then begin
+      let i' = digits a i and j' = digits b j in
+      (* skip leading zeros, then longer run = bigger number *)
+      let zi = ref i and zj = ref j in
+      while !zi < i' - 1 && a.[!zi] = '0' do incr zi done;
+      while !zj < j' - 1 && b.[!zj] = '0' do incr zj done;
+      let na = i' - !zi and nb = j' - !zj in
+      if na <> nb then compare na nb
+      else
+        let c = compare (String.sub a !zi na) (String.sub b !zj nb) in
+        if c <> 0 then c else go i' j'
+    end
+    else
+      let c = Char.compare a.[i] b.[j] in
+      if c <> 0 then c else go (i + 1) (j + 1)
+  in
+  go 0 0
+
+(* The machine-facing label↦value pairs always leave in sorted label order,
+   whatever order the sweep itself visited the grid — consumers diffing two
+   sweeps never see a spurious reordering (the rendered [rows] keep the
+   sweep's own order). *)
+let stable_data pairs = List.stable_sort (fun (a, _) (b, _) -> natural_compare a b) pairs
+
 let render ?markdown t = Report.render ?markdown ~header:t.header t.rows
 
 let gamma_sweep ?(gammas = Payoff.sweep) ?(jobs = Parallel.default_jobs) ~trials ~seed () =
@@ -34,7 +73,7 @@ let gamma_sweep ?(gammas = Payoff.sweep) ?(jobs = Parallel.default_jobs) ~trials
             Report.fmt_float (Bounds.opt2 gamma);
             string_of_bool (Relation.is_optimal ~best:e ~bound:(Bounds.opt2 gamma)) ])
         results;
-    data = List.map (fun (g, (e : Mc.estimate)) -> (Payoff.to_string g, e.Mc.utility)) results }
+    data = stable_data (List.map (fun (g, (e : Mc.estimate)) -> (Payoff.to_string g, e.Mc.utility)) results) }
 
 let n_sweep ?(jobs = Parallel.default_jobs) ~ns ~trials ~seed () =
   let gamma = Payoff.default in
@@ -61,7 +100,7 @@ let n_sweep ?(jobs = Parallel.default_jobs) ~ns ~trials ~seed () =
             Report.fmt_pm e.Mc.utility e.Mc.std_err;
             Report.fmt_float (Bounds.optn_best gamma ~n) ])
         results;
-    data = List.map (fun (n, (e : Mc.estimate)) -> (string_of_int n, e.Mc.utility)) results }
+    data = stable_data (List.map (fun (n, (e : Mc.estimate)) -> (string_of_int n, e.Mc.utility)) results) }
 
 let q_sweep ?(jobs = Parallel.default_jobs) ~qs ~trials ~seed () =
   let gamma = Payoff.default in
@@ -88,4 +127,4 @@ let q_sweep ?(jobs = Parallel.default_jobs) ~qs ~trials ~seed () =
             Report.fmt_pm e.Mc.utility e.Mc.std_err;
             Report.fmt_float (e.Mc.utility -. Bounds.opt2 gamma) ])
         results;
-    data = List.map (fun (q, (e : Mc.estimate)) -> (Printf.sprintf "%.2f" q, e.Mc.utility)) results }
+    data = stable_data (List.map (fun (q, (e : Mc.estimate)) -> (Printf.sprintf "%.2f" q, e.Mc.utility)) results) }

@@ -7,8 +7,16 @@
 type table = {
   header : string list;
   rows : string list list;
-  data : (string * float) list;  (** label ↦ measured best utility *)
+  data : (string * float) list;
+      (** label ↦ measured best utility, always in natural-sorted label
+          order (digit runs compare numerically) regardless of the order
+          the sweep visited the grid — so machine consumers diffing two
+          sweeps never see a spurious reordering.  The rendered [rows]
+          keep the sweep's own order. *)
 }
+
+val natural_compare : string -> string -> int
+(** The label order used for [data]: "n=2" < "n=10". *)
 
 val render : ?markdown:bool -> table -> string
 

@@ -156,6 +156,36 @@ let estimate ?(overrides = Events.no_overrides) ?(jobs = Parallel.default_jobs)
       in
       go (acc_create ()) (min cap trials)
 
+(* ------------------------------------------------------------------ *)
+(* Public incremental accumulation: the racing scheduler (Fair_search)
+   pulls arms in budgeted batches, so it needs to extend an estimate by a
+   trial range without recomputing the prefix.  Because trial [i] depends
+   only on (seed, i) and chunk boundaries depend only on [lo, hi), growing
+   an accumulator over [0, a) by [a, b) in [chunk_size]-aligned steps is
+   bit-identical to a one-shot run over [0, b). *)
+
+module Acc = struct
+  type t = acc
+
+  let create = acc_create
+  let count a = a.count
+  let mean a = a.mean
+  let std_err = acc_std_err
+  let merge = acc_merge
+  let finalize = acc_finalize
+
+  (* Event-free observation for synthetic workloads (scheduler tests,
+     generic bandit arms): the payoff stream drives mean/std_err, the
+     event bookkeeping stays at its E00 default. *)
+  let observe a payoff =
+    acc_observe a ~payoff ~event:Events.E00 ~n_corrupted:0 ~breach:false
+end
+
+let sample ?(overrides = Events.no_overrides) ?(jobs = Parallel.default_jobs) ~protocol
+    ~adversary ~func ~gamma ~env ~seed ~lo ~hi acc =
+  if lo < 0 || hi < lo then invalid_arg "Montecarlo.sample: bad range";
+  run_range ~overrides ~protocol ~adversary ~func ~gamma ~env ~seed ~jobs ~lo ~hi acc
+
 let estimate_with_cost e ~cost =
   let penalty =
     List.fold_left

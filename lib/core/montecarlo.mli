@@ -71,6 +71,55 @@ val estimate :
     adaptive runs are also jobs-independent.
     @raise Invalid_argument if [trials < 1] or [target_std_err <= 0]. *)
 
+(** {2 Incremental accumulation}
+
+    The best-response racing scheduler ({!Fair_search.Racing}) grows
+    per-arm estimates in budgeted batches.  {!Acc.t} is the same
+    Welford/Chan accumulator {!estimate} uses internally; {!sample} extends
+    one by a trial range.  Growing over [\[0, a)] then [\[a, b)] in
+    64-aligned steps is bit-identical to a one-shot run over [\[0, b)]
+    (same chunk boundaries, same merge order), and remains independent of
+    [jobs]. *)
+
+module Acc : sig
+  type t
+
+  val create : unit -> t
+  val count : t -> int
+  val mean : t -> float
+
+  val std_err : t -> float
+  (** Bessel-corrected standard error of the running mean (0 below 2
+      observations). *)
+
+  val merge : t -> t -> t
+  (** [merge a b] folds [b] into [a] (Chan et al.) and returns [a]. *)
+
+  val observe : t -> float -> unit
+  (** Record a bare payoff — for synthetic workloads (scheduler tests,
+      generic bandit arms) that have no protocol execution behind them. *)
+
+  val finalize : t -> estimate
+end
+
+val sample :
+  ?overrides:Events.overrides ->
+  ?jobs:int ->
+  protocol:Protocol.t ->
+  adversary:Adversary.t ->
+  func:Func.t ->
+  gamma:Payoff.t ->
+  env:environment ->
+  seed:int ->
+  lo:int ->
+  hi:int ->
+  Acc.t ->
+  Acc.t
+(** Run trials [\[lo, hi)] of the [(seed, i)]-derived stream into the
+    accumulator (in place; also returned).  Chunking and determinism are
+    exactly {!estimate}'s.
+    @raise Invalid_argument if [lo < 0] or [hi < lo]. *)
+
 val estimate_with_cost : estimate -> cost:(int -> float) -> float
 (** Reinterpret an estimate under corruption costs (Equation 5). *)
 

@@ -22,13 +22,16 @@ let total_variation a b =
   let keys = Hashtbl.create 16 in
   Hashtbl.iter (fun k _ -> Hashtbl.replace keys k ()) a;
   Hashtbl.iter (fun k _ -> Hashtbl.replace keys k ()) b;
+  (* Sum in sorted key order: float addition is order-sensitive, and the
+     hash order of [keys] is not a stable contract. *)
+  let sorted = List.sort compare (Hashtbl.fold (fun k () l -> k :: l) keys []) in
   let sum =
-    Hashtbl.fold
-      (fun k () acc ->
+    List.fold_left
+      (fun acc k ->
         let pa = float_of_int (try Hashtbl.find a k with Not_found -> 0) /. na in
         let pb = float_of_int (try Hashtbl.find b k with Not_found -> 0) /. nb in
         acc +. abs_float (pa -. pb))
-      keys 0.0
+      0.0 sorted
   in
   sum /. 2.0
 

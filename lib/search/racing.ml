@@ -1,0 +1,111 @@
+module Mc = Fairness.Montecarlo
+module Parallel = Fairness.Parallel
+
+type 'a standing = {
+  arm : 'a;
+  estimate : Mc.estimate;
+  eliminated_in : int option;
+}
+
+type 'a outcome = {
+  best : 'a;
+  best_estimate : Mc.estimate;
+  spent : int;
+  rounds : int;
+  standings : 'a standing list;
+}
+
+let race ?(batch0 = 64) ?(z = 3.0) ?(jobs = Parallel.default_jobs) ~arms ~pull ~budget () =
+  if arms = [] then invalid_arg "Racing.race: no arms";
+  if budget < 1 then invalid_arg "Racing.race: budget < 1";
+  if batch0 < 1 then invalid_arg "Racing.race: batch0 < 1";
+  if z < 0.0 then invalid_arg "Racing.race: z < 0";
+  let arms = Array.of_list arms in
+  let k = Array.length arms in
+  let accs = Array.init k (fun _ -> Mc.Acc.create ()) in
+  let eliminated = Array.make k None in
+  let live () =
+    List.filter (fun i -> eliminated.(i) = None) (List.init k (fun i -> i))
+  in
+  let lcb i = Mc.Acc.mean accs.(i) -. (z *. Mc.Acc.std_err accs.(i)) in
+  let ucb i = Mc.Acc.mean accs.(i) +. (z *. Mc.Acc.std_err accs.(i)) in
+  let spent = ref 0 in
+  let round = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let s = live () in
+    let survivors = List.length s in
+    (* Doubling batches, capped so the round fits the remaining budget.
+       [2^round] is computed with care only up to the budget's magnitude. *)
+    let want = if !round >= 30 then max_int else batch0 * (1 lsl !round) in
+    let b = min want ((budget - !spent) / survivors) in
+    if b < 1 then continue := false
+    else begin
+      incr round;
+      (* Arm-level parallelism: each surviving arm's batch is an independent
+         deterministic computation; merge back in arm order. *)
+      let batches =
+        Parallel.map_list ~jobs
+          (fun i ->
+            let lo = Mc.Acc.count accs.(i) in
+            pull arms.(i) ~lo ~hi:(lo + b))
+          s
+      in
+      List.iter2 (fun i batch -> ignore (Mc.Acc.merge accs.(i) batch)) s batches;
+      spent := !spent + (b * survivors);
+      (* The incumbent is the highest lower confidence bound (ties to the
+         lower index); an arm dies when its whole interval sits below it. *)
+      let incumbent =
+        List.fold_left
+          (fun best i -> if lcb i > lcb best then i else best)
+          (List.hd s) (List.tl s)
+      in
+      List.iter
+        (fun i -> if i <> incumbent && ucb i < lcb incumbent then eliminated.(i) <- Some !round)
+        s
+    end
+  done;
+  let s = live () in
+  let best =
+    List.fold_left
+      (fun best i -> if Mc.Acc.mean accs.(i) > Mc.Acc.mean accs.(best) then i else best)
+      (List.hd s) (List.tl s)
+  in
+  { best = arms.(best);
+    best_estimate = Mc.Acc.finalize accs.(best);
+    spent = !spent;
+    rounds = !round;
+    standings =
+      List.init k (fun i ->
+          { arm = arms.(i);
+            estimate = Mc.Acc.finalize accs.(i);
+            eliminated_in = eliminated.(i) }) }
+
+(* ------------------------------------------------------------------ *)
+
+type target = {
+  protocol : Fair_exec.Protocol.t;
+  func : Fair_mpc.Func.t;
+  gamma : Fairness.Payoff.t;
+  env : Mc.environment;
+  overrides : Fairness.Events.overrides;
+}
+
+let arm_seed ~seed i = seed + (7919 * (i + 1))
+
+let race_space ?batch0 ?z ?jobs ~target ~space ~budget ~seed () =
+  let points = Array.of_list (Strategy_space.points space) in
+  let arms = List.init (Array.length points) (fun i -> i) in
+  let pull i ~lo ~hi =
+    Mc.sample ~overrides:target.overrides ~jobs:1 ~protocol:target.protocol
+      ~adversary:(Strategy_space.compile space points.(i))
+      ~func:target.func ~gamma:target.gamma ~env:target.env ~seed:(arm_seed ~seed i) ~lo ~hi
+      (Mc.Acc.create ())
+  in
+  let o = race ?batch0 ?z ?jobs ~arms ~pull ~budget () in
+  { best = points.(o.best);
+    best_estimate = o.best_estimate;
+    spent = o.spent;
+    rounds = o.rounds;
+    standings =
+      List.map (fun s -> { arm = points.(s.arm); estimate = s.estimate; eliminated_in = s.eliminated_in }) o.standings }

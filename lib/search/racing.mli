@@ -1,0 +1,86 @@
+(** Best-response search as a budgeted bandit race.
+
+    Candidate adversaries are arms; the supremum in [sup_A u(Π, A)] is found
+    by {e racing} the arms under a shared trial budget instead of giving
+    every strategy the same (mostly wasted) sample size.  The schedule is a
+    successive-halving / LUCB hybrid:
+
+    - every surviving arm receives the same batch of fresh trials per round
+      (batches double, starting at [batch0]);
+    - after each round the {e incumbent} is the arm with the highest lower
+      confidence bound [mean − z·std_err] (ties to the lower arm index),
+      and every arm whose upper confidence bound [mean + z·std_err] falls
+      strictly below the incumbent's lower bound is eliminated;
+    - surviving arms split the remaining budget until it cannot fund one
+      more trial per survivor.
+
+    With [z = 3] an arm is only eliminated when its confidence interval is
+    disjoint from the incumbent's, so the true argmax survives with
+    overwhelming probability while hopeless arms stop burning trials after
+    one cheap batch — the budget concentrates on the contenders.
+
+    {b Determinism.} Arm pulls are derived from [(seed, arm index, trial
+    index)] only, batches are merged in arm order on the scheduling domain,
+    and elimination reads the merged accumulators — so the whole race (and
+    any certificate derived from it) is bit-identical for every [jobs]
+    value; parallelism only decides which domain evaluates which arm
+    ({!Fairness.Parallel.map_list}). *)
+
+module Mc = Fairness.Montecarlo
+
+type 'a standing = {
+  arm : 'a;
+  estimate : Mc.estimate;
+  eliminated_in : int option;
+      (** the 1-based round that killed the arm; [None] = survivor *)
+}
+
+type 'a outcome = {
+  best : 'a;
+  best_estimate : Mc.estimate;
+  spent : int;  (** total trials consumed, ≤ budget *)
+  rounds : int;
+  standings : 'a standing list;  (** in arm order *)
+}
+
+val race :
+  ?batch0:int ->
+  ?z:float ->
+  ?jobs:int ->
+  arms:'a list ->
+  pull:('a -> lo:int -> hi:int -> Mc.Acc.t) ->
+  budget:int ->
+  unit ->
+  'a outcome
+(** [pull arm ~lo ~hi] must return a fresh accumulator holding exactly the
+    trials [\[lo, hi)] of the arm's deterministic per-arm stream; it is
+    called with contiguous, increasing ranges and may run on any domain.
+    [batch0] defaults to 64 (the Monte-Carlo chunk size, keeping batch
+    boundaries chunk-aligned); [z] defaults to 3.
+    @raise Invalid_argument on an empty arm list, [budget < 1], [batch0 < 1]
+    or [z < 0]. *)
+
+(** {2 Monte-Carlo-backed racing} *)
+
+type target = {
+  protocol : Fair_exec.Protocol.t;
+  func : Fair_mpc.Func.t;
+  gamma : Fairness.Payoff.t;
+  env : Mc.environment;
+  overrides : Fairness.Events.overrides;
+}
+
+val race_space :
+  ?batch0:int ->
+  ?z:float ->
+  ?jobs:int ->
+  target:target ->
+  space:Strategy_space.space ->
+  budget:int ->
+  seed:int ->
+  unit ->
+  Strategy_space.point outcome
+(** Race the full enumeration of [space] against the target.  Arm [i]'s
+    stream is seeded with [seed + 7919·(i+1)] (so arms are independent and
+    the race is reproducible from [seed] alone); each pull evaluates with
+    [jobs:1] inside, parallelism lives at the arm level. *)

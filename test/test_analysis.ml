@@ -3,7 +3,7 @@
    its own paper checks). *)
 
 module E = Fair_analysis.Experiments
-module Report = Fair_analysis.Report
+module Report = Fairness.Report
 
 let test_render_plain () =
   let s = Report.render ~header:[ "a"; "bb" ] [ [ "1"; "2" ]; [ "333"; "4" ] ] in
@@ -76,6 +76,16 @@ let test_sweep_renders () =
   let s = S.render t in
   Alcotest.(check bool) "non-empty" true (String.length s > 20)
 
+(* data labels leave in stable natural-sorted order whatever order the
+   sweep visited the grid; rows keep the sweep's own order *)
+let test_sweep_data_label_order () =
+  let module S = Fair_analysis.Sweep in
+  Alcotest.(check bool) "digit runs compare numerically" true (S.natural_compare "n=2" "n=10" < 0);
+  Alcotest.(check bool) "plain text still ordered" true (S.natural_compare "abort@3" "greedy" < 0);
+  let t = S.n_sweep ~ns:[ 4; 2 ] ~trials:120 ~seed:9 () in
+  Alcotest.(check (list string)) "data sorted" [ "2"; "4" ] (List.map fst t.S.data);
+  Alcotest.(check string) "rows keep sweep order" "4" (List.hd (List.hd t.S.rows))
+
 (* ------------------------------ demo --------------------------------- *)
 
 let test_demo_registry () =
@@ -141,7 +151,8 @@ let () =
       ( "sweep",
         [ Alcotest.test_case "n-sweep decay" `Slow test_n_sweep_shape;
           Alcotest.test_case "q-sweep V shape" `Slow test_q_sweep_v_shape;
-          Alcotest.test_case "render" `Slow test_sweep_renders ] );
+          Alcotest.test_case "render" `Slow test_sweep_renders;
+          Alcotest.test_case "data label order" `Slow test_sweep_data_label_order ] );
       ( "demo",
         [ Alcotest.test_case "registry and lookup" `Quick test_demo_registry;
           Alcotest.test_case "adversary lookup" `Quick test_demo_adversary_lookup;

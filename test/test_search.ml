@@ -1,0 +1,194 @@
+(* The best-response search subsystem: strategy space, racing scheduler,
+   certificates.
+
+   The scheduler tests run on synthetic arms (deterministic hash-noise
+   around known means) so budget accounting and elimination safety are
+   checked against ground truth; the end-to-end tests race the real
+   registry targets and compare against the fixed zoo. *)
+
+module Mc = Fairness.Montecarlo
+module Space = Fair_search.Strategy_space
+module Racing = Fair_search.Racing
+module Certificate = Fair_search.Certificate
+module Json = Fair_search.Json
+module E = Fair_analysis.Experiments
+
+(* ------------------------- synthetic arms ---------------------------- *)
+
+(* Deterministic per-(arm, trial) noise in [−amp/2, amp/2]. *)
+let synthetic_pull ~mean ~amp arm ~lo ~hi =
+  let acc = Mc.Acc.create () in
+  for i = lo to hi - 1 do
+    let h = Hashtbl.hash (arm, i) land 0xFFFF in
+    Mc.Acc.observe acc (mean +. (amp *. ((float_of_int h /. 65535.0) -. 0.5)))
+  done;
+  acc
+
+(* ---------------------- (b) budget accounting ------------------------ *)
+
+let test_budget_never_exceeded () =
+  List.iter
+    (fun budget ->
+      let total = Atomic.make 0 in
+      let pull a ~lo ~hi =
+        ignore (Atomic.fetch_and_add total (hi - lo));
+        synthetic_pull ~mean:(0.3 +. (0.1 *. float_of_int a)) ~amp:0.2 a ~lo ~hi
+      in
+      let o = Racing.race ~jobs:1 ~arms:[ 0; 1; 2; 3; 4 ] ~pull ~budget () in
+      if o.Racing.spent > budget then
+        Alcotest.failf "budget %d exceeded: spent %d" budget o.Racing.spent;
+      Alcotest.(check int) "spent = trials actually pulled" (Atomic.get total) o.Racing.spent;
+      Alcotest.(check bool) "some budget used" true (o.Racing.spent > 0))
+    [ 5; 64; 300; 1000; 12345 ]
+
+(* ---------------------- (c) elimination safety ----------------------- *)
+
+let test_eliminated_never_argmax () =
+  let means = [| 0.8; 0.5; 0.2 |] in
+  let pull a ~lo ~hi = synthetic_pull ~mean:means.(a) ~amp:0.3 a ~lo ~hi in
+  let o = Racing.race ~jobs:1 ~arms:[ 0; 1; 2 ] ~pull ~budget:20_000 () in
+  Alcotest.(check int) "true argmax wins" 0 o.Racing.best;
+  List.iter
+    (fun (s : int Racing.standing) ->
+      match s.Racing.eliminated_in with
+      | Some _ when s.Racing.arm = 0 -> Alcotest.fail "true argmax was eliminated"
+      | _ -> ())
+    o.Racing.standings;
+  (* the gaps are many σ wide, so the race must actually eliminate — the
+     budget concentrates on the contender *)
+  let eliminated =
+    List.filter (fun (s : int Racing.standing) -> s.Racing.eliminated_in <> None) o.Racing.standings
+  in
+  Alcotest.(check bool) "weak arms eliminated" true (List.length eliminated = 2);
+  let winner_trials = o.Racing.best_estimate.Mc.trials in
+  List.iter
+    (fun (s : int Racing.standing) ->
+      Alcotest.(check bool) "winner out-sampled the eliminated" true
+        (winner_trials > s.Racing.estimate.Mc.trials))
+    eliminated
+
+(* ------------------- (a) searched beats the zoo ---------------------- *)
+
+let searched_beats_zoo id () =
+  match E.find id with
+  | None -> Alcotest.failf "experiment %s missing" id
+  | Some spec -> (
+      match E.searched ~budget:6000 ~zoo:true ~seed:42 ~jobs:2 spec with
+      | None -> Alcotest.failf "%s has no search target" id
+      | Some c -> (
+          Alcotest.(check bool) "within paper bound (+3σ)" true c.Certificate.within_bound;
+          Alcotest.(check bool) "spent within budget" true (c.Certificate.spent <= c.Certificate.budget);
+          match c.Certificate.zoo_best with
+          | None -> Alcotest.fail "zoo comparison missing"
+          | Some (zoo_arm, zoo_u) ->
+              if c.Certificate.utility < zoo_u then
+                Alcotest.failf "searched %.4f (%s) below zoo best %.4f (%s)"
+                  c.Certificate.utility c.Certificate.best_arm zoo_u zoo_arm))
+
+let test_space_contains_zoo () =
+  let func = Fair_mpc.Func.swap in
+  let space =
+    Space.make ~hybrid:true ~func ~n:2 ~max_round:Fair_protocols.Opt2.hybrid_rounds ()
+  in
+  Alcotest.(check bool) "space covers the standard zoo" true (Space.contains_zoo space);
+  Alcotest.(check int) "enumeration matches cardinality" (Space.cardinality space)
+    (List.length (Space.points space))
+
+(* --------------------- determinism across -j ------------------------- *)
+
+let test_jobs_deterministic () =
+  match E.find "E2" with
+  | None -> Alcotest.fail "E2 missing"
+  | Some spec -> (
+      let run jobs = E.searched ~budget:2000 ~seed:7 ~jobs spec in
+      match (run 1, run 4) with
+      | Some c1, Some c4 ->
+          Alcotest.(check string) "identical certificates at -j1 and -j4"
+            (Certificate.to_string c1) (Certificate.to_string c4)
+      | _ -> Alcotest.fail "E2 search produced no certificate")
+
+(* ------------------- (d) certificate round-trip ---------------------- *)
+
+let test_certificate_roundtrip () =
+  let pull a ~lo ~hi = synthetic_pull ~mean:(0.2 +. (0.2 *. float_of_int a)) ~amp:0.1 a ~lo ~hi in
+  let outcome = Racing.race ~jobs:1 ~arms:[ 0; 1; 2 ] ~pull ~budget:2000 () in
+  let c =
+    Certificate.make ~experiment:"T-synthetic" ~seed:13 ~budget:2000
+      ~zoo_best:("zoo-arm \"quoted\"", 0.55) ~bound:0.75 ~bound_label:"3/4" ~outcome
+      ~arm_name:string_of_int ()
+  in
+  (match Certificate.of_string (Certificate.to_string c) with
+  | Error e -> Alcotest.failf "decode failed: %s" e
+  | Ok c' ->
+      if c <> c' then
+        Alcotest.failf "round-trip drift:\n%s\nvs\n%s" (Certificate.to_string c)
+          (Certificate.to_string c'));
+  (* without the optional zoo field, too *)
+  let c2 =
+    Certificate.make ~experiment:"T2" ~seed:1 ~budget:2000 ~bound:1.0 ~bound_label:"1" ~outcome
+      ~arm_name:string_of_int ()
+  in
+  match Certificate.of_string (Certificate.to_string c2) with
+  | Error e -> Alcotest.failf "decode failed: %s" e
+  | Ok c2' -> Alcotest.(check bool) "no-zoo round-trip" true (c2 = c2')
+
+let test_json_roundtrip () =
+  let values =
+    [ Json.Null;
+      Json.Bool true;
+      Json.Num 0.1;
+      Json.Num (-3.5);
+      Json.Num 1e-17;
+      Json.num_int 9007199254740991;
+      Json.Str "line\nbreak \"quote\" back\\slash \t tab";
+      Json.List [ Json.Num 1.0; Json.Null; Json.Str "" ];
+      Json.Obj [ ("a", Json.Num 1.5); ("nested", Json.Obj [ ("b", Json.List []) ]) ] ]
+  in
+  List.iter
+    (fun v ->
+      match Json.of_string (Json.to_string v) with
+      | Ok v' when v = v' -> ()
+      | Ok _ -> Alcotest.failf "drift for %s" (Json.to_string v)
+      | Error e -> Alcotest.failf "parse failed for %s: %s" (Json.to_string v) e)
+    values;
+  (match Json.of_string "{\"a\": [1, 2,]}" with
+  | Ok _ -> Alcotest.fail "trailing comma accepted"
+  | Error _ -> ());
+  match Json.of_string "{\"a\": 1} trailing" with
+  | Ok _ -> Alcotest.fail "trailing garbage accepted"
+  | Error _ -> ()
+
+(* -------------------- incremental sampling law ----------------------- *)
+
+(* The racing scheduler's correctness rests on pull ranges composing: an
+   accumulator grown over [0,a) then [a,b) must equal the one-shot [0,b). *)
+let test_incremental_sampling_agrees () =
+  let func = Fair_mpc.Func.swap in
+  let protocol = Fair_protocols.Opt2.hybrid func in
+  let adversary = Fair_protocols.Adversaries.greedy ~func Fair_protocols.Adversaries.Random_party in
+  let gamma = Fairness.Payoff.default in
+  let env = Mc.uniform_field_inputs ~n:2 in
+  let sample = Mc.sample ~jobs:1 ~protocol ~adversary ~func ~gamma ~env ~seed:11 in
+  let one_shot = Mc.Acc.finalize (sample ~lo:0 ~hi:320 (Mc.Acc.create ())) in
+  let grown =
+    Mc.Acc.create () |> sample ~lo:0 ~hi:64 |> sample ~lo:64 ~hi:192 |> sample ~lo:192 ~hi:320
+    |> Mc.Acc.finalize
+  in
+  Alcotest.(check (float 0.0)) "mean bit-identical" one_shot.Mc.utility grown.Mc.utility;
+  Alcotest.(check (float 0.0)) "std_err bit-identical" one_shot.Mc.std_err grown.Mc.std_err;
+  Alcotest.(check int) "trials" one_shot.Mc.trials grown.Mc.trials
+
+let () =
+  Alcotest.run "search"
+    [ ( "racing",
+        [ Alcotest.test_case "budget never exceeded" `Quick test_budget_never_exceeded;
+          Alcotest.test_case "eliminated arms never the argmax" `Quick test_eliminated_never_argmax;
+          Alcotest.test_case "incremental sampling law" `Quick test_incremental_sampling_agrees ] );
+      ( "registry",
+        [ Alcotest.test_case "E2: searched beats zoo" `Quick (searched_beats_zoo "E2");
+          Alcotest.test_case "E6: searched beats zoo" `Slow (searched_beats_zoo "E6");
+          Alcotest.test_case "space contains the zoo" `Quick test_space_contains_zoo;
+          Alcotest.test_case "certificates identical across -j" `Quick test_jobs_deterministic ] );
+      ( "certificate",
+        [ Alcotest.test_case "certificate JSON round-trip" `Quick test_certificate_roundtrip;
+          Alcotest.test_case "json edge cases" `Quick test_json_roundtrip ] ) ]
