@@ -55,6 +55,9 @@ type mc_comparison = {
   par_trials_per_s : float;
   speedup : float;
   bit_identical : bool;
+  degraded : bool;
+      (* the host exposes a single core, so the "parallel" leg cannot
+         demonstrate a real speedup; consumers should not gate on it *)
 }
 
 let run_parallel_comparison () =
@@ -72,9 +75,20 @@ let run_parallel_comparison () =
     let r = f () in
     (r, Unix.gettimeofday () -. t0)
   in
-  let jobs = Fairness.Parallel.default_jobs in
-  Printf.printf "=== Monte-Carlo engine: sequential vs parallel (%d domain%s available) ===\n\n"
-    jobs (if jobs = 1 then "" else "s");
+  (* On a single-core host the old [jobs = default_jobs] comparison timed
+     the sequential path against itself and reported its own noise as a
+     "speedup".  Force the parallel leg to at least two domains — the
+     pooled path with its real coordination cost — and flag the run as
+     degraded so downstream consumers know the speedup number carries no
+     signal here. *)
+  let avail = Fairness.Parallel.default_jobs in
+  let degraded = avail < 2 in
+  let jobs = max 2 avail in
+  Printf.printf
+    "=== Monte-Carlo engine: sequential vs parallel (%d domain%s available%s) ===\n\n"
+    avail
+    (if avail = 1 then "" else "s")
+    (if degraded then "; DEGRADED: single core, speedup not meaningful" else "");
   ignore (estimate ~jobs:1);  (* warm up (Lamport key pool, allocator) *)
   let e_seq, t_seq = wall (fun () -> estimate ~jobs:1) in
   let e_par, t_par = wall (fun () -> estimate ~jobs) in
@@ -89,7 +103,8 @@ let run_parallel_comparison () =
     e_seq.Mc.utility;
   Printf.printf "  jobs=%-2d  %7.2f s   %8.0f trials/s   u = %.6f\n" jobs t_par
     (throughput e_par t_par) e_par.Mc.utility;
-  Printf.printf "  speedup: %.2fx   bit-identical: %b\n\n" (t_seq /. t_par) bit_identical;
+  Printf.printf "  speedup: %.2fx   bit-identical: %b%s\n\n" (t_seq /. t_par) bit_identical
+    (if degraded then "   (degraded: 1 core)" else "");
   { mc_jobs = jobs;
     mc_trials = trials;
     seq_seconds = t_seq;
@@ -97,7 +112,8 @@ let run_parallel_comparison () =
     seq_trials_per_s = throughput e_seq t_seq;
     par_trials_per_s = throughput e_par t_par;
     speedup = t_seq /. t_par;
-    bit_identical }
+    bit_identical;
+    degraded }
 
 (* ------------------------------------------------------------------ *)
 (* Part 2: timing kernels                                              *)
@@ -343,7 +359,8 @@ let write_json ~path mc kernels =
               ("seq_trials_per_sec", J.Num mc.seq_trials_per_s);
               ("par_trials_per_sec", J.Num mc.par_trials_per_s);
               ("speedup", J.Num mc.speedup);
-              ("bit_identical", J.Bool mc.bit_identical) ] );
+              ("bit_identical", J.Bool mc.bit_identical);
+              ("degraded", J.Bool mc.degraded) ] );
         ( "kernels",
           J.List
             (List.map

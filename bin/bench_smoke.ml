@@ -1,0 +1,50 @@
+(* `dune build @bench-smoke` — a seconds-scale slice of bench/main.ml's
+   sequential-vs-parallel comparison, wired into @repro so every smoke run
+   re-proves the pool's determinism contract: the pooled estimate must be
+   bit-for-bit the sequential one (utility, std_err, event tables), else
+   exit non-zero and fail the alias.  The speedup is printed for eyeballs
+   only — on a single-core host it is noise, and the line says so. *)
+
+module Mc = Fairness.Montecarlo
+module Parallel = Fairness.Parallel
+module Func = Fair_mpc.Func
+module Adv = Fair_protocols.Adversaries
+
+let () =
+  let swap = Func.concat ~n:5 in
+  let protocol = Fair_protocols.Optn.hybrid swap in
+  let adversary = Adv.greedy ~func:swap (Adv.Random_subset 4) in
+  let trials = 300 in
+  let estimate ~jobs =
+    Mc.estimate ~jobs ~protocol ~adversary ~func:swap ~gamma:Fairness.Payoff.default
+      ~env:(Mc.uniform_field_inputs ~n:5) ~trials ~seed:42 ()
+  in
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let avail = Parallel.default_jobs in
+  let degraded = avail < 2 in
+  let jobs = max 2 avail in
+  ignore (estimate ~jobs:1);
+  let e_seq, t_seq = wall (fun () -> estimate ~jobs:1) in
+  let e_par, t_par = wall (fun () -> estimate ~jobs) in
+  let bit_identical =
+    e_seq.Mc.utility = e_par.Mc.utility
+    && e_seq.Mc.std_err = e_par.Mc.std_err
+    && e_seq.Mc.counts = e_par.Mc.counts
+    && e_seq.Mc.corrupted_counts = e_par.Mc.corrupted_counts
+  in
+  Printf.printf
+    "bench-smoke: %d trials, seq %.3fs vs pool(jobs=%d) %.3fs, speedup %.2fx%s, workers spawned %d\n"
+    trials t_seq jobs t_par (t_seq /. t_par)
+    (if degraded then " (degraded: 1 core, speedup is noise)" else "")
+    (Parallel.pool_stats ());
+  if not bit_identical then begin
+    Printf.eprintf
+      "bench-smoke: FAIL — pooled estimate differs from sequential (u: %.17g vs %.17g)\n"
+      e_seq.Mc.utility e_par.Mc.utility;
+    exit 1
+  end;
+  print_endline "bench-smoke: OK — pooled run bit-identical to sequential"

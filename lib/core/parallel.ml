@@ -1,33 +1,139 @@
 let default_jobs = max 1 (Domain.recommended_domain_count ())
 
-(* Each worker repeatedly claims the next unprocessed task index from a
-   shared atomic counter; results land in a slot array indexed by task, so
-   the output order is the task order no matter which domain ran what. *)
+(* ------------------------------------------------------------------ *)
+(* Persistent worker pool.
+
+   [Domain.spawn] costs tens of microseconds — more than a whole 64-trial
+   Monte-Carlo chunk — and the adaptive batching loop in
+   [Montecarlo.estimate] plus the racing scheduler call [run_tasks] many
+   times per estimate.  So worker domains are spawned once, lazily, on the
+   first parallel call that wants them, then parked on a condition
+   variable between calls and fed subsequent task batches through a shared
+   job box.  They are joined at process exit.
+
+   Scheduling is unchanged from the spawn-per-call implementation: each
+   participant (the caller plus the workers) repeatedly claims the next
+   unprocessed task index from an atomic counter, and results land in a
+   slot array indexed by task — output order is task order no matter which
+   domain ran what, so the determinism contract of [map_range] holds.
+
+   The pool serves one [run_tasks] at a time.  A nested or concurrent call
+   (a task that itself calls [run_tasks], or an estimate running inside a
+   racing arm) detects that the pool is busy with a non-blocking try-lock
+   and simply runs inline on the calling domain — nesting can never
+   deadlock, it just degrades to sequential at the inner level. *)
+
+type job = {
+  run : int -> unit;       (* execute task [i] and record its result *)
+  n : int;
+  next : int Atomic.t;     (* next unclaimed task index *)
+}
+
+let pool_mutex = Mutex.create ()   (* guards all pool state below *)
+let wake = Condition.create ()     (* workers park here between jobs *)
+let job_box : job option ref = ref None
+let job_gen = ref 0                (* bumped when a new job is published *)
+let shutting_down = ref false
+let spawned = ref 0                (* worker domains spawned so far *)
+let handles : unit Domain.t list ref = ref []
+
+(* Held for the duration of one pooled [run_tasks]; taken with [try_lock]
+   so contenders fall back to inline execution instead of blocking. *)
+let pool_busy = Mutex.create ()
+
+let drain (j : job) =
+  let rec go () =
+    let i = Atomic.fetch_and_add j.next 1 in
+    if i < j.n then begin
+      j.run i;
+      go ()
+    end
+  in
+  go ()
+
+let rec worker_loop last_gen =
+  Mutex.lock pool_mutex;
+  while !job_gen = last_gen && not !shutting_down do
+    Condition.wait wake pool_mutex
+  done;
+  let gen = !job_gen and job = !job_box and stop = !shutting_down in
+  Mutex.unlock pool_mutex;
+  if not stop then begin
+    (match job with Some j -> drain j | None -> ());
+    (* A drained or stale job is harmless to revisit: its counter is
+       exhausted, so [drain] returns immediately. *)
+    worker_loop gen
+  end
+
+(* Under [pool_mutex].  New workers start parked on the current
+   generation, so publishing the next job (which bumps [job_gen]) wakes
+   them exactly like the veterans. *)
+let ensure_workers want =
+  while !spawned < want do
+    incr spawned;
+    let gen = !job_gen in
+    handles := Domain.spawn (fun () -> worker_loop gen) :: !handles
+  done
+
+let () =
+  at_exit (fun () ->
+      Mutex.lock pool_mutex;
+      shutting_down := true;
+      Condition.broadcast wake;
+      let hs = !handles in
+      handles := [];
+      Mutex.unlock pool_mutex;
+      List.iter Domain.join hs)
+
+let pool_stats () = !spawned
+
+let run_seq n task = List.init n task
+
+let collect results =
+  Array.to_list results
+  |> List.map (function
+       | Some (Ok x) -> x
+       | Some (Error e) -> raise e
+       | None -> assert false)
+
+let run_pooled ~jobs ~n task =
+  let results = Array.make n None in
+  let pending = Atomic.make n in
+  let done_mutex = Mutex.create () in
+  let done_cond = Condition.create () in
+  let run i =
+    results.(i) <- Some (try Ok (task i) with e -> Error e);
+    (* The last finisher (not necessarily the last claimer) wakes the
+       caller, which may be parked below while a worker still runs. *)
+    if Atomic.fetch_and_add pending (-1) = 1 then begin
+      Mutex.lock done_mutex;
+      Condition.signal done_cond;
+      Mutex.unlock done_mutex
+    end
+  in
+  let j = { run; n; next = Atomic.make 0 } in
+  Mutex.lock pool_mutex;
+  ensure_workers (min jobs n - 1);
+  job_box := Some j;
+  incr job_gen;
+  Condition.broadcast wake;
+  Mutex.unlock pool_mutex;
+  drain j;
+  Mutex.lock done_mutex;
+  while Atomic.get pending > 0 do
+    Condition.wait done_cond done_mutex
+  done;
+  Mutex.unlock done_mutex;
+  collect results
+
 let run_tasks ~jobs ~n (task : int -> 'a) : 'a list =
   if n = 0 then []
-  else if jobs <= 1 || n = 1 then List.init n task
-  else begin
-    let results = Array.make n None in
-    let next = Atomic.make 0 in
-    let worker () =
-      let rec go () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < n then begin
-          (results.(i) <- Some (try Ok (task i) with e -> Error e));
-          go ()
-        end
-      in
-      go ()
-    in
-    let spawned = Array.init (min jobs n - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
-    Array.iter Domain.join spawned;
-    Array.to_list results
-    |> List.map (function
-         | Some (Ok x) -> x
-         | Some (Error e) -> raise e
-         | None -> assert false)
-  end
+  else if jobs <= 1 || n = 1 then run_seq n task
+  else if Mutex.try_lock pool_busy then
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock pool_busy)
+      (fun () -> run_pooled ~jobs ~n task)
+  else run_seq n task
 
 let map_range ~jobs ~chunk_size ~lo ~hi f =
   if chunk_size < 1 then invalid_arg "Parallel.map_range: chunk_size < 1";

@@ -1,5 +1,13 @@
-(** A minimal hand-rolled domain pool (domainslib is not available in the
-    build image).
+(** A minimal hand-rolled persistent domain pool (domainslib is not
+    available in the build image).
+
+    Worker domains are spawned lazily on the first call that wants them,
+    parked on a condition variable between calls, fed later task batches
+    through a shared atomic queue, and joined at process exit — so the
+    per-call cost of [map_range]/[map_list] is a broadcast, not a
+    [Domain.spawn]/[join] round trip.  This matters because the adaptive
+    batching loop in [Montecarlo.estimate] and the racing scheduler issue
+    many small batches per estimate.
 
     The contract that makes Monte-Carlo results bit-identical at any
     parallelism: work is split into {e fixed-size chunks whose boundaries
@@ -8,7 +16,11 @@
     caller receives the chunk results {e in chunk-index order}.  Any
     left-fold merge over that list is therefore deterministic — the job
     count only decides which domain computes a chunk, not the shape of the
-    reduction. *)
+    reduction.
+
+    The pool serves one call at a time: a nested or concurrent call
+    (e.g. an estimate running inside a racing arm) runs inline on the
+    calling domain instead of waiting, so nesting can never deadlock. *)
 
 val default_jobs : int
 (** [Domain.recommended_domain_count ()], clamped to at least 1. *)
@@ -17,13 +29,19 @@ val map_range :
   jobs:int -> chunk_size:int -> lo:int -> hi:int -> (lo:int -> hi:int -> 'a) -> 'a list
 (** [map_range ~jobs ~chunk_size ~lo ~hi f] splits [\[lo, hi)] into chunks
     [\[lo + k*chunk_size, lo + (k+1)*chunk_size) ∩ \[lo, hi)], evaluates
-    [f ~lo ~hi] on each chunk using up to [jobs] domains (work-stealing via
-    a shared atomic counter), and returns the results in chunk-index order.
-    [jobs <= 1] runs everything on the calling domain.  An exception raised
-    by [f] is re-raised after all domains are joined.
+    [f ~lo ~hi] on each chunk using up to [jobs] domains (the caller plus
+    pooled workers, work-stealing via a shared atomic counter), and returns
+    the results in chunk-index order.  [jobs <= 1] runs everything on the
+    calling domain.  An exception raised by [f] is re-raised in the caller
+    after the whole batch has completed (the first failing chunk in chunk
+    order wins).
     @raise Invalid_argument if [chunk_size < 1]. *)
 
 val map_list : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map_list ~jobs f xs] is [List.map f xs] computed on up to [jobs]
     domains, results in input order.  Same exception semantics as
     {!map_range}. *)
+
+val pool_stats : unit -> int
+(** Number of worker domains spawned since process start (they are reused,
+    never torn down before exit) — observability for tests and diagnostics. *)

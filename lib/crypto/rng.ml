@@ -1,20 +1,52 @@
 module Field = Fair_field.Field
 
+(* Counter-mode PRG over SHA-256: block [i] of the stream is
+   [SHA256(seed ^ "|ctr|" ^ string_of_int i)].  The hot path is [refill]:
+   instead of rebuilding and re-absorbing that string on every block, the
+   generator lazily captures the SHA-256 midstate after [seed ^ "|ctr|"]
+   and, per block, restores a scratch context from it and absorbs only the
+   counter digits — bit-identical to hashing the concatenation (SHA-256 is
+   a pure function of the byte stream), at a fraction of the work for long
+   (e.g. 32-byte split-derived) seeds. *)
+
 type t = {
   seed : string;
   mutable counter : int;
   mutable buffer : string; (* unconsumed bytes of the current block *)
   mutable pos : int;
+  mutable midstate : Sha256.Ctx.t option; (* state after seed ^ "|ctr|" *)
+  mutable work : Sha256.Ctx.t option;     (* per-refill scratch *)
 }
 
-let create ~seed = { seed; counter = 0; buffer = ""; pos = 0 }
+let create ~seed =
+  { seed; counter = 0; buffer = ""; pos = 0; midstate = None; work = None }
 
 let of_int_seed n = create ~seed:("int-seed:" ^ string_of_int n)
 
 let split g ~label = create ~seed:(Sha256.digest (g.seed ^ "|split|" ^ label))
 
 let refill g =
-  g.buffer <- Sha256.digest (g.seed ^ "|ctr|" ^ string_of_int g.counter);
+  let mid =
+    match g.midstate with
+    | Some m -> m
+    | None ->
+        let m = Sha256.Ctx.create () in
+        Sha256.Ctx.feed m g.seed;
+        Sha256.Ctx.feed m "|ctr|";
+        g.midstate <- Some m;
+        m
+  in
+  let work =
+    match g.work with
+    | Some w -> w
+    | None ->
+        let w = Sha256.Ctx.create () in
+        g.work <- Some w;
+        w
+  in
+  Sha256.Ctx.restore work ~from:mid;
+  Sha256.Ctx.feed work (string_of_int g.counter);
+  g.buffer <- Sha256.Ctx.digest work;
   g.counter <- g.counter + 1;
   g.pos <- 0
 
@@ -25,7 +57,17 @@ let byte g =
   b
 
 let bytes g n =
-  String.init n (fun _ -> Char.chr (byte g))
+  if n < 0 then invalid_arg "Rng.bytes";
+  let out = Bytes.create n in
+  let filled = ref 0 in
+  while !filled < n do
+    if g.pos >= String.length g.buffer then refill g;
+    let take = min (n - !filled) (String.length g.buffer - g.pos) in
+    Bytes.blit_string g.buffer g.pos out !filled take;
+    g.pos <- g.pos + take;
+    filled := !filled + take
+  done;
+  Bytes.unsafe_to_string out
 
 let bits g k =
   if k <= 0 || k > 62 then invalid_arg "Rng.bits";
@@ -80,6 +122,11 @@ let shuffle g a =
     a.(j) <- tmp
   done
 
+let pick_array g a =
+  if Array.length a = 0 then invalid_arg "Rng.pick_array: empty array";
+  a.(int g (Array.length a))
+
 let pick g = function
   | [] -> invalid_arg "Rng.pick: empty list"
-  | l -> List.nth l (int g (List.length l))
+  | [ x ] -> x (* [int g 1] draws nothing, so this matches the list path *)
+  | l -> pick_array g (Array.of_list l)

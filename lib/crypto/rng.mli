@@ -6,6 +6,11 @@
     seeds — flows through a value of this type, so every experiment is
     reproducible bit-for-bit from its seed.
 
+    Blocks are derived from a lazily captured SHA-256 midstate of the seed
+    (see {!Sha256.Ctx}), so refilling absorbs only the counter digits; the
+    stream is bit-identical to hashing the full [seed || i] concatenation
+    and is locked by golden tests.
+
     Generators are mutable; use {!split} to derive independent child
     generators (e.g. one per party) whose streams do not interleave with the
     parent's. *)
@@ -48,4 +53,11 @@ val shuffle : t -> 'a array -> unit
 (** In-place Fisher–Yates shuffle. *)
 
 val pick : t -> 'a list -> 'a
-(** Uniform element of a non-empty list. @raise Invalid_argument on []. *)
+(** Uniform element of a non-empty list (indexed through an array, so the
+    selection is O(n) conversion + O(1) access rather than [List.nth] under
+    rejection sampling). @raise Invalid_argument on []. *)
+
+val pick_array : t -> 'a array -> 'a
+(** Uniform element of a non-empty array, O(1) after the draw.  Consumes the
+    same stream bytes as {!pick} on the equivalent list.
+    @raise Invalid_argument on [||]. *)

@@ -1,91 +1,140 @@
-(* FIPS 180-4 SHA-256 over Int32 words. *)
+(* FIPS 180-4 SHA-256.
 
-let k =
-  [| 0x428a2f98l; 0x71374491l; 0xb5c0fbcfl; 0xe9b5dba5l; 0x3956c25bl;
-     0x59f111f1l; 0x923f82a4l; 0xab1c5ed5l; 0xd807aa98l; 0x12835b01l;
-     0x243185bel; 0x550c7dc3l; 0x72be5d74l; 0x80deb1fel; 0x9bdc06a7l;
-     0xc19bf174l; 0xe49b69c1l; 0xefbe4786l; 0x0fc19dc6l; 0x240ca1ccl;
-     0x2de92c6fl; 0x4a7484aal; 0x5cb0a9dcl; 0x76f988dal; 0x983e5152l;
-     0xa831c66dl; 0xb00327c8l; 0xbf597fc7l; 0xc6e00bf3l; 0xd5a79147l;
-     0x06ca6351l; 0x14292967l; 0x27b70a85l; 0x2e1b2138l; 0x4d2c6dfcl;
-     0x53380d13l; 0x650a7354l; 0x766a0abbl; 0x81c2c92el; 0x92722c85l;
-     0xa2bfe8a1l; 0xa81a664bl; 0xc24b8b70l; 0xc76c51a3l; 0xd192e819l;
-     0xd6990624l; 0xf40e3585l; 0x106aa070l; 0x19a4c116l; 0x1e376c08l;
-     0x2748774cl; 0x34b0bcb5l; 0x391c0cb3l; 0x4ed8aa4al; 0x5b9cca4fl;
-     0x682e6ff3l; 0x748f82eel; 0x78a5636fl; 0x84c87814l; 0x8cc70208l;
-     0x90befffal; 0xa4506cebl; 0xbef9a3f7l; 0xc67178f2l |]
+   The compression function (in [Sha256_block], fully unrolled) runs over
+   native [int] (OCaml ints are 63-bit on every platform we target) with
+   explicit 32-bit masking, so no word is ever boxed and the message
+   schedule never touches the heap.  A one-shot [digest] borrows a
+   domain-local context, so the only per-call allocation is the 32-byte
+   result itself. *)
 
-let rotr x n = Int32.logor (Int32.shift_right_logical x n) (Int32.shift_left x (32 - n))
+let iv =
+  [| 0x6a09e667; 0xbb67ae85; 0x3c6ef372; 0xa54ff53a;
+     0x510e527f; 0x9b05688c; 0x1f83d9ab; 0x5be0cd19 |]
+
+type ctx = {
+  h : int array;          (* 8 chaining words, each in [0, 2^32) *)
+  buf : Bytes.t;          (* 64-byte partial-block buffer *)
+  mutable buf_len : int;  (* bytes pending in [buf] *)
+  mutable total : int;    (* message bytes absorbed so far *)
+}
+
+let create () = { h = Array.copy iv; buf = Bytes.create 64; buf_len = 0; total = 0 }
+
+let reset c =
+  Array.blit iv 0 c.h 0 8;
+  c.buf_len <- 0;
+  c.total <- 0
+
+let copy c =
+  { h = Array.copy c.h; buf = Bytes.copy c.buf; buf_len = c.buf_len; total = c.total }
+
+let restore dst ~from =
+  Array.blit from.h 0 dst.h 0 8;
+  if from.buf_len > 0 then Bytes.blit from.buf 0 dst.buf 0 from.buf_len;
+  dst.buf_len <- from.buf_len;
+  dst.total <- from.total
+
+let compress = Sha256_block.compress
+
+let feed_sub c b off len =
+  if off < 0 || len < 0 || off > Bytes.length b - len then
+    invalid_arg "Sha256.feed: range out of bounds";
+  c.total <- c.total + len;
+  let off = ref off and len = ref len in
+  if c.buf_len > 0 then begin
+    let take = min !len (64 - c.buf_len) in
+    Bytes.blit b !off c.buf c.buf_len take;
+    c.buf_len <- c.buf_len + take;
+    off := !off + take;
+    len := !len - take;
+    if c.buf_len = 64 then begin
+      compress c.h c.buf 0;
+      c.buf_len <- 0
+    end
+  end;
+  while !len >= 64 do
+    compress c.h b !off;
+    off := !off + 64;
+    len := !len - 64
+  done;
+  if !len > 0 then begin
+    Bytes.blit b !off c.buf 0 !len;
+    c.buf_len <- !len
+  end
+
+let feed_string c s =
+  (* read-only access: the unsafe cast never mutates [s] *)
+  feed_sub c (Bytes.unsafe_of_string s) 0 (String.length s)
+
+let output_digest h =
+  let out = Bytes.create 32 in
+  for i = 0 to 7 do
+    let v = Array.unsafe_get h i in
+    Bytes.unsafe_set out (4 * i) (Char.unsafe_chr (v lsr 24));
+    Bytes.unsafe_set out ((4 * i) + 1) (Char.unsafe_chr ((v lsr 16) land 0xff));
+    Bytes.unsafe_set out ((4 * i) + 2) (Char.unsafe_chr ((v lsr 8) land 0xff));
+    Bytes.unsafe_set out ((4 * i) + 3) (Char.unsafe_chr (v land 0xff))
+  done;
+  Bytes.unsafe_to_string out
+
+(* Big-endian 64-bit message bit length into [buf.(56..63)]. *)
+let write_bitlen buf total =
+  let bitlen = total * 8 in
+  for i = 0 to 7 do
+    Bytes.unsafe_set buf (56 + i) (Char.unsafe_chr ((bitlen lsr (8 * (7 - i))) land 0xff))
+  done
+
+(* Padding + final block(s); mutates [c.h] and [c.buf], so the context is
+   spent afterwards (callers that need the midstate again keep a [copy] or
+   [restore] from one). *)
+let finalize c =
+  Bytes.unsafe_set c.buf c.buf_len '\x80';
+  let n = c.buf_len + 1 in
+  if n > 56 then begin
+    Bytes.fill c.buf n (64 - n) '\000';
+    compress c.h c.buf 0;
+    Bytes.fill c.buf 0 56 '\000'
+  end
+  else Bytes.fill c.buf n (56 - n) '\000';
+  write_bitlen c.buf c.total;
+  compress c.h c.buf 0;
+  output_digest c.h
+
+(* Domain-local scratch: [digest] is called from every worker domain of the
+   Monte-Carlo pool, so the shared context must be per-domain. *)
+let scratch = Domain.DLS.new_key create
 
 let digest msg =
-  let open Int32 in
+  let c = Domain.DLS.get scratch in
   let len = String.length msg in
-  (* Padding: 0x80, zeros, 64-bit big-endian bit length. *)
-  let total = len + 1 + 8 in
-  let padded_len = (total + 63) / 64 * 64 in
-  let buf = Bytes.make padded_len '\000' in
-  Bytes.blit_string msg 0 buf 0 len;
-  Bytes.set buf len '\x80';
-  let bitlen = Int64.of_int (len * 8) in
-  for i = 0 to 7 do
-    Bytes.set buf
-      (padded_len - 1 - i)
-      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical bitlen (8 * i)) 0xFFL)))
-  done;
-  let h = [| 0x6a09e667l; 0xbb67ae85l; 0x3c6ef372l; 0xa54ff53al;
-             0x510e527fl; 0x9b05688cl; 0x1f83d9abl; 0x5be0cd19l |] in
-  let w = Array.make 64 0l in
-  let byte i = of_int (Char.code (Bytes.get buf i)) in
-  for block = 0 to (padded_len / 64) - 1 do
-    let base = block * 64 in
-    for t = 0 to 15 do
-      let o = base + (t * 4) in
-      w.(t) <-
-        logor
-          (shift_left (byte o) 24)
-          (logor (shift_left (byte (o + 1)) 16)
-             (logor (shift_left (byte (o + 2)) 8) (byte (o + 3))))
-    done;
-    for t = 16 to 63 do
-      let s0 =
-        logxor (rotr w.(t - 15) 7) (logxor (rotr w.(t - 15) 18) (shift_right_logical w.(t - 15) 3))
-      in
-      let s1 =
-        logxor (rotr w.(t - 2) 17) (logxor (rotr w.(t - 2) 19) (shift_right_logical w.(t - 2) 10))
-      in
-      w.(t) <- add (add w.(t - 16) s0) (add w.(t - 7) s1)
-    done;
-    let a = ref h.(0) and b = ref h.(1) and c = ref h.(2) and d = ref h.(3) in
-    let e = ref h.(4) and f = ref h.(5) and g = ref h.(6) and hh = ref h.(7) in
-    for t = 0 to 63 do
-      let s1 = logxor (rotr !e 6) (logxor (rotr !e 11) (rotr !e 25)) in
-      let ch = logxor (logand !e !f) (logand (lognot !e) !g) in
-      let t1 = add !hh (add s1 (add ch (add k.(t) w.(t)))) in
-      let s0 = logxor (rotr !a 2) (logxor (rotr !a 13) (rotr !a 22)) in
-      let maj = logxor (logand !a !b) (logxor (logand !a !c) (logand !b !c)) in
-      let t2 = add s0 maj in
-      hh := !g;
-      g := !f;
-      f := !e;
-      e := add !d t1;
-      d := !c;
-      c := !b;
-      b := !a;
-      a := add t1 t2
-    done;
-    h.(0) <- add h.(0) !a;
-    h.(1) <- add h.(1) !b;
-    h.(2) <- add h.(2) !c;
-    h.(3) <- add h.(3) !d;
-    h.(4) <- add h.(4) !e;
-    h.(5) <- add h.(5) !f;
-    h.(6) <- add h.(6) !g;
-    h.(7) <- add h.(7) !hh
-  done;
-  String.init 32 (fun i ->
-      let word = h.(i / 4) in
-      let shift = 24 - (8 * (i mod 4)) in
-      Char.chr (to_int (logand (shift_right_logical word shift) 0xFFl)))
+  if len < 56 then begin
+    (* Single-block fast path (the Lamport / PRG-refill shape): pad in the
+       context buffer and compress once, skipping the streaming bookkeeping. *)
+    Array.blit iv 0 c.h 0 8;
+    Bytes.blit_string msg 0 c.buf 0 len;
+    Bytes.unsafe_set c.buf len '\x80';
+    Bytes.fill c.buf (len + 1) (55 - len) '\000';
+    write_bitlen c.buf len;
+    compress c.h c.buf 0;
+    output_digest c.h
+  end
+  else begin
+    reset c;
+    feed_string c msg;
+    finalize c
+  end
+
+module Ctx = struct
+  type t = ctx
+
+  let create = create
+  let feed = feed_string
+  let feed_bytes c b ~pos ~len = feed_sub c b pos len
+  let copy = copy
+  let restore = restore
+  let digest = finalize
+  let peek c = finalize (copy c)
+end
 
 let hex_chars = "0123456789abcdef"
 

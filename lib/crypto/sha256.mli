@@ -1,15 +1,58 @@
 (** A from-scratch SHA-256 (FIPS 180-4).
 
     Every keyed primitive in this repository (HMAC, the PRG, hash commitments,
-    Lamport signatures) bottoms out here.  The implementation is validated in
-    the test suite against the FIPS test vectors (empty string, "abc", the
-    448-bit two-block message, and a million 'a's). *)
+    Lamport signatures) bottoms out here, and the Monte-Carlo trial loop calls
+    it millions of times, so the compression function is written over native
+    [int] with 32-bit masking (no [Int32] boxing) and a reused message-schedule
+    scratch.  The implementation is validated in the test suite against the
+    FIPS test vectors (empty string, "abc", the 448-bit two-block message, and
+    a million 'a's), both one-shot and through the incremental {!Ctx} API. *)
 
 val digest : string -> string
-(** [digest msg] is the 32-byte raw digest of [msg]. *)
+(** [digest msg] is the 32-byte raw digest of [msg].  Allocation-free apart
+    from the result (the working state is a domain-local scratch context, so
+    concurrent calls from different domains are safe). *)
 
 val hex_digest : string -> string
 (** [hex_digest msg] is the 64-character lowercase hex digest. *)
+
+module Ctx : sig
+  (** Incremental hashing with reusable midstates.
+
+      A context absorbs message bytes in any chunking; the digest depends
+      only on the byte stream, so [feed c a; feed c b] is equivalent to
+      [feed c (a ^ b)].  {!copy} and {!restore} capture/restore a midstate,
+      which is what lets the PRG hash [seed || counter] without re-absorbing
+      the seed on every block. *)
+
+  type t
+
+  val create : unit -> t
+  (** A fresh context (empty message). *)
+
+  val feed : t -> string -> unit
+  (** Absorb a string. *)
+
+  val feed_bytes : t -> bytes -> pos:int -> len:int -> unit
+  (** Absorb [len] bytes of [b] starting at [pos].
+      @raise Invalid_argument if the range is out of bounds. *)
+
+  val copy : t -> t
+  (** An independent snapshot of the absorbed state (a {e midstate}). *)
+
+  val restore : t -> from:t -> unit
+  (** [restore dst ~from] overwrites [dst]'s absorbed state with [from]'s,
+      without allocating.  [from] is unchanged. *)
+
+  val digest : t -> string
+  (** Pad and produce the 32-byte digest of everything absorbed.  The
+      context is {e spent} afterwards: feed it again only after a
+      {!restore}. *)
+
+  val peek : t -> string
+  (** The digest of the bytes absorbed so far, leaving [t] usable (works on
+      a copy). *)
+end
 
 val to_hex : string -> string
 (** Hex-encode an arbitrary byte string. *)

@@ -1,0 +1,5 @@
+(** Fully-unrolled SHA-256 block compression (internal to [Sha256]). *)
+
+val compress : int array -> Bytes.t -> int -> unit
+(** [compress h b off] folds the 64-byte block at [b.(off .. off+63)] into
+    the eight 32-bit chaining words [h], FIPS 180-4 section 6.2.2. *)

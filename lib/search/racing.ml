@@ -96,8 +96,15 @@ let arm_seed ~seed i = seed + (7919 * (i + 1))
 let race_space ?batch0 ?z ?jobs ~target ~space ~budget ~seed () =
   let points = Array.of_list (Strategy_space.points space) in
   let arms = List.init (Array.length points) (fun i -> i) in
+  (* Arm pulls get the full job budget: while many arms survive, the pool
+     is busy with the arm-level fan-out and the inner sample degrades to
+     the calling domain (exactly the old [~jobs:1] behaviour); once the
+     race narrows to a single arm, its batches are chunk-parallel through
+     the pool instead of pinning one core.  Either way [sample] is
+     jobs-invariant, so certificates are unchanged. *)
+  let pull_jobs = match jobs with Some j -> j | None -> Parallel.default_jobs in
   let pull i ~lo ~hi =
-    Mc.sample ~overrides:target.overrides ~jobs:1 ~protocol:target.protocol
+    Mc.sample ~overrides:target.overrides ~jobs:pull_jobs ~protocol:target.protocol
       ~adversary:(Strategy_space.compile space points.(i))
       ~func:target.func ~gamma:target.gamma ~env:target.env ~seed:(arm_seed ~seed i) ~lo ~hi
       (Mc.Acc.create ())

@@ -17,7 +17,10 @@ let qtest name count arb law =
 
 let fips_vectors =
   [ ("", "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+    ("a", "ca978112ca1bbdcafac231b39a23dc4da786eff8147c4e72b9807785afee48bb");
     ("abc", "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+    ( "message digest",
+      "f7846f55cf23e14eebeab5b4e1550cad5b509e3348fbc4efa3a1413d393cb650" );
     ( "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
       "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1" );
     ( "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmno\
@@ -44,6 +47,76 @@ let test_hex_roundtrip () =
   Alcotest.check_raises "bad char" (Invalid_argument "Sha256.of_hex: bad character") (fun () ->
       ignore (Sha256.of_hex "zz"))
 
+(* The incremental API must agree with the one-shot digest for every way
+   of slicing the message, including slices that straddle the 64-byte
+   block boundary and the 56-byte padding threshold. *)
+let test_sha256_incremental () =
+  let msg = String.init 1000 (fun i -> Char.chr ((i * 7 + 13) land 0xff)) in
+  let expect = Sha256.digest msg in
+  List.iter
+    (fun sizes ->
+      let c = Sha256.Ctx.create () in
+      let pos = ref 0 in
+      let rec go = function
+        | [] -> ()
+        | k :: rest when !pos + k <= String.length msg ->
+            Sha256.Ctx.feed c (String.sub msg !pos k);
+            pos := !pos + k;
+            go rest
+        | _ :: rest -> go rest
+      in
+      go sizes;
+      Sha256.Ctx.feed c (String.sub msg !pos (String.length msg - !pos));
+      Alcotest.(check string)
+        (Printf.sprintf "chunks [%s]" (String.concat ";" (List.map string_of_int sizes)))
+        (Sha256.to_hex expect)
+        (Sha256.to_hex (Sha256.Ctx.digest c)))
+    [ [ 0 ]; [ 1; 1; 1 ]; [ 55; 1 ]; [ 56 ]; [ 63; 2 ]; [ 64 ]; [ 65; 64 ];
+      [ 127; 1 ]; [ 128; 128; 128 ]; [ 3; 61; 64; 100 ] ]
+
+let test_sha256_feed_bytes () =
+  let b = Bytes.of_string "xxabcyy" in
+  let c = Sha256.Ctx.create () in
+  Sha256.Ctx.feed_bytes c b ~pos:2 ~len:3;
+  Alcotest.(check string) "feed_bytes slice"
+    "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+    (Sha256.to_hex (Sha256.Ctx.digest c));
+  Alcotest.check_raises "bad range" (Invalid_argument "Sha256.feed: range out of bounds")
+    (fun () -> Sha256.Ctx.feed_bytes (Sha256.Ctx.create ()) b ~pos:5 ~len:3)
+
+(* Midstate reuse — the mechanism behind [Rng.refill]: a context captured
+   after a common prefix can be copied/restored and extended with different
+   suffixes, each digest matching the one-shot hash of prefix ^ suffix. *)
+let test_sha256_midstate () =
+  let prefix = String.make 100 'p' in
+  let mid = Sha256.Ctx.create () in
+  Sha256.Ctx.feed mid prefix;
+  List.iter
+    (fun suffix ->
+      let c = Sha256.Ctx.copy mid in
+      Sha256.Ctx.feed c suffix;
+      Alcotest.(check string)
+        (Printf.sprintf "copy + %S" suffix)
+        (Sha256.hex_digest (prefix ^ suffix))
+        (Sha256.to_hex (Sha256.Ctx.digest c)))
+    [ ""; "0"; "171"; String.make 200 'q' ];
+  (* [restore] into a reused scratch context, as the RNG does per refill *)
+  let scratch = Sha256.Ctx.create () in
+  Sha256.Ctx.feed scratch "unrelated garbage that must be overwritten";
+  Sha256.Ctx.restore scratch ~from:mid;
+  Sha256.Ctx.feed scratch "42";
+  Alcotest.(check string) "restore + feed"
+    (Sha256.hex_digest (prefix ^ "42"))
+    (Sha256.to_hex (Sha256.Ctx.digest scratch));
+  (* [peek] does not spend the context *)
+  let c = Sha256.Ctx.create () in
+  Sha256.Ctx.feed c "abc";
+  Alcotest.(check string) "peek" (Sha256.hex_digest "abc") (Sha256.to_hex (Sha256.Ctx.peek c));
+  Sha256.Ctx.feed c "def";
+  Alcotest.(check string) "peek did not disturb the stream"
+    (Sha256.hex_digest "abcdef")
+    (Sha256.to_hex (Sha256.Ctx.digest c))
+
 (* --------------------------- HMAC ---------------------------------- *)
 
 (* RFC 4231 test cases 1, 2 and 3. *)
@@ -56,7 +129,12 @@ let test_hmac_rfc4231 () =
     (Hmac.hex_mac ~key:"Jefe" "what do ya want for nothing?");
   Alcotest.(check string) "case 3"
     "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
-    (Hmac.hex_mac ~key:(String.make 20 '\xaa') (String.make 50 '\xdd'))
+    (Hmac.hex_mac ~key:(String.make 20 '\xaa') (String.make 50 '\xdd'));
+  Alcotest.(check string) "case 4"
+    "82558a389a443c0ea4cc819899f2083a85f0faa3e578f8077a2e3ff46729665b"
+    (Hmac.hex_mac
+       ~key:(String.init 25 (fun i -> Char.chr (i + 1)))
+       (String.make 50 '\xcd'))
 
 let test_hmac_long_key () =
   (* RFC 4231 case 6: 131-byte key is hashed first. *)
@@ -121,6 +199,63 @@ let test_rng_field_uniform_smoke () =
   done;
   let p = float_of_int !below_half /. float_of_int n in
   if abs_float (p -. 0.5) > 0.03 then Alcotest.failf "field sampling biased: %.3f" p
+
+(* Golden streams: every recorded experiment, table and certificate in the
+   repository depends on these exact byte sequences, so the PRG must never
+   drift — not across the midstate-based refill, not across a rewrite of
+   the hash.  The constants were captured from the pre-midstate
+   implementation (block [i] = SHA256(seed ^ "|ctr|" ^ i)). *)
+
+let test_rng_golden_bytes () =
+  let g = Rng.create ~seed:"golden" in
+  Alcotest.(check string) "80-byte stream"
+    "ee4dcb578d50301d3caca770643717902ca36f862b035479fabf05a4f43ea09c\
+     c4e26587fa65ae868dcffa79549798ae3fc22ef6b453bdde4ab6aa7f46b17873\
+     8d8e22a8312ced5a4c28f3896c73c27f"
+    (Sha256.to_hex (Rng.bytes g 80))
+
+let test_rng_golden_split () =
+  let g = Rng.create ~seed:"s" in
+  let c = Rng.split g ~label:"child" in
+  Alcotest.(check string) "child stream"
+    "2794dc42964612d47589653bdc069e977e4fe2955293938cdd867f31b0b559c4"
+    (Sha256.to_hex (Rng.bytes c 32))
+
+let test_rng_golden_mixed () =
+  (* Interleaved draws exercise the buffer-refill boundaries (bytes, bits,
+     rejection-sampled ints and field elements all pull different widths). *)
+  let g = Rng.create ~seed:"mixed" in
+  let xs =
+    List.init 30 (fun i ->
+        match i mod 5 with
+        | 0 -> Rng.int g 1000
+        | 1 -> Rng.bits g 13
+        | 2 -> if Rng.bool g then 1 else 0
+        | 3 -> Char.code (Rng.bytes g 3).[1]
+        | _ -> Field.to_int (Rng.field g) mod 997)
+  in
+  Alcotest.(check string) "mixed draw sequence"
+    "745;838;1;108;421;473;1258;1;106;65;732;4187;1;87;11;416;5695;0;81;436;\
+     937;4389;1;91;318;77;3417;1;195;302"
+    (String.concat ";" (List.map string_of_int xs))
+
+let test_rng_golden_pick () =
+  let g = Rng.create ~seed:"pick" in
+  let l = [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ] in
+  let picks = List.init 20 (fun _ -> Rng.pick g l) in
+  Alcotest.(check string) "pick stream" "4;3;2;7;9;2;8;9;8;6;9;9;5;3;2;1;9;9;6;5"
+    (String.concat ";" (List.map string_of_int picks))
+
+let test_rng_pick_array_agrees () =
+  (* [pick] and [pick_array] consume identical stream bytes. *)
+  let a = Rng.create ~seed:"pa" and b = Rng.create ~seed:"pa" in
+  let arr = Array.init 7 (fun i -> 10 * i) in
+  let l = Array.to_list arr in
+  for _ = 1 to 50 do
+    Alcotest.(check int) "same element" (Rng.pick a l) (Rng.pick_array b arr)
+  done;
+  Alcotest.check_raises "empty array" (Invalid_argument "Rng.pick_array: empty array")
+    (fun () -> ignore (Rng.pick_array a [||]))
 
 let test_rng_shuffle_permutes () =
   let g = Rng.create ~seed:"shuffle" in
@@ -255,6 +390,9 @@ let () =
     [ ( "sha256",
         [ Alcotest.test_case "FIPS 180-4 vectors" `Quick test_sha256_vectors;
           Alcotest.test_case "million a's" `Slow test_sha256_million_a;
+          Alcotest.test_case "incremental = one-shot" `Quick test_sha256_incremental;
+          Alcotest.test_case "feed_bytes slice" `Quick test_sha256_feed_bytes;
+          Alcotest.test_case "midstate copy/restore/peek" `Quick test_sha256_midstate;
           Alcotest.test_case "hex roundtrip" `Quick test_hex_roundtrip ] );
       ( "hmac",
         [ Alcotest.test_case "RFC 4231 vectors" `Quick test_hmac_rfc4231;
@@ -267,6 +405,11 @@ let () =
           Alcotest.test_case "int range" `Quick test_rng_int_range;
           Alcotest.test_case "bernoulli bias" `Quick test_rng_bernoulli_bias;
           Alcotest.test_case "field sampling uniform (smoke)" `Quick test_rng_field_uniform_smoke;
+          Alcotest.test_case "golden 80-byte stream" `Quick test_rng_golden_bytes;
+          Alcotest.test_case "golden split stream" `Quick test_rng_golden_split;
+          Alcotest.test_case "golden mixed draws" `Quick test_rng_golden_mixed;
+          Alcotest.test_case "golden pick stream" `Quick test_rng_golden_pick;
+          Alcotest.test_case "pick_array = pick" `Quick test_rng_pick_array_agrees;
           Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutes ] );
       ( "commit",
         [ Alcotest.test_case "commit/open" `Quick test_commit_verify;
