@@ -48,7 +48,8 @@ let run_experiments () =
    shrinks with the core count. *)
 type mc_comparison = {
   mc_jobs : int;
-  mc_trials : int;
+  mc_trials : int;  (* requested *)
+  mc_trials_spent : int;  (* actually executed (= requested here: fixed-size run) *)
   seq_seconds : float;
   par_seconds : float;
   seq_trials_per_s : float;
@@ -70,10 +71,12 @@ let run_parallel_comparison () =
     Mc.estimate ~jobs ~protocol ~adversary ~func:swap ~gamma:Fairness.Payoff.default
       ~env:(Mc.uniform_field_inputs ~n:5) ~trials ~seed:42 ()
   in
+  (* Monotonic clock (Fair_obs.Clock): wall-clock (gettimeofday) is subject
+     to NTP steps, which can corrupt a seconds-scale interval. *)
   let wall f =
-    let t0 = Unix.gettimeofday () in
+    let t0 = Fair_obs.Clock.now_ns () in
     let r = f () in
-    (r, Unix.gettimeofday () -. t0)
+    (r, Fair_obs.Clock.elapsed_s ~since_ns:t0)
   in
   (* On a single-core host the old [jobs = default_jobs] comparison timed
      the sequential path against itself and reported its own noise as a
@@ -92,6 +95,9 @@ let run_parallel_comparison () =
   ignore (estimate ~jobs:1);  (* warm up (Lamport key pool, allocator) *)
   let e_seq, t_seq = wall (fun () -> estimate ~jobs:1) in
   let e_par, t_par = wall (fun () -> estimate ~jobs) in
+  (* Throughput divides by [e.Mc.trials] — the trials the estimate actually
+     spent — not the requested count, so the number stays honest if this
+     kernel ever switches to adaptive sampling (where spent ≥ requested). *)
   let throughput e t = float_of_int e.Mc.trials /. t in
   let bit_identical =
     e_seq.Mc.utility = e_par.Mc.utility
@@ -107,6 +113,7 @@ let run_parallel_comparison () =
     (if degraded then "   (degraded: 1 core)" else "");
   { mc_jobs = jobs;
     mc_trials = trials;
+    mc_trials_spent = e_seq.Mc.trials;
     seq_seconds = t_seq;
     par_seconds = t_par;
     seq_trials_per_s = throughput e_seq t_seq;
@@ -138,6 +145,29 @@ let bench_sha256 =
   let msg = String.make 256 'x' in
   Test.make ~name:"crypto/sha256-256B"
     (Staged.stage (fun () -> ignore (Fair_crypto.Sha256.digest msg)))
+
+(* --- observability overhead: the disabled-hook fast path --- *)
+
+(* The same 256-byte digest as crypto/sha256-256B, but routed through a
+   disabled span / a disabled counter.  Comparing these rows against the
+   bare kernel quantifies what observability costs when it is off — the
+   acceptance bar is <2% on this kernel class, cheap enough to leave the
+   hooks in the hottest paths unconditionally. *)
+let bench_sha256_span_disabled =
+  let msg = String.make 256 'x' in
+  Test.make ~name:"obs/sha256-256B-span-disabled"
+    (Staged.stage (fun () ->
+         Fair_obs.Trace.with_span ~cat:"bench" "obs.overhead" (fun () ->
+             ignore (Fair_crypto.Sha256.digest msg))))
+
+let obs_overhead_counter = Fair_obs.Metrics.counter "bench.obs_overhead"
+
+let bench_sha256_counter_disabled =
+  let msg = String.make 256 'x' in
+  Test.make ~name:"obs/sha256-256B-counter-disabled"
+    (Staged.stage (fun () ->
+         Fair_obs.Metrics.incr obs_overhead_counter;
+         ignore (Fair_crypto.Sha256.digest msg)))
 
 let bench_hmac =
   Test.make ~name:"crypto/hmac"
@@ -293,6 +323,8 @@ let tests =
     [ bench_field_mul;
       bench_field_inv;
       bench_sha256;
+      bench_sha256_span_disabled;
+      bench_sha256_counter_disabled;
       bench_hmac;
       bench_lamport_sign;
       bench_lamport_verify;
@@ -343,16 +375,36 @@ let run_timings () =
 (* ------------------------------------------------------------------ *)
 
 (* BENCH_mc.json: the numbers above in a stable, diffable shape, so perf
-   regressions can be tracked across commits without scraping stdout. *)
-let write_json ~path mc kernels =
-  let module J = Fair_search.Json in
+   regressions can be tracked across commits without scraping stdout.
+   Schema 2 adds the observability sections: the metrics-registry snapshot
+   of the Monte-Carlo comparison run (with per-worker pool utilization)
+   and the derived disabled-hook overhead of the obs/* kernels. *)
+let kernel_ns kernels suffix =
+  List.find_map
+    (fun (name, ns) ->
+      if String.length name >= String.length suffix
+         && String.sub name (String.length name - String.length suffix) (String.length suffix)
+            = suffix
+      then Some ns
+      else None)
+    kernels
+
+let write_json ~path mc ~obs_metrics ~obs_pool kernels =
+  let module J = Fairness.Json in
+  let overhead =
+    match (kernel_ns kernels "crypto/sha256-256B", kernel_ns kernels "obs/sha256-256B-span-disabled") with
+    | Some base, Some span when base > 0.0 ->
+        [ ("span_disabled_overhead_frac", J.Num ((span -. base) /. base)) ]
+    | _ -> []
+  in
   let json =
     J.Obj
-      [ ("schema", J.Str "fairness-bench/1");
+      [ ("schema", J.Str "fairness-bench/2");
         ( "montecarlo",
           J.Obj
             [ ("kernel", J.Str "optn-n5-vs-greedy-t4");
-              ("trials", J.num_int mc.mc_trials);
+              ("trials_requested", J.num_int mc.mc_trials);
+              ("trials_spent", J.num_int mc.mc_trials_spent);
               ("jobs", J.num_int mc.mc_jobs);
               ("seq_seconds", J.Num mc.seq_seconds);
               ("par_seconds", J.Num mc.par_seconds);
@@ -361,12 +413,15 @@ let write_json ~path mc kernels =
               ("speedup", J.Num mc.speedup);
               ("bit_identical", J.Bool mc.bit_identical);
               ("degraded", J.Bool mc.degraded) ] );
+        ("metrics", obs_metrics);
+        ("pool", obs_pool);
         ( "kernels",
           J.List
             (List.map
                (fun (name, ns) ->
                  J.Obj [ ("name", J.Str name); ("ns_per_op", J.Num ns) ])
-               kernels) ) ]
+               kernels) );
+        ("obs", J.Obj overhead) ]
   in
   let oc = open_out path in
   output_string oc (J.to_string json);
@@ -376,6 +431,13 @@ let write_json ~path mc kernels =
 
 let () =
   run_experiments ();
+  (* Metrics cover the Monte-Carlo comparison only: they are switched off
+     again before the Bechamel kernels so the obs/* rows measure the
+     disabled fast path, which is what ships by default. *)
+  Fair_obs.Metrics.enable ();
   let mc = run_parallel_comparison () in
+  let obs_metrics = Fairness.Obs_json.metrics (Fair_obs.Metrics.snapshot ()) in
+  let obs_pool = Fairness.Obs_json.pool (Fairness.Parallel.pool_stats ()) in
+  Fair_obs.Metrics.disable ();
   let kernels = run_timings () in
-  write_json ~path:"BENCH_mc.json" mc kernels
+  write_json ~path:"BENCH_mc.json" mc ~obs_metrics ~obs_pool kernels

@@ -20,9 +20,9 @@ let () =
       ~env:(Mc.uniform_field_inputs ~n:5) ~trials ~seed:42 ()
   in
   let wall f =
-    let t0 = Unix.gettimeofday () in
+    let t0 = Fair_obs.Clock.now_ns () in
     let r = f () in
-    (r, Unix.gettimeofday () -. t0)
+    (r, Fair_obs.Clock.elapsed_s ~since_ns:t0)
   in
   let avail = Parallel.default_jobs in
   let degraded = avail < 2 in
@@ -40,7 +40,7 @@ let () =
     "bench-smoke: %d trials, seq %.3fs vs pool(jobs=%d) %.3fs, speedup %.2fx%s, workers spawned %d\n"
     trials t_seq jobs t_par (t_seq /. t_par)
     (if degraded then " (degraded: 1 core, speedup is noise)" else "")
-    (Parallel.pool_stats ());
+    (Parallel.pool_stats ()).Parallel.spawned;
   if not bit_identical then begin
     Printf.eprintf
       "bench-smoke: FAIL — pooled estimate differs from sequential (u: %.17g vs %.17g)\n"

@@ -27,6 +27,43 @@ let markdown_arg =
   let doc = "Emit Markdown (the EXPERIMENTS.md format) instead of plain text." in
   Arg.(value & flag & info [ "markdown" ] ~doc)
 
+let trace_arg =
+  let doc =
+    "Record a span timeline of the run (engine rounds, Monte-Carlo chunks, pool batches, \
+     racing rounds) and write Chrome trace-event JSON to $(docv) — load it in \
+     ui.perfetto.dev or chrome://tracing. Tracing never changes the numbers: the same \
+     seed gives bit-identical output with or without it."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc =
+    "Collect the metrics registry (trial/round/message counters, histograms, pool \
+     utilization) during the run and write a JSON snapshot to $(docv). Like --trace, \
+     metrics are observation-only and cannot perturb results."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+(* Enable the requested observability sinks around [f], and flush them to
+   disk even when [f] exits non-zero or raises: a failing run is exactly
+   when the telemetry matters. *)
+let with_obs ~trace ~metrics f =
+  if trace <> None then Fair_obs.Trace.enable ();
+  if metrics <> None then Fair_obs.Metrics.enable ();
+  let flush () =
+    Option.iter
+      (fun path ->
+        Fairness.Obs_json.write_trace_file ~path;
+        Printf.eprintf "wrote %s\n%!" path)
+      trace;
+    Option.iter
+      (fun path ->
+        Fairness.Obs_json.write_metrics_file ~path;
+        Printf.eprintf "wrote %s\n%!" path)
+      metrics
+  in
+  Fun.protect ~finally:flush f
+
 let list_cmd =
   let run () =
     List.iter
@@ -46,42 +83,47 @@ let run_cmd =
   let id_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc:"Experiment id (e.g. E3).")
   in
-  let run id trials seed jobs markdown =
+  let run id trials seed jobs markdown trace metrics =
     match E.find id with
     | None ->
         Printf.eprintf "unknown experiment %S; try `fairness list`\n" id;
         exit 2
     | Some spec ->
-        let r = spec.E.run ~trials ~seed ~jobs in
-        print_result ~markdown r;
-        if E.all_ok r then 0 else 1
+        with_obs ~trace ~metrics (fun () ->
+            let r = spec.E.run ~trials ~seed ~jobs in
+            print_result ~markdown r;
+            if E.all_ok r then 0 else 1)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one experiment and check its paper bounds.")
-    Term.(const run $ id_arg $ trials_arg $ seed_arg $ jobs_arg $ markdown_arg)
+    Term.(
+      const run $ id_arg $ trials_arg $ seed_arg $ jobs_arg $ markdown_arg $ trace_arg
+      $ metrics_arg)
 
 let all_cmd =
-  let run trials seed jobs markdown =
-    let failures = ref 0 in
-    List.iter
-      (fun (s : E.spec) ->
-        let r = s.E.run ~trials ~seed ~jobs in
-        print_result ~markdown r;
-        print_newline ();
-        if not (E.all_ok r) then incr failures)
-      E.registry;
-    if !failures = 0 then begin
-      Printf.printf "all %d experiments PASS\n" (List.length E.registry);
-      0
-    end
-    else begin
-      Printf.printf "%d experiment(s) FAILED\n" !failures;
-      1
-    end
+  let run trials seed jobs markdown trace metrics =
+    with_obs ~trace ~metrics (fun () ->
+        let failures = ref 0 in
+        List.iter
+          (fun (s : E.spec) ->
+            let r = s.E.run ~trials ~seed ~jobs in
+            print_result ~markdown r;
+            print_newline ();
+            if not (E.all_ok r) then incr failures)
+          E.registry;
+        if !failures = 0 then begin
+          Printf.printf "all %d experiments PASS\n" (List.length E.registry);
+          0
+        end
+        else begin
+          Printf.printf "%d experiment(s) FAILED\n" !failures;
+          1
+        end)
   in
   Cmd.v
     (Cmd.info "all" ~doc:"Run every experiment (E1..E15).")
-    Term.(const run $ trials_arg $ seed_arg $ jobs_arg $ markdown_arg)
+    Term.(
+      const run $ trials_arg $ seed_arg $ jobs_arg $ markdown_arg $ trace_arg $ metrics_arg)
 
 let sweep_cmd =
   let kind_arg =
@@ -90,22 +132,25 @@ let sweep_cmd =
       & pos 0 (some (enum [ ("gamma", `Gamma); ("n", `N); ("q", `Q) ])) None
       & info [] ~docv:"KIND" ~doc:"Sweep kind: gamma, n, or q.")
   in
-  let run kind trials seed jobs markdown =
-    let table =
-      match kind with
-      | `Gamma -> Fair_analysis.Sweep.gamma_sweep ~jobs ~trials ~seed ()
-      | `N -> Fair_analysis.Sweep.n_sweep ~jobs ~ns:[ 2; 3; 4; 5; 6; 7 ] ~trials ~seed ()
-      | `Q -> Fair_analysis.Sweep.q_sweep ~jobs ~qs:[ 0.0; 0.125; 0.25; 0.375; 0.5; 0.625; 0.75; 0.875; 1.0 ] ~trials ~seed ()
-    in
-    print_endline (Fair_analysis.Sweep.render ~markdown table);
-    0
+  let run kind trials seed jobs markdown trace metrics =
+    with_obs ~trace ~metrics (fun () ->
+        let table =
+          match kind with
+          | `Gamma -> Fair_analysis.Sweep.gamma_sweep ~jobs ~trials ~seed ()
+          | `N -> Fair_analysis.Sweep.n_sweep ~jobs ~ns:[ 2; 3; 4; 5; 6; 7 ] ~trials ~seed ()
+          | `Q -> Fair_analysis.Sweep.q_sweep ~jobs ~qs:[ 0.0; 0.125; 0.25; 0.375; 0.5; 0.625; 0.75; 0.875; 1.0 ] ~trials ~seed ()
+        in
+        print_endline (Fair_analysis.Sweep.render ~markdown table);
+        0)
   in
   Cmd.v
     (Cmd.info "sweep"
        ~doc:
          "Sweep a parameter (preference vector, party count, or designer bias) and tabulate \
           the measured fairness landscape.")
-    Term.(const run $ kind_arg $ trials_arg $ seed_arg $ jobs_arg $ markdown_arg)
+    Term.(
+      const run $ kind_arg $ trials_arg $ seed_arg $ jobs_arg $ markdown_arg $ trace_arg
+      $ metrics_arg)
 
 let search_cmd =
   let module Certificate = Fair_search.Certificate in
@@ -149,7 +194,8 @@ let search_cmd =
     Certificate.save ~path c;
     Printf.eprintf "wrote %s\n%!" path
   in
-  let run id budget grid zoo out seed jobs markdown =
+  let run id budget grid zoo out seed jobs markdown trace metrics =
+    with_obs ~trace ~metrics @@ fun () ->
     match grid with
     | Some kind ->
         let table =
@@ -192,7 +238,7 @@ let search_cmd =
           paper bound.")
     Term.(
       const run $ id_arg $ budget_arg $ grid_arg $ zoo_arg $ out_arg $ seed_arg $ jobs_arg
-      $ markdown_arg)
+      $ markdown_arg $ trace_arg $ metrics_arg)
 
 let demo_cmd =
   let name_arg =

@@ -15,6 +15,13 @@ let uniform_bit_inputs ~n rng = Array.init n (fun _ -> if Rng.bool rng then "1" 
 
 let uniform_mod_inputs ~m ~n rng = Array.init n (fun _ -> string_of_int (Rng.int rng m))
 
+type convergence_point = {
+  after : int;
+  batch : int;
+  running_mean : float;
+  running_std_err : float;
+}
+
 type estimate = {
   utility : float;
   std_err : float;
@@ -23,7 +30,24 @@ type estimate = {
   corrupted_counts : (int * int) list;
   breaches : int;
   trials : int;
+  trajectory : convergence_point list;
 }
+
+(* Observability: batch/chunk accounting and spans.  Everything here is
+   derived from the deterministic accumulator state — no RNG is consulted
+   and no scheduling decision depends on it, so estimates are bit-identical
+   with the registry/tracer enabled or disabled (test_obs locks this). *)
+module Metrics = Fair_obs.Metrics
+module Otrace = Fair_obs.Trace
+
+let c_trials = Metrics.counter "mc.trials"
+let c_chunks = Metrics.counter "mc.chunks"
+let c_ranges = Metrics.counter "mc.ranges"
+let c_adaptive_rounds = Metrics.counter "mc.adaptive_rounds"
+
+let h_range_trials =
+  Metrics.histogram "mc.range_trials"
+    ~buckets:[| 64.; 256.; 1024.; 4096.; 16384.; 65536. |]
 
 (* ------------------------------------------------------------------ *)
 (* Streaming accumulator: Welford within a chunk, Chan et al. between
@@ -88,15 +112,24 @@ let acc_std_err a =
 let sorted_bindings tbl =
   List.sort (fun (k, _) (k', _) -> compare k k') (Hashtbl.fold (fun k v l -> (k, v) :: l) tbl [])
 
-let acc_finalize a =
+let acc_finalize ?(trajectory = []) a =
   let counts = sorted_bindings a.event_counts in
+  let trajectory =
+    if trajectory <> [] || a.count = 0 then trajectory
+    else
+      [ { after = a.count;
+          batch = a.count;
+          running_mean = a.mean;
+          running_std_err = acc_std_err a } ]
+  in
   { utility = a.mean;
     std_err = acc_std_err a;
     distribution = Utility.of_counts counts;
     counts;
     corrupted_counts = sorted_bindings a.corrupted_counts_tbl;
     breaches = a.breaches;
-    trials = a.count }
+    trials = a.count;
+    trajectory }
 
 (* ------------------------------------------------------------------ *)
 
@@ -134,16 +167,25 @@ let run_trial ~overrides ~protocol ~adversary ~func ~gamma ~env ~prefix a i =
 let chunk_size = 64
 
 let run_range ~overrides ~protocol ~adversary ~func ~gamma ~env ~seed ~jobs ~lo ~hi acc =
-  let prefix = trial_seed_prefix seed in
-  let chunks =
-    Parallel.map_range ~jobs ~chunk_size ~lo ~hi (fun ~lo ~hi ->
-        let a = acc_create () in
-        for i = lo to hi - 1 do
-          run_trial ~overrides ~protocol ~adversary ~func ~gamma ~env ~prefix a i
-        done;
-        a)
-  in
-  List.fold_left acc_merge acc chunks
+  Metrics.incr c_ranges;
+  Metrics.observe h_range_trials (float_of_int (hi - lo));
+  Otrace.with_span ~cat:"mc"
+    ~args:[ ("lo", string_of_int lo); ("hi", string_of_int hi) ]
+    "mc.range"
+    (fun () ->
+      let prefix = trial_seed_prefix seed in
+      let chunks =
+        Parallel.map_range ~jobs ~chunk_size ~lo ~hi (fun ~lo ~hi ->
+            Otrace.with_span ~cat:"mc" "mc.chunk" (fun () ->
+                Metrics.incr c_chunks;
+                Metrics.add c_trials (hi - lo);
+                let a = acc_create () in
+                for i = lo to hi - 1 do
+                  run_trial ~overrides ~protocol ~adversary ~func ~gamma ~env ~prefix a i
+                done;
+                a))
+      in
+      List.fold_left acc_merge acc chunks)
 
 let estimate ?(overrides = Events.no_overrides) ?(jobs = Parallel.default_jobs)
     ?target_std_err ?max_trials ~protocol ~adversary ~func ~gamma ~env ~trials ~seed () =
@@ -156,13 +198,24 @@ let estimate ?(overrides = Events.no_overrides) ?(jobs = Parallel.default_jobs)
       let cap = match max_trials with Some c -> max c trials | None -> 20 * trials in
       (* Batches double the total trial count until the (deterministically
          merged, hence jobs-independent) standard error meets the target or
-         the cap is exhausted. *)
-      let rec go acc total =
-        let acc = run ~lo:acc.count ~hi:total acc in
-        if acc_std_err acc <= target || total >= cap then acc_finalize acc
-        else go acc (min cap (2 * total))
+         the cap is exhausted.  Each batch appends a convergence point, so
+         the stopping decision is auditable from the estimate itself. *)
+      let rec go acc total points =
+        Metrics.incr c_adaptive_rounds;
+        let before = acc.count in
+        let acc = run ~lo:before ~hi:total acc in
+        let points =
+          { after = acc.count;
+            batch = acc.count - before;
+            running_mean = acc.mean;
+            running_std_err = acc_std_err acc }
+          :: points
+        in
+        if acc_std_err acc <= target || total >= cap then
+          acc_finalize ~trajectory:(List.rev points) acc
+        else go acc (min cap (2 * total)) points
       in
-      go (acc_create ()) (min cap trials)
+      go (acc_create ()) (min cap trials) []
 
 (* ------------------------------------------------------------------ *)
 (* Public incremental accumulation: the racing scheduler (Fair_search)
@@ -180,7 +233,7 @@ module Acc = struct
   let mean a = a.mean
   let std_err = acc_std_err
   let merge = acc_merge
-  let finalize = acc_finalize
+  let finalize a = acc_finalize a
 
   (* Event-free observation for synthetic workloads (scheduler tests,
      generic bandit arms): the payoff stream drives mean/std_err, the

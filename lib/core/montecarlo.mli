@@ -34,6 +34,16 @@ val uniform_field_inputs : n:int -> environment
 val uniform_bit_inputs : n:int -> environment
 val uniform_mod_inputs : m:int -> n:int -> environment
 
+type convergence_point = {
+  after : int;  (** total trials accumulated after this batch *)
+  batch : int;  (** trials this batch added *)
+  running_mean : float;
+  running_std_err : float;
+}
+(** One row of an estimate's convergence trajectory.  Derived from the
+    deterministically-merged accumulator, so the whole trajectory is — like
+    the estimate itself — bit-identical at any [jobs] value. *)
+
 type estimate = {
   utility : float;  (** empirical û *)
   std_err : float;  (** Bessel-corrected standard error of [utility] *)
@@ -43,6 +53,10 @@ type estimate = {
       (** (#corrupted, occurrences), sorted by #corrupted *)
   breaches : int;  (** correctness breaches observed *)
   trials : int;  (** trials actually spent (≥ [trials] in adaptive mode) *)
+  trajectory : convergence_point list;
+      (** chronological; one point per adaptive batch (a single point for
+          fixed-size runs), so adaptive stopping is auditable after the
+          fact *)
 }
 
 val estimate :

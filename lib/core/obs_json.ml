@@ -1,0 +1,102 @@
+module Metrics = Fair_obs.Metrics
+module Trace = Fair_obs.Trace
+
+let metrics (s : Metrics.snapshot) =
+  Json.Obj
+    [ ("counters", Json.Obj (List.map (fun (n, v) -> (n, Json.num_int v)) s.Metrics.counters));
+      ("gauges", Json.Obj (List.map (fun (n, v) -> (n, Json.Num v)) s.Metrics.gauges));
+      ( "histograms",
+        Json.Obj
+          (List.map
+             (fun (n, h) ->
+               ( n,
+                 Json.Obj
+                   [ ( "buckets",
+                       Json.List
+                         (List.map
+                            (fun (le, c) ->
+                              Json.Obj [ ("le", Json.Num le); ("count", Json.num_int c) ])
+                            h.Metrics.hbuckets) );
+                     ("overflow", Json.num_int h.Metrics.overflow);
+                     ("total", Json.num_int h.Metrics.total) ] ))
+             s.Metrics.histograms) ) ]
+
+let utilization busy idle =
+  let denom = busy + idle in
+  if denom > 0 then [ ("utilization", Json.Num (float_of_int busy /. float_of_int denom)) ]
+  else []
+
+let worker (w : Parallel.worker_stats) =
+  Json.Obj
+    ([ ("tasks", Json.num_int w.Parallel.tasks);
+       ("busy_ns", Json.num_int w.Parallel.busy_ns);
+       ("idle_ns", Json.num_int w.Parallel.idle_ns) ]
+    @ utilization w.Parallel.busy_ns w.Parallel.idle_ns)
+
+let pool (s : Parallel.stats) =
+  Json.Obj
+    [ ("spawned", Json.num_int s.Parallel.spawned);
+      ("pooled_batches", Json.num_int s.Parallel.pooled_batches);
+      ("inline_batches", Json.num_int s.Parallel.inline_batches);
+      ("caller", worker s.Parallel.caller);
+      ("workers", Json.List (List.map worker s.Parallel.workers)) ]
+
+(* Chrome trace-event timestamps are microseconds; emit them as fractional
+   µs so the ns resolution of the clock survives. *)
+let us ns = float_of_int ns /. 1000.0
+
+let args_json = function
+  | [] -> []
+  | args -> [ ("args", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) args)) ]
+
+let event (e : Trace.event) =
+  let common =
+    [ ("name", Json.Str e.Trace.name);
+      ("cat", Json.Str e.Trace.cat);
+      ("pid", Json.num_int 1);
+      ("tid", Json.num_int e.Trace.tid);
+      ("ts", Json.Num (us e.Trace.ts_ns)) ]
+  in
+  match e.Trace.ph with
+  | Trace.Span dur ->
+      Json.Obj (common @ [ ("ph", Json.Str "X"); ("dur", Json.Num (us dur)) ] @ args_json e.Trace.args)
+  | Trace.Instant ->
+      Json.Obj (common @ [ ("ph", Json.Str "i"); ("s", Json.Str "t") ] @ args_json e.Trace.args)
+
+let thread_meta tid =
+  Json.Obj
+    [ ("name", Json.Str "thread_name");
+      ("ph", Json.Str "M");
+      ("pid", Json.num_int 1);
+      ("tid", Json.num_int tid);
+      ("args", Json.Obj [ ("name", Json.Str ("domain-" ^ string_of_int tid)) ]) ]
+
+let trace_events evs =
+  let tids = List.sort_uniq compare (List.map (fun (e : Trace.event) -> e.Trace.tid) evs) in
+  Json.Obj
+    [ ("traceEvents", Json.List (List.map thread_meta tids @ List.map event evs));
+      ("displayTimeUnit", Json.Str "ns") ]
+
+let metrics_document () =
+  Json.Obj
+    [ ("schema", Json.Str "fairness-metrics/1");
+      ("metrics", metrics (Metrics.snapshot ()));
+      ("pool", pool (Parallel.pool_stats ())) ]
+
+let trace_document () =
+  match trace_events (Trace.export ()) with
+  | Json.Obj fields ->
+      let dropped = Trace.dropped () in
+      Json.Obj (fields @ if dropped > 0 then [ ("dropped_events", Json.num_int dropped) ] else [])
+  | j -> j
+
+let write ~path doc =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string doc);
+      output_char oc '\n')
+
+let write_metrics_file ~path = write ~path (metrics_document ())
+let write_trace_file ~path = write ~path (trace_document ())

@@ -1,0 +1,40 @@
+(** JSON export of the observability layer — the one place the metrics
+    registry, the span tracer and the pool accounting meet the shared
+    {!Json} emitter.
+
+    Two document shapes:
+
+    - {!metrics_document}: [fairness-metrics/1] — the merged
+      {!Fair_obs.Metrics.snapshot} plus {!Parallel.pool_stats} (per-worker
+      utilization), written by [fairness_cli --metrics] and embedded in
+      [BENCH_mc.json];
+    - {!trace_document}: Chrome trace-event JSON
+      ([{"traceEvents": [...]}], "X"/"i" phases, µs timestamps, one [tid]
+      per domain with thread-name metadata) — loadable in
+      [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto}. *)
+
+val metrics : Fair_obs.Metrics.snapshot -> Json.t
+(** Counters/gauges/histograms as nested objects (name-sorted, as in the
+    snapshot). *)
+
+val pool : Parallel.stats -> Json.t
+(** Pool accounting; each participant carries a derived [utilization]
+    (busy / (busy + idle), when that denominator is positive). *)
+
+val trace_events : Fair_obs.Trace.event list -> Json.t
+(** The full Chrome trace document for the given events: thread-name
+    metadata first, then one record per event, timestamps in microseconds. *)
+
+val metrics_document : unit -> Json.t
+(** Snapshot the live registry and pool into a [fairness-metrics/1]
+    document. *)
+
+val trace_document : unit -> Json.t
+(** [trace_events] of {!Fair_obs.Trace.export}, plus a [dropped_events]
+    count when the per-domain buffer bound truncated the trace. *)
+
+val write : path:string -> Json.t -> unit
+(** Write the document (pretty-printed, trailing newline). *)
+
+val write_metrics_file : path:string -> unit
+val write_trace_file : path:string -> unit

@@ -1,3 +1,6 @@
+module Clock = Fair_obs.Clock
+module Otrace = Fair_obs.Trace
+
 let default_jobs = max 1 (Domain.recommended_domain_count ())
 
 (* ------------------------------------------------------------------ *)
@@ -29,6 +32,20 @@ type job = {
   next : int Atomic.t;     (* next unclaimed task index *)
 }
 
+(* Per-participant accounting.  Each worker owns one [wstat] and is its
+   only writer: tasks/busy are stored after each drain (and made visible to
+   the caller by the job's completion atomics), idle is stored around the
+   park.  The caller slot is owned by whichever domain holds [pool_busy],
+   which serializes its writers.  Reads ([pool_stats]) therefore see exact
+   values at quiescent points and monotone approximations mid-batch. *)
+type wstat = {
+  mutable s_tasks : int;
+  mutable s_busy_ns : int;
+  mutable s_idle_ns : int;
+}
+
+let new_wstat () = { s_tasks = 0; s_busy_ns = 0; s_idle_ns = 0 }
+
 let pool_mutex = Mutex.create ()   (* guards all pool state below *)
 let wake = Condition.create ()     (* workers park here between jobs *)
 let job_box : job option ref = ref None
@@ -36,33 +53,46 @@ let job_gen = ref 0                (* bumped when a new job is published *)
 let shutting_down = ref false
 let spawned = ref 0                (* worker domains spawned so far *)
 let handles : unit Domain.t list ref = ref []
+let worker_stats : (int * wstat) list ref = ref []  (* (spawn index, stats) *)
+let caller_stat = new_wstat ()
+let pooled_batches = ref 0         (* bumped under [pool_mutex] *)
+let inline_batches = Atomic.make 0 (* sequential fallbacks; any domain *)
 
 (* Held for the duration of one pooled [run_tasks]; taken with [try_lock]
    so contenders fall back to inline execution instead of blocking. *)
 let pool_busy = Mutex.create ()
 
-let drain (j : job) =
-  let rec go () =
+let drain ws (j : job) =
+  let t0 = Clock.now_ns () in
+  let rec go k =
     let i = Atomic.fetch_and_add j.next 1 in
     if i < j.n then begin
       j.run i;
-      go ()
+      go (k + 1)
     end
+    else k
   in
-  go ()
+  let claimed = go 0 in
+  ws.s_tasks <- ws.s_tasks + claimed;
+  ws.s_busy_ns <- ws.s_busy_ns + (Clock.now_ns () - t0)
 
-let rec worker_loop last_gen =
+let rec worker_loop ws last_gen =
+  let t_park = Clock.now_ns () in
   Mutex.lock pool_mutex;
   while !job_gen = last_gen && not !shutting_down do
     Condition.wait wake pool_mutex
   done;
   let gen = !job_gen and job = !job_box and stop = !shutting_down in
   Mutex.unlock pool_mutex;
+  let t_wake = Clock.now_ns () in
+  ws.s_idle_ns <- ws.s_idle_ns + (t_wake - t_park);
+  if Otrace.enabled () then
+    Otrace.emit_span ~cat:"pool" "pool.park" ~ts_ns:t_park ~dur_ns:(t_wake - t_park);
   if not stop then begin
-    (match job with Some j -> drain j | None -> ());
+    (match job with Some j -> drain ws j | None -> ());
     (* A drained or stale job is harmless to revisit: its counter is
        exhausted, so [drain] returns immediately. *)
-    worker_loop gen
+    worker_loop ws gen
   end
 
 (* Under [pool_mutex].  New workers start parked on the current
@@ -70,9 +100,11 @@ let rec worker_loop last_gen =
    them exactly like the veterans. *)
 let ensure_workers want =
   while !spawned < want do
+    let ws = new_wstat () in
+    worker_stats := (!spawned, ws) :: !worker_stats;
     incr spawned;
     let gen = !job_gen in
-    handles := Domain.spawn (fun () -> worker_loop gen) :: !handles
+    handles := Domain.spawn (fun () -> worker_loop ws gen) :: !handles
   done
 
 let () =
@@ -85,9 +117,35 @@ let () =
       Mutex.unlock pool_mutex;
       List.iter Domain.join hs)
 
-let pool_stats () = !spawned
+type worker_stats = { tasks : int; busy_ns : int; idle_ns : int }
 
-let run_seq n task = List.init n task
+type stats = {
+  spawned : int;
+  pooled_batches : int;
+  inline_batches : int;
+  caller : worker_stats;
+  workers : worker_stats list;
+}
+
+let read_wstat ws = { tasks = ws.s_tasks; busy_ns = ws.s_busy_ns; idle_ns = ws.s_idle_ns }
+
+let pool_stats () =
+  Mutex.lock pool_mutex;
+  let s =
+    { spawned = !spawned;
+      pooled_batches = !pooled_batches;
+      inline_batches = Atomic.get inline_batches;
+      caller = read_wstat caller_stat;
+      workers =
+        List.sort (fun (a, _) (b, _) -> compare a b) !worker_stats
+        |> List.map (fun (_, ws) -> read_wstat ws) }
+  in
+  Mutex.unlock pool_mutex;
+  s
+
+let run_seq n task =
+  Atomic.incr inline_batches;
+  List.init n task
 
 let collect results =
   Array.to_list results
@@ -97,6 +155,7 @@ let collect results =
        | None -> assert false)
 
 let run_pooled ~jobs ~n task =
+  let t_start = Clock.now_ns () in
   let results = Array.make n None in
   let pending = Atomic.make n in
   let done_mutex = Mutex.create () in
@@ -114,16 +173,24 @@ let run_pooled ~jobs ~n task =
   let j = { run; n; next = Atomic.make 0 } in
   Mutex.lock pool_mutex;
   ensure_workers (min jobs n - 1);
+  incr pooled_batches;
   job_box := Some j;
   incr job_gen;
   Condition.broadcast wake;
   Mutex.unlock pool_mutex;
-  drain j;
+  drain caller_stat j;
+  let t_wait = Clock.now_ns () in
   Mutex.lock done_mutex;
   while Atomic.get pending > 0 do
     Condition.wait done_cond done_mutex
   done;
   Mutex.unlock done_mutex;
+  let t_done = Clock.now_ns () in
+  caller_stat.s_idle_ns <- caller_stat.s_idle_ns + (t_done - t_wait);
+  if Otrace.enabled () then
+    Otrace.emit_span ~cat:"pool"
+      ~args:[ ("tasks", string_of_int n); ("jobs", string_of_int jobs) ]
+      "pool.batch" ~ts_ns:t_start ~dur_ns:(t_done - t_start);
   collect results
 
 let run_tasks ~jobs ~n (task : int -> 'a) : 'a list =

@@ -20,7 +20,14 @@
 
     The pool serves one call at a time: a nested or concurrent call
     (e.g. an estimate running inside a racing arm) runs inline on the
-    calling domain instead of waiting, so nesting can never deadlock. *)
+    calling domain instead of waiting, so nesting can never deadlock.
+
+    The pool is instrumented: per-participant task/busy/idle accounting is
+    always on (a handful of monotonic-clock reads per batch — see
+    {!pool_stats}), and when {!Fair_obs.Trace} is enabled it emits
+    [pool.batch] spans on the caller and [pool.park] spans on the workers.
+    Neither touches task scheduling, so the determinism contract is
+    unaffected. *)
 
 val default_jobs : int
 (** [Domain.recommended_domain_count ()], clamped to at least 1. *)
@@ -42,6 +49,30 @@ val map_list : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
     domains, results in input order.  Same exception semantics as
     {!map_range}. *)
 
-val pool_stats : unit -> int
-(** Number of worker domains spawned since process start (they are reused,
-    never torn down before exit) — observability for tests and diagnostics. *)
+(** {2 Pool observability} *)
+
+type worker_stats = {
+  tasks : int;  (** tasks claimed from the shared counter *)
+  busy_ns : int;  (** monotonic ns spent inside [drain] (executing tasks) *)
+  idle_ns : int;
+      (** workers: ns parked between jobs; caller: ns waiting for
+          stragglers after its own drain *)
+}
+
+type stats = {
+  spawned : int;  (** worker domains spawned since process start *)
+  pooled_batches : int;  (** [run_tasks] calls served by the pool *)
+  inline_batches : int;
+      (** [run_tasks] calls that ran sequentially on the caller
+          ([jobs <= 1], a single task, or the pool was busy) *)
+  caller : worker_stats;
+      (** aggregated over every domain that led a pooled batch *)
+  workers : worker_stats list;  (** in spawn order *)
+}
+
+val pool_stats : unit -> stats
+(** Cumulative pool accounting.  Exact at quiescent points (no pooled call
+    in flight); a monotone approximation if read mid-batch.  The per-worker
+    busy/idle split is what explains a "parallel slowdown" on a starved
+    host: one core means workers serialize, so busy time stays low while
+    the caller's wait grows. *)

@@ -1,5 +1,20 @@
 module Rng = Fair_crypto.Rng
 
+(* Observability (Fair_obs): aggregate counters plus per-run/per-round
+   spans.  [Trace] below is the *protocol* trace (who sent what); the
+   observability tracer is aliased [Otrace] to keep the two apart.  The
+   hooks read nothing but local state and never touch the RNG, so an
+   execution is bit-identical whether or not they are enabled. *)
+module Otrace = Fair_obs.Trace
+module Metrics = Fair_obs.Metrics
+
+let c_execs = Metrics.counter "engine.executions"
+let c_rounds = Metrics.counter "engine.rounds"
+let c_msgs = Metrics.counter "engine.messages"
+let c_corruptions = Metrics.counter "engine.corruptions"
+let c_aborts = Metrics.counter "engine.aborts"
+let c_breach_rounds = Metrics.counter "engine.max_round_stops"
+
 type party_result =
   | Honest_output of Wire.payload
   | Honest_abort
@@ -39,7 +54,7 @@ type slot =
   | Running of Machine.t * string * string (* machine, input, setup *)
   | Finished of party_result
 
-let run ~protocol ~adversary ~inputs ~rng =
+let run_exec ~protocol ~adversary ~inputs ~rng =
   let n = protocol.Protocol.parties in
   if Array.length inputs <> n then invalid_arg "Engine.run: wrong number of inputs";
   let trace = Trace.create () in
@@ -101,9 +116,8 @@ let run ~protocol ~adversary ~inputs ~rng =
     !some
   in
   let round = ref 0 in
-  while active () && !round < protocol.Protocol.max_rounds do
-    incr round;
-    let r = !round in
+  let msgs = ref 0 in
+  let exec_round r =
     Array.blit inbox_next 0 inbox_now 0 (n + 1);
     Array.fill inbox_next 0 (n + 1) [];
     (* Inboxes are accumulated in reverse order of delivery; present them
@@ -122,6 +136,7 @@ let run ~protocol ~adversary ~inputs ~rng =
               match action with
               | Machine.Send (dst, payload) ->
                   let env = { Wire.src = id; dst; payload } in
+                  incr msgs;
                   Trace.record trace (Trace.Sent (r, env));
                   honest_envelopes := env :: !honest_envelopes
               | Machine.Output v ->
@@ -180,6 +195,7 @@ let run ~protocol ~adversary ~inputs ~rng =
         if src < 1 || src > n || not corrupted.(src) then
           invalid_arg "Engine.run: adversary sent from a non-corrupted party";
         let env = { Wire.src; dst; payload } in
+        incr msgs;
         Trace.record trace (Trace.Sent (r, env));
         deliver env)
       decision.Adversary.send;
@@ -189,7 +205,12 @@ let run ~protocol ~adversary ~inputs ~rng =
         claims := (r, v) :: !claims;
         Trace.record trace (Trace.Claimed (r, v)));
     List.iter (corrupt_party r) decision.Adversary.corrupt
+  in
+  while active () && !round < protocol.Protocol.max_rounds do
+    incr round;
+    Otrace.with_span ~cat:"engine" "engine.round" (fun () -> exec_round !round)
   done;
+  let stopped_at_max = active () in
   (* Flush: the execution stopped because every honest party finished, but
      messages sent in the final round are still in flight; a real adversary
      receives them.  Give it one last step (claims only — nobody is left to
@@ -226,7 +247,24 @@ let run ~protocol ~adversary ~inputs ~rng =
         claims := (r, v) :: !claims;
         Trace.record trace (Trace.Claimed (r, v))
   end;
+  if Metrics.enabled () then begin
+    Metrics.incr c_execs;
+    Metrics.add c_rounds !round;
+    Metrics.add c_msgs !msgs;
+    let ncorr = ref 0 and naborts = ref 0 in
+    for i = 1 to n do
+      if corrupted.(i) then incr ncorr;
+      match results.(i) with Honest_abort -> incr naborts | _ -> ()
+    done;
+    Metrics.add c_corruptions !ncorr;
+    Metrics.add c_aborts !naborts;
+    if stopped_at_max then Metrics.incr c_breach_rounds
+  end;
   { results = List.init n (fun i -> (i + 1, results.(i + 1)));
     claims = List.rev !claims;
     rounds = !round;
     trace }
+
+let run ~protocol ~adversary ~inputs ~rng =
+  Otrace.with_span ~cat:"engine" "engine.run" (fun () ->
+      run_exec ~protocol ~adversary ~inputs ~rng)

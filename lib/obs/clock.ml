@@ -1,0 +1,3 @@
+external now_ns : unit -> int = "fair_obs_monotonic_ns" [@@noalloc]
+
+let elapsed_s ~since_ns = float_of_int (now_ns () - since_ns) *. 1e-9

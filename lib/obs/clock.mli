@@ -1,0 +1,14 @@
+(** Shared monotonic clock.
+
+    All observability timing (span tracing, pool busy/idle accounting, the
+    bench harness) reads this one clock so numbers are comparable across
+    subsystems.  It is [CLOCK_MONOTONIC] via a one-line C stub: unlike
+    [Unix.gettimeofday], NTP steps and wall-clock jumps cannot corrupt
+    deltas taken across a long run. *)
+
+val now_ns : unit -> int
+(** Nanoseconds on the monotonic clock.  Only differences are meaningful;
+    the epoch is unspecified (boot time on Linux). *)
+
+val elapsed_s : since_ns:int -> float
+(** Seconds elapsed since a previous {!now_ns} reading. *)

@@ -1,0 +1,3 @@
+let next = Atomic.make 0
+let key = Domain.DLS.new_key (fun () -> Atomic.fetch_and_add next 1)
+let get () = Domain.DLS.get key

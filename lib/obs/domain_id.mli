@@ -1,0 +1,11 @@
+(** Small dense per-domain indices.
+
+    [Domain.self ()] values are allocation-order unique but not dense;
+    metrics shards and trace buffers want a stable small integer per domain
+    so snapshots can merge {e in domain-index order} and traces can label
+    lanes.  The first call from a domain assigns it the next free index
+    (the domain that observes first gets 0 — in practice the main domain,
+    since instruments are registered at module init). *)
+
+val get : unit -> int
+(** This domain's index; stable for the domain's lifetime. *)

@@ -1,0 +1,17 @@
+/* Monotonic nanosecond clock for Fair_obs.Clock.
+ *
+ * The build image carries no mtime/ptime, and Unix.gettimeofday is wall
+ * time (NTP steps corrupt long-run deltas), so we bind CLOCK_MONOTONIC
+ * directly.  The value is returned as a tagged OCaml int: 62 bits of
+ * nanoseconds wrap after ~146 years of uptime, so deltas are safe.
+ */
+
+#include <time.h>
+#include <caml/mlvalues.h>
+
+CAMLprim value fair_obs_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return Val_long((intnat)ts.tv_sec * 1000000000 + (intnat)ts.tv_nsec);
+}

@@ -1,0 +1,100 @@
+module Dls = Domain.DLS
+
+type phase =
+  | Span of int
+  | Instant
+
+type event = {
+  name : string;
+  cat : string;
+  tid : int;
+  ph : phase;
+  ts_ns : int;
+  args : (string * string) list;
+}
+
+let on = Atomic.make false
+let enabled () = Atomic.get on
+
+(* Per-domain buffer: a reversed cons list (append = one alloc, no
+   resizing), bounded so a traced long run truncates instead of OOMing. *)
+type buf = {
+  b_domain : int;
+  mutable b_events : event list;
+  mutable b_len : int;
+  mutable b_dropped : int;
+}
+
+let lock = Mutex.create ()
+let bufs : buf list ref = ref []
+let max_events = Atomic.make 4_000_000
+
+let buf_key =
+  Dls.new_key (fun () ->
+      let b = { b_domain = Domain_id.get (); b_events = []; b_len = 0; b_dropped = 0 } in
+      Mutex.lock lock;
+      bufs := b :: !bufs;
+      Mutex.unlock lock;
+      b)
+
+let enable ?max_events_per_domain () =
+  (match max_events_per_domain with
+  | Some m -> Atomic.set max_events (max 1 m)
+  | None -> ());
+  Atomic.set on true
+
+let disable () = Atomic.set on false
+
+let clear () =
+  Mutex.lock lock;
+  List.iter
+    (fun b ->
+      b.b_events <- [];
+      b.b_len <- 0;
+      b.b_dropped <- 0)
+    !bufs;
+  Mutex.unlock lock
+
+let record e =
+  let b = Dls.get buf_key in
+  if b.b_len >= Atomic.get max_events then b.b_dropped <- b.b_dropped + 1
+  else begin
+    b.b_events <- e :: b.b_events;
+    b.b_len <- b.b_len + 1
+  end
+
+let emit_span ?(cat = "app") ?(args = []) name ~ts_ns ~dur_ns =
+  if Atomic.get on then
+    record { name; cat; tid = Domain_id.get (); ph = Span dur_ns; ts_ns; args }
+
+let with_span ?(cat = "app") ?(args = []) name fn =
+  if not (Atomic.get on) then fn ()
+  else begin
+    let t0 = Clock.now_ns () in
+    match fn () with
+    | r ->
+        record
+          { name; cat; tid = Domain_id.get (); ph = Span (Clock.now_ns () - t0); ts_ns = t0; args };
+        r
+    | exception e ->
+        record
+          { name; cat; tid = Domain_id.get (); ph = Span (Clock.now_ns () - t0); ts_ns = t0; args };
+        raise e
+  end
+
+let instant ?(cat = "app") ?(args = []) name =
+  if Atomic.get on then
+    record { name; cat; tid = Domain_id.get (); ph = Instant; ts_ns = Clock.now_ns (); args }
+
+let export () =
+  Mutex.lock lock;
+  let bs = List.sort (fun a b -> compare a.b_domain b.b_domain) !bufs in
+  let evs = List.concat_map (fun b -> List.rev b.b_events) bs in
+  Mutex.unlock lock;
+  evs
+
+let dropped () =
+  Mutex.lock lock;
+  let d = List.fold_left (fun acc b -> acc + b.b_dropped) 0 !bufs in
+  Mutex.unlock lock;
+  d

@@ -1,5 +1,6 @@
 module Mc = Fairness.Montecarlo
 module Report = Fairness.Report
+module Json = Fairness.Json
 
 type t = {
   experiment : string;

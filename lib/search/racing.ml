@@ -1,6 +1,33 @@
 module Mc = Fairness.Montecarlo
 module Parallel = Fairness.Parallel
 
+(* Observability: the round log and the metrics/span hooks below read only
+   the deterministically-merged accumulators — no RNG, no scheduling input —
+   so race outcomes (and certificates built from them) are bit-identical
+   with observability on or off. *)
+module Metrics = Fair_obs.Metrics
+module Otrace = Fair_obs.Trace
+
+let c_rounds = Metrics.counter "race.rounds"
+let c_trials = Metrics.counter "race.trials"
+let c_eliminations = Metrics.counter "race.eliminations"
+
+type arm_status = {
+  arm_ix : int;
+  pulls : int;
+  mean : float;
+  lcb : float;
+  ucb : float;
+}
+
+type round_log = {
+  index : int;
+  batch : int;
+  statuses : arm_status list;
+  incumbent : int;
+  eliminated : int list;
+}
+
 type 'a standing = {
   arm : 'a;
   estimate : Mc.estimate;
@@ -13,6 +40,7 @@ type 'a outcome = {
   spent : int;
   rounds : int;
   standings : 'a standing list;
+  log : round_log list;
 }
 
 let race ?(batch0 = 64) ?(z = 3.0) ?(jobs = Parallel.default_jobs) ~arms ~pull ~budget () =
@@ -31,6 +59,7 @@ let race ?(batch0 = 64) ?(z = 3.0) ?(jobs = Parallel.default_jobs) ~arms ~pull ~
   let ucb i = Mc.Acc.mean accs.(i) +. (z *. Mc.Acc.std_err accs.(i)) in
   let spent = ref 0 in
   let round = ref 0 in
+  let log = ref [] in
   let continue = ref true in
   while !continue do
     let s = live () in
@@ -42,27 +71,62 @@ let race ?(batch0 = 64) ?(z = 3.0) ?(jobs = Parallel.default_jobs) ~arms ~pull ~
     if b < 1 then continue := false
     else begin
       incr round;
-      (* Arm-level parallelism: each surviving arm's batch is an independent
-         deterministic computation; merge back in arm order. *)
-      let batches =
-        Parallel.map_list ~jobs
-          (fun i ->
-            let lo = Mc.Acc.count accs.(i) in
-            pull arms.(i) ~lo ~hi:(lo + b))
-          s
-      in
-      List.iter2 (fun i batch -> ignore (Mc.Acc.merge accs.(i) batch)) s batches;
-      spent := !spent + (b * survivors);
-      (* The incumbent is the highest lower confidence bound (ties to the
-         lower index); an arm dies when its whole interval sits below it. *)
-      let incumbent =
-        List.fold_left
-          (fun best i -> if lcb i > lcb best then i else best)
-          (List.hd s) (List.tl s)
-      in
-      List.iter
-        (fun i -> if i <> incumbent && ucb i < lcb incumbent then eliminated.(i) <- Some !round)
-        s
+      Otrace.with_span ~cat:"race"
+        ~args:[ ("round", string_of_int !round); ("survivors", string_of_int survivors) ]
+        "race.round"
+        (fun () ->
+          (* Arm-level parallelism: each surviving arm's batch is an
+             independent deterministic computation; merge back in arm
+             order. *)
+          let batches =
+            Parallel.map_list ~jobs
+              (fun i ->
+                let lo = Mc.Acc.count accs.(i) in
+                Otrace.with_span ~cat:"race"
+                  ~args:[ ("arm", string_of_int i); ("lo", string_of_int lo);
+                          ("hi", string_of_int (lo + b)) ]
+                  "race.pull"
+                  (fun () -> pull arms.(i) ~lo ~hi:(lo + b)))
+              s
+          in
+          List.iter2 (fun i batch -> ignore (Mc.Acc.merge accs.(i) batch)) s batches;
+          spent := !spent + (b * survivors);
+          (* The incumbent is the highest lower confidence bound (ties to the
+             lower index); an arm dies when its whole interval sits below
+             it. *)
+          let incumbent =
+            List.fold_left
+              (fun best i -> if lcb i > lcb best then i else best)
+              (List.hd s) (List.tl s)
+          in
+          let killed = ref [] in
+          List.iter
+            (fun i ->
+              if i <> incumbent && ucb i < lcb incumbent then begin
+                eliminated.(i) <- Some !round;
+                killed := i :: !killed
+              end)
+            s;
+          let statuses =
+            List.map
+              (fun i ->
+                { arm_ix = i;
+                  pulls = Mc.Acc.count accs.(i);
+                  mean = Mc.Acc.mean accs.(i);
+                  lcb = lcb i;
+                  ucb = ucb i })
+              s
+          in
+          log :=
+            { index = !round;
+              batch = b;
+              statuses;
+              incumbent;
+              eliminated = List.rev !killed }
+            :: !log;
+          Metrics.incr c_rounds;
+          Metrics.add c_trials (b * survivors);
+          Metrics.add c_eliminations (List.length !killed))
     end
   done;
   let s = live () in
@@ -79,7 +143,8 @@ let race ?(batch0 = 64) ?(z = 3.0) ?(jobs = Parallel.default_jobs) ~arms ~pull ~
       List.init k (fun i ->
           { arm = arms.(i);
             estimate = Mc.Acc.finalize accs.(i);
-            eliminated_in = eliminated.(i) }) }
+            eliminated_in = eliminated.(i) });
+    log = List.rev !log }
 
 (* ------------------------------------------------------------------ *)
 
@@ -115,4 +180,5 @@ let race_space ?batch0 ?z ?jobs ~target ~space ~budget ~seed () =
     spent = o.spent;
     rounds = o.rounds;
     standings =
-      List.map (fun s -> { arm = points.(s.arm); estimate = s.estimate; eliminated_in = s.eliminated_in }) o.standings }
+      List.map (fun s -> { arm = points.(s.arm); estimate = s.estimate; eliminated_in = s.eliminated_in }) o.standings;
+    log = o.log }

@@ -28,6 +28,26 @@
 
 module Mc = Fairness.Montecarlo
 
+type arm_status = {
+  arm_ix : int;  (** index into the race's arm array *)
+  pulls : int;  (** total trials accumulated so far *)
+  mean : float;
+  lcb : float;  (** [mean − z·std_err] *)
+  ucb : float;  (** [mean + z·std_err] *)
+}
+(** One surviving arm's confidence state at the end of a round. *)
+
+type round_log = {
+  index : int;  (** 1-based round number *)
+  batch : int;  (** fresh trials given to each survivor this round *)
+  statuses : arm_status list;  (** survivors entering the round, arm order *)
+  incumbent : int;  (** arm index with the highest lower bound *)
+  eliminated : int list;  (** arm indices killed this round, ascending *)
+}
+(** Telemetry for one racing round.  Derived entirely from the
+    deterministically-merged accumulators, so the log — like the race
+    itself — is bit-identical at any [jobs] value. *)
+
 type 'a standing = {
   arm : 'a;
   estimate : Mc.estimate;
@@ -41,6 +61,7 @@ type 'a outcome = {
   spent : int;  (** total trials consumed, ≤ budget *)
   rounds : int;
   standings : 'a standing list;  (** in arm order *)
+  log : round_log list;  (** chronological; one entry per round *)
 }
 
 val race :

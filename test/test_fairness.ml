@@ -268,7 +268,8 @@ let test_relation_verdicts () =
       counts = [];
       corrupted_counts = [];
       breaches = 0;
-      trials = 100 }
+      trials = 100;
+      trajectory = [] }
   in
   let v = Relation.compare_sup ~pi:(mk 0.5) ~pi':(mk 0.9) in
   Alcotest.(check string) "strictly fairer" "strictly fairer"

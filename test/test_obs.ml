@@ -1,0 +1,316 @@
+(* Tests for the observability layer (Fair_obs + Fairness.Obs_json): shard
+   merging is deterministic under the domain pool, histogram bucket edges
+   are inclusive upper bounds, traces nest and round-trip through the
+   shared JSON module, and — the load-bearing invariant — enabling metrics
+   and tracing perturbs no estimate at any job count. *)
+
+module Metrics = Fair_obs.Metrics
+module Trace = Fair_obs.Trace
+module Clock = Fair_obs.Clock
+module Parallel = Fairness.Parallel
+module Json = Fairness.Json
+module Obs_json = Fairness.Obs_json
+module Mc = Fairness.Montecarlo
+module Racing = Fair_search.Racing
+module Func = Fair_mpc.Func
+module Adv = Fair_protocols.Adversaries
+
+let quiesce () =
+  Metrics.disable ();
+  Trace.disable ();
+  Metrics.reset ();
+  Trace.clear ()
+
+(* ------------------------- clock ------------------------------------ *)
+
+let test_clock_monotonic () =
+  let a = Clock.now_ns () in
+  let b = Clock.now_ns () in
+  Alcotest.(check bool) "now_ns monotone" true (b >= a);
+  Alcotest.(check bool) "elapsed_s non-negative" true (Clock.elapsed_s ~since_ns:a >= 0.0)
+
+(* ------------------------- metrics ---------------------------------- *)
+
+let c_items = Metrics.counter "test.items"
+
+(* Per-chunk counter increments from pool workers must merge to the same
+   snapshot as the sequential run: counters are integers merged by
+   addition, so for a fixed-chunk workload the totals are independent of
+   which domain executed which chunk. *)
+let test_shard_merge_deterministic () =
+  let workload jobs =
+    quiesce ();
+    Metrics.enable ();
+    ignore
+      (Parallel.map_range ~jobs ~chunk_size:64 ~lo:0 ~hi:1000 (fun ~lo ~hi ->
+           Metrics.add c_items (hi - lo)));
+    let s = Metrics.snapshot () in
+    Metrics.disable ();
+    s
+  in
+  let s1 = workload 1 in
+  let s4 = workload 4 in
+  Alcotest.(check int) "sequential total" 1000 (List.assoc "test.items" s1.Metrics.counters);
+  Alcotest.(check bool) "jobs=1 and jobs=4 snapshots identical" true (s1 = s4)
+
+let test_counter_disabled_is_inert () =
+  quiesce ();
+  Metrics.incr c_items;
+  Metrics.add c_items 41;
+  Metrics.enable ();
+  let s = Metrics.snapshot () in
+  Metrics.disable ();
+  Alcotest.(check int) "writes while disabled dropped" 0
+    (List.assoc "test.items" s.Metrics.counters)
+
+let h_edges = Metrics.histogram ~buckets:[| 1.0; 2.0; 4.0 |] "test.edges"
+
+let test_histogram_bucket_edges () =
+  quiesce ();
+  Metrics.enable ();
+  List.iter (Metrics.observe h_edges) [ 0.5; 1.0; 1.5; 2.0; 4.0; 4.1 ];
+  let s = Metrics.snapshot () in
+  Metrics.disable ();
+  let h = List.assoc "test.edges" s.Metrics.histograms in
+  (* Bounds are inclusive: v lands in the first bucket with v <= bound. *)
+  Alcotest.(check (list (pair (float 0.0) int)))
+    "bucket counts"
+    [ (1.0, 2); (2.0, 2); (4.0, 1) ]
+    h.Metrics.hbuckets;
+  Alcotest.(check int) "overflow" 1 h.Metrics.overflow;
+  Alcotest.(check int) "total" 6 h.Metrics.total
+
+let test_histogram_validation () =
+  Alcotest.check_raises "empty buckets"
+    (Invalid_argument "Metrics.histogram: empty buckets")
+    (fun () -> ignore (Metrics.histogram ~buckets:[||] "test.bad-empty"));
+  Alcotest.check_raises "non-increasing buckets"
+    (Invalid_argument "Metrics.histogram: buckets not strictly increasing")
+    (fun () -> ignore (Metrics.histogram ~buckets:[| 1.0; 1.0 |] "test.bad-flat"));
+  ignore (Metrics.histogram ~buckets:[| 1.0; 2.0; 4.0 |] "test.edges");
+  Alcotest.check_raises "re-registration with different buckets"
+    (Invalid_argument "Metrics.histogram: test.edges re-registered with different buckets")
+    (fun () -> ignore (Metrics.histogram ~buckets:[| 9.0 |] "test.edges"))
+
+let g_level = Metrics.gauge "test.level"
+
+let test_gauge_and_reset () =
+  quiesce ();
+  Metrics.enable ();
+  Metrics.set_gauge g_level 1.5;
+  Metrics.set_gauge g_level 2.5;
+  let s = Metrics.snapshot () in
+  Alcotest.(check (float 0.0)) "last write wins" 2.5 (List.assoc "test.level" s.Metrics.gauges);
+  Metrics.reset ();
+  let s = Metrics.snapshot () in
+  Metrics.disable ();
+  Alcotest.(check bool) "reset unsets gauges" true
+    (not (List.mem_assoc "test.level" s.Metrics.gauges))
+
+(* ------------------------- tracing ---------------------------------- *)
+
+exception Boom
+
+let test_trace_nested_spans () =
+  quiesce ();
+  Trace.enable ();
+  Trace.with_span ~cat:"t" "outer" (fun () ->
+      Trace.with_span ~cat:"t" "inner" (fun () -> ignore (Sys.opaque_identity 42)));
+  (try Trace.with_span ~cat:"t" "raises" (fun () -> raise Boom) with Boom -> ());
+  Trace.instant ~cat:"t" "mark";
+  Trace.disable ();
+  let evs = Trace.export () in
+  let find name = List.find (fun (e : Trace.event) -> e.Trace.name = name) evs in
+  let span e = match e.Trace.ph with Trace.Span d -> d | Trace.Instant -> Alcotest.fail "not a span" in
+  let outer = find "outer" and inner = find "inner" in
+  (* Spans land in completion order: inner closes before outer. *)
+  Alcotest.(check (list string)) "recording order"
+    [ "inner"; "outer"; "raises"; "mark" ]
+    (List.map (fun (e : Trace.event) -> e.Trace.name) evs);
+  Alcotest.(check bool) "inner starts after outer" true (inner.Trace.ts_ns >= outer.Trace.ts_ns);
+  Alcotest.(check bool) "inner nests inside outer" true
+    (inner.Trace.ts_ns + span inner <= outer.Trace.ts_ns + span outer);
+  Alcotest.(check bool) "span recorded despite raise" true (span (find "raises") >= 0);
+  Alcotest.(check int) "nothing dropped" 0 (Trace.dropped ())
+
+let test_trace_json_roundtrip () =
+  quiesce ();
+  Trace.enable ();
+  Trace.with_span ~cat:"t" ~args:[ ("k", "v") ] "spanned" (fun () -> ());
+  Trace.disable ();
+  let doc = Obs_json.trace_document () in
+  match Json.of_string (Json.to_string doc) with
+  | Error e -> Alcotest.failf "trace JSON does not re-parse: %s" e
+  | Ok j ->
+      let evs =
+        match Json.(member "traceEvents" j) with
+        | Ok l -> ( match Json.to_list l with Ok l -> l | Error e -> Alcotest.fail e)
+        | Error e -> Alcotest.fail e
+      in
+      (* one thread_name metadata record + the span *)
+      Alcotest.(check int) "event count" 2 (List.length evs);
+      let phs =
+        List.map
+          (fun e ->
+            match Json.(member "ph" e) with
+            | Ok (Json.Str s) -> s
+            | _ -> Alcotest.fail "missing ph")
+          evs
+      in
+      Alcotest.(check (list string)) "phases" [ "M"; "X" ] phs
+
+let test_trace_buffer_bound () =
+  quiesce ();
+  Trace.enable ~max_events_per_domain:4 ();
+  for _ = 1 to 10 do
+    Trace.instant "tick"
+  done;
+  Trace.disable ();
+  Alcotest.(check int) "bounded buffer keeps max" 4 (List.length (Trace.export ()));
+  Alcotest.(check int) "excess counted as dropped" 6 (Trace.dropped ())
+
+(* --------------------- zero perturbation ---------------------------- *)
+
+let estimate ~jobs () =
+  let func = Func.concat ~n:3 in
+  Mc.estimate ~jobs ~protocol:(Fair_protocols.Optn.hybrid func)
+    ~adversary:(Adv.greedy ~func (Adv.Random_subset 2))
+    ~func ~gamma:Fairness.Payoff.default
+    ~env:(Mc.uniform_field_inputs ~n:3) ~trials:200 ~seed:11 ()
+
+(* The whole point of the layer: switching every hook on changes no bit of
+   the estimate, sequentially and under the pool. *)
+let test_zero_perturbation () =
+  List.iter
+    (fun jobs ->
+      quiesce ();
+      let off = estimate ~jobs () in
+      Metrics.enable ();
+      Trace.enable ();
+      let on = estimate ~jobs () in
+      quiesce ();
+      let name s = Printf.sprintf "jobs=%d: %s" jobs s in
+      Alcotest.(check (float 0.0)) (name "utility") off.Mc.utility on.Mc.utility;
+      Alcotest.(check (float 0.0)) (name "std_err") off.Mc.std_err on.Mc.std_err;
+      Alcotest.(check int) (name "trials") off.Mc.trials on.Mc.trials;
+      Alcotest.(check bool) (name "counts") true (off.Mc.counts = on.Mc.counts);
+      Alcotest.(check bool) (name "corrupted_counts") true
+        (off.Mc.corrupted_counts = on.Mc.corrupted_counts);
+      Alcotest.(check bool) (name "trajectory") true (off.Mc.trajectory = on.Mc.trajectory))
+    [ 1; 4 ]
+
+(* ---------------------- racing round log ---------------------------- *)
+
+(* Synthetic deterministic arms: arm i's trials are a constant stream at
+   level i/10, so the race must keep the top arm and the log must narrate
+   every round. *)
+let test_racing_round_log () =
+  quiesce ();
+  let pull i ~lo ~hi =
+    let a = Mc.Acc.create () in
+    for t = lo to hi - 1 do
+      Mc.Acc.observe a ((float_of_int i /. 10.0) +. (0.001 *. float_of_int (t mod 7)))
+    done;
+    a
+  in
+  let run () = Racing.race ~arms:[ 0; 1; 2; 3 ] ~pull ~budget:2_000 () in
+  let o = run () in
+  Alcotest.(check int) "one log entry per round" o.Racing.rounds
+    (List.length o.Racing.log);
+  Alcotest.(check int) "best arm" 3 o.Racing.best;
+  List.iteri
+    (fun ix (r : Racing.round_log) ->
+      Alcotest.(check int) "rounds numbered from 1" (ix + 1) r.Racing.index;
+      Alcotest.(check bool) "incumbent is a live arm" true
+        (List.exists (fun (s : Racing.arm_status) -> s.Racing.arm_ix = r.Racing.incumbent)
+           r.Racing.statuses);
+      List.iter
+        (fun (s : Racing.arm_status) ->
+          Alcotest.(check bool) "lcb <= ucb" true (s.Racing.lcb <= s.Racing.ucb))
+        r.Racing.statuses)
+    o.Racing.log;
+  let spent_from_log =
+    List.fold_left
+      (fun acc (r : Racing.round_log) ->
+        acc + (r.Racing.batch * List.length r.Racing.statuses))
+      0 o.Racing.log
+  in
+  Alcotest.(check int) "log accounts for every trial" o.Racing.spent spent_from_log;
+  (* The log is derived from the merged accumulators only: observability
+     on/off cannot change it. *)
+  Metrics.enable ();
+  Trace.enable ();
+  let o' = run () in
+  quiesce ();
+  Alcotest.(check bool) "log identical with obs enabled" true (o.Racing.log = o'.Racing.log)
+
+(* ---------------------- pool statistics ----------------------------- *)
+
+let test_pool_stats () =
+  let before = Parallel.pool_stats () in
+  ignore (Parallel.map_list ~jobs:4 (fun i -> i * i) (List.init 256 (fun i -> i)));
+  let after = Parallel.pool_stats () in
+  Alcotest.(check bool) "batch counted" true
+    (after.Parallel.pooled_batches > before.Parallel.pooled_batches);
+  Alcotest.(check int) "one stats row per spawned worker" after.Parallel.spawned
+    (List.length after.Parallel.workers);
+  let claimed =
+    List.fold_left (fun acc w -> acc + w.Parallel.tasks) after.Parallel.caller.Parallel.tasks
+      after.Parallel.workers
+  in
+  let claimed_before =
+    List.fold_left (fun acc w -> acc + w.Parallel.tasks) before.Parallel.caller.Parallel.tasks
+      before.Parallel.workers
+  in
+  (* Every task of the 256-task batch was claimed exactly once, by someone. *)
+  Alcotest.(check bool) "every task claimed" true (claimed - claimed_before >= 256);
+  List.iter
+    (fun w -> Alcotest.(check bool) "busy time non-negative" true (w.Parallel.busy_ns >= 0))
+    (after.Parallel.caller :: after.Parallel.workers)
+
+let test_obs_json_documents () =
+  quiesce ();
+  Metrics.enable ();
+  Metrics.incr c_items;
+  let doc = Obs_json.metrics_document () in
+  Metrics.disable ();
+  match Json.of_string (Json.to_string doc) with
+  | Error e -> Alcotest.failf "metrics JSON does not re-parse: %s" e
+  | Ok j ->
+      (match Json.member "schema" j with
+      | Ok (Json.Str s) -> Alcotest.(check string) "schema" "fairness-metrics/1" s
+      | _ -> Alcotest.fail "missing schema");
+      (match Json.(member "metrics" j) with
+      | Ok m -> (
+          match Json.member "counters" m with
+          | Ok (Json.Obj counters) ->
+              Alcotest.(check bool) "counters carried" true
+                (List.mem_assoc "test.items" counters)
+          | _ -> Alcotest.fail "missing counters")
+      | Error e -> Alcotest.fail e);
+      (match Json.member "pool" j with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail e)
+
+let () =
+  Alcotest.run "fair_obs"
+    [ ( "clock",
+        [ Alcotest.test_case "monotonic" `Quick test_clock_monotonic ] );
+      ( "metrics",
+        [ Alcotest.test_case "shard merge deterministic across jobs" `Quick
+            test_shard_merge_deterministic;
+          Alcotest.test_case "disabled counters are inert" `Quick test_counter_disabled_is_inert;
+          Alcotest.test_case "histogram bucket edges inclusive" `Quick
+            test_histogram_bucket_edges;
+          Alcotest.test_case "histogram validation" `Quick test_histogram_validation;
+          Alcotest.test_case "gauges + reset" `Quick test_gauge_and_reset ] );
+      ( "trace",
+        [ Alcotest.test_case "nested spans" `Quick test_trace_nested_spans;
+          Alcotest.test_case "chrome JSON round-trips" `Quick test_trace_json_roundtrip;
+          Alcotest.test_case "buffer bound counts drops" `Quick test_trace_buffer_bound ] );
+      ( "invariants",
+        [ Alcotest.test_case "zero perturbation at jobs=1 and jobs=4" `Quick
+            test_zero_perturbation;
+          Alcotest.test_case "racing round log" `Quick test_racing_round_log;
+          Alcotest.test_case "pool stats" `Quick test_pool_stats;
+          Alcotest.test_case "obs JSON documents" `Quick test_obs_json_documents ] ) ]

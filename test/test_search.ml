@@ -10,7 +10,7 @@ module Mc = Fairness.Montecarlo
 module Space = Fair_search.Strategy_space
 module Racing = Fair_search.Racing
 module Certificate = Fair_search.Certificate
-module Json = Fair_search.Json
+module Json = Fairness.Json
 module E = Fair_analysis.Experiments
 
 (* ------------------------- synthetic arms ---------------------------- *)
