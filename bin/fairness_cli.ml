@@ -121,7 +121,7 @@ let all_cmd =
         end)
   in
   Cmd.v
-    (Cmd.info "all" ~doc:"Run every experiment (E1..E15).")
+    (Cmd.info "all" ~doc:"Run every experiment (E1..E16).")
     Term.(
       const run $ trials_arg $ seed_arg $ jobs_arg $ markdown_arg $ trace_arg $ metrics_arg)
 
@@ -240,6 +240,69 @@ let search_cmd =
       const run $ id_arg $ budget_arg $ grid_arg $ zoo_arg $ out_arg $ seed_arg $ jobs_arg
       $ markdown_arg $ trace_arg $ metrics_arg)
 
+let chaos_cmd =
+  let faults_arg =
+    let doc =
+      "Custom fault schedule to run instead of the built-in grid.  $(docv) is a \
+       semicolon-separated list of rules: KIND[@ROUNDS][:SRC->DST][%PROB] with KIND one of \
+       drop, dup, flip, trunc, delay+K, plus crash[@ROUNDS]:pN[%PROB].  Example: \
+       'drop@3;flip@*%0.25;crash@1:p2'."
+    in
+    Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"SPEC" ~doc)
+  in
+  let only_arg =
+    let doc =
+      "Comma-separated schedule names to keep from the built-in grid (e.g. \
+       'none,drop-q,crash-p2').  Ignored with --faults."
+    in
+    Arg.(value & opt (some string) None & info [ "only" ] ~docv:"NAMES" ~doc)
+  in
+  let run faults only trials seed jobs markdown trace metrics =
+    let schedules =
+      match faults with
+      | Some spec -> (
+          (* Validate up front so a typo is a usage error, not a failed run. *)
+          match Fair_faults.Faults.parse spec with
+          | Error e ->
+              Printf.eprintf "bad --faults spec: %s\n" e;
+              exit 2
+          | Ok _ -> [ ("none", ""); ("custom", spec) ])
+      | None -> (
+          match only with
+          | None -> E.chaos_schedules
+          | Some names ->
+              let want = String.split_on_char ',' names |> List.map String.trim in
+              let kept = List.filter (fun (name, _) -> List.mem name want) E.chaos_schedules in
+              if kept = [] then begin
+                Printf.eprintf "no schedule matches %S; known: %s\n" names
+                  (String.concat ", " (List.map fst E.chaos_schedules));
+                exit 2
+              end;
+              kept)
+    in
+    with_obs ~trace ~metrics (fun () ->
+        match E.chaos ~schedules ~trials ~seed ~jobs () with
+        | r ->
+            print_result ~markdown r;
+            if E.all_ok r then 0 else 1
+        | exception Fairness.Montecarlo.Fault_budget_exceeded { faulted; attempted; budget } ->
+            Printf.eprintf
+              "chaos: fault budget exceeded — %d of %d trials faulted (budget %.0f%%); \
+               containment is no longer statistically sound\n"
+              faulted attempted (100.0 *. budget);
+            1)
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run the E16 chaos sweep: race each protocol's adversary zoo over faulty channels \
+          (drop/dup/delay/flip/trunc/crash) and check the measured best-attacker utility \
+          against the clean-channel fairness bound.  Exits non-zero on a bound violation or \
+          a fault-budget overrun.")
+    Term.(
+      const run $ faults_arg $ only_arg $ trials_arg $ seed_arg $ jobs_arg $ markdown_arg
+      $ trace_arg $ metrics_arg)
+
 let demo_cmd =
   let name_arg =
     Arg.(
@@ -286,6 +349,6 @@ let demos_cmd =
 let main =
   let doc = "Reproduction harness for 'How Fair is Your Protocol?' (PODC 2015)" in
   Cmd.group (Cmd.info "fairness" ~version:"1.0.0" ~doc)
-    [ list_cmd; run_cmd; all_cmd; search_cmd; demo_cmd; demos_cmd; sweep_cmd ]
+    [ list_cmd; run_cmd; all_cmd; search_cmd; chaos_cmd; demo_cmd; demos_cmd; sweep_cmd ]
 
 let () = exit (Cmd.eval' main)

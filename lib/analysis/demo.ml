@@ -158,7 +158,8 @@ let run entry ~adversary ~seed fmt =
       | Trace.Aborted (r, p) -> Format.fprintf fmt "  [r%02d] party %d outputs ⊥@." r p
       | Trace.Corrupted (r, p) -> Format.fprintf fmt "  [r%02d] party %d CORRUPTED@." r p
       | Trace.Claimed (r, v) ->
-          Format.fprintf fmt "  [r%02d] adversary claims %s@." r (truncate v))
+          Format.fprintf fmt "  [r%02d] adversary claims %s@." r (truncate v)
+      | Trace.Crashed (r, p) -> Format.fprintf fmt "  [r%02d] party %d CRASH-STOPPED@." r p)
     (Trace.events outcome.Engine.trace);
   Format.fprintf fmt "@.results:@.";
   List.iter

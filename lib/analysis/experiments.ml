@@ -817,6 +817,218 @@ let target_gk () =
     s_bound = Bounds.gk_upper ~p;
     s_bound_label = "1/p" }
 
+(* ------------------------------------------------------------------ *)
+(* E16: chaos sweep.  The fairness proofs rest on the reduction "any
+   deviation collapses to abort": tampering, stalling or crashing gains the
+   attacker no more utility than aborting outright.  The fault layer lets
+   us *exercise* that reduction instead of assuming it — for each protocol
+   and each fault schedule, race the adversary zoo over faulty channels
+   and check that the measured best-attacker utility still respects the
+   clean-channel bound.  A deliberately unauthenticated echo protocol is
+   the negative control: there, one flipped bit silently corrupts an
+   honest output, which the harness must detect as a correctness breach. *)
+
+module Faults = Fair_faults.Faults
+
+let chaos_schedules =
+  [ ("none", "");
+    ("drop-q", "drop@*%0.25");
+    ("drop-r3", "drop@3");
+    ("dup-all", "dup@*");
+    ("delay-1q", "delay+1@*%0.5");
+    ("delay-2", "delay+2@*");
+    ("flip-q", "flip@*%0.25");
+    ("flip-12", "flip@*:1->2");
+    ("trunc-q", "trunc@*%0.25");
+    ("crash-p2", "crash@1:p2");
+    ("storm", "drop@*%0.1;flip@*%0.1;delay+1@*%0.2") ]
+
+type chaos_target = {
+  c_name : string;
+  c_protocol : Protocol.t;
+  c_zoo : Adversary.t list;
+  c_func : Func.t;
+  c_gamma : Payoff.t;
+  c_env : Mc.environment;
+  c_overrides : Events.overrides;
+  c_bound : float;
+  c_bound_label : string;
+}
+
+let chaos_targets () =
+  let module C = Fair_protocols.Contract in
+  let module GK = Fair_protocols.Gordon_katz in
+  let swap = Func.swap in
+  let gk_variant =
+    GK.poly_domain ~func:Func.and_ ~p:2 ~domain1:[ "0"; "1" ] ~domain2:[ "0"; "1" ]
+  in
+  [ { c_name = "pi1";
+      c_protocol = C.pi1;
+      c_zoo = C.zoo;
+      c_func = C.func;
+      c_gamma = gamma;
+      c_env = env_n 2;
+      c_overrides = Events.no_overrides;
+      c_bound = Bounds.unfair_sfe gamma;
+      c_bound_label = "g10" };
+    { c_name = "pi2";
+      c_protocol = C.pi2;
+      c_zoo = C.zoo;
+      c_func = C.func;
+      c_gamma = gamma;
+      c_env = env_n 2;
+      c_overrides = Events.no_overrides;
+      c_bound = Bounds.opt2 gamma;
+      c_bound_label = "(g10+g11)/2" };
+    { c_name = "opt2";
+      c_protocol = Fair_protocols.Opt2.hybrid swap;
+      c_zoo = Adv.standard_zoo ~func:swap ~n:2 ~max_round:Fair_protocols.Opt2.hybrid_rounds ();
+      c_func = swap;
+      c_gamma = gamma;
+      c_env = env_n 2;
+      c_overrides = Events.no_overrides;
+      c_bound = Bounds.opt2 gamma;
+      c_bound_label = "(g10+g11)/2" };
+    { c_name = "gk-p2";
+      c_protocol = GK.protocol ~func:Func.and_ ~variant:gk_variant;
+      c_zoo = GK.zoo ~variant:gk_variant;
+      c_func = Func.and_;
+      c_gamma = Payoff.zero_one;
+      c_env = Mc.uniform_bit_inputs ~n:2;
+      c_overrides = GK.overrides ~offset:0;
+      c_bound = Bounds.gk_upper ~p:2;
+      c_bound_label = "1/p" } ]
+
+(* The negative control: party 1 ships its raw input to party 2, who
+   outputs whatever arrives — no commitment, no framing check, no
+   verification.  Under a bit-flip fault the tampered value flows straight
+   into an honest output, i.e. a correctness breach the harness must see. *)
+let leaky_echo =
+  Protocol.make ~name:"leaky-echo" ~parties:2 ~max_rounds:3
+    (fun ~rng:_ ~id ~n:_ ~input ~setup:_ ->
+      Fair_exec.Machine.make () (fun () ~round ~inbox ->
+          match (id, round) with
+          | 1, 1 ->
+              ( (),
+                [ Fair_exec.Machine.Send (Fair_exec.Wire.To 2, input);
+                  Fair_exec.Machine.Output input ] )
+          | 2, 2 -> (
+              match inbox with
+              | (_, v) :: _ -> ((), [ Fair_exec.Machine.Output v ])
+              | [] -> ((), [ Fair_exec.Machine.Abort_self ]))
+          | _ -> ((), [])))
+
+let proj1 =
+  { Func.name = "proj1";
+    arity = 2;
+    eval = (fun xs -> xs.(0));
+    default_input = "0" }
+
+let inject_of spec =
+  let plan = Faults.of_spec spec in
+  fun rng -> (Faults.instantiate plan ~rng).Faults.injector
+
+let chaos ?(schedules = chaos_schedules) ~trials ~seed ~jobs () =
+  let t = max 40 (trials / 8) in
+  let targets = chaos_targets () in
+  let faulted = ref 0 in
+  let combo ti tgt si (sname, spec) =
+    (* The zoo is hardened: an adversary that chokes on a tampered rushed
+       payload degrades to silence (= aborting), it does not kill the
+       trial.  The honest machines need no wrapper — the engine contains
+       their raises as aborts. *)
+    let adversaries = List.map Faults.harden_adversary tgt.c_zoo in
+    let ba, e =
+      Mc.best_response ~jobs ~overrides:tgt.c_overrides ~inject:(inject_of spec)
+        ~fault_budget:1.0 ~protocol:tgt.c_protocol ~adversaries ~func:tgt.c_func
+        ~gamma:tgt.c_gamma ~env:tgt.c_env ~trials:t
+        ~seed:(seed + (1000 * ti) + (10 * si))
+        ()
+    in
+    faulted := !faulted + e.Mc.trial_faults;
+    let check =
+      check_estimate
+        ~label:(Printf.sprintf "%s / %s: sup u <= %s" tgt.c_name sname tgt.c_bound_label)
+        ~e ~expected:tgt.c_bound `At_most
+    in
+    let row =
+      [ tgt.c_name;
+        sname;
+        (if spec = "" then "-" else spec);
+        ba.Adversary.name;
+        Report.fmt_pm e.Mc.utility e.Mc.std_err;
+        Report.fmt_float tgt.c_bound;
+        Report.check_mark check.ok ]
+    in
+    (check, row)
+  in
+  let per_combo =
+    List.concat
+      (List.mapi
+         (fun ti tgt -> List.mapi (fun si sched -> combo ti tgt si sched) schedules)
+         targets)
+  in
+  let checks, rows = List.split per_combo in
+  (* Faults-off self-test: the "none" schedule routes through the whole
+     injector machinery, so its estimate must be bit-identical to a run
+     that never heard of fault injection. *)
+  let identity_check =
+    if List.exists (fun (_, spec) -> spec = "") schedules then begin
+      let tgt = List.hd targets in
+      let adversaries = List.map Faults.harden_adversary tgt.c_zoo in
+      let with_inject =
+        Mc.best_response ~jobs ~overrides:tgt.c_overrides ~inject:(inject_of "")
+          ~protocol:tgt.c_protocol ~adversaries ~func:tgt.c_func ~gamma:tgt.c_gamma
+          ~env:tgt.c_env ~trials:t ~seed ()
+      in
+      let without =
+        Mc.best_response ~jobs ~overrides:tgt.c_overrides ~protocol:tgt.c_protocol
+          ~adversaries ~func:tgt.c_func ~gamma:tgt.c_gamma ~env:tgt.c_env ~trials:t ~seed ()
+      in
+      [ mk_check ~label:"faults-off ≡ no-inject (bit-identical)"
+          ~measured:(abs_float ((snd with_inject).Mc.utility -. (snd without).Mc.utility))
+          ~expected:0.0 ~tolerance:0.0 `Equals ]
+    end
+    else []
+  in
+  (* Negative control: the unauthenticated echo under a single bit-flip
+     must register correctness breaches — proof the harness can detect a
+     violation when the protocol really is broken. *)
+  let control =
+    Mc.estimate ~inject:(inject_of "flip@1:1->2") ~protocol:leaky_echo
+      ~adversary:Adversary.passive ~func:proj1 ~gamma:Payoff.zero_one
+      ~env:(Mc.uniform_bit_inputs ~n:2) ~trials:t ~seed:(seed + 77_777) ()
+  in
+  let control_check =
+    mk_check ~label:"negative control: leaky-echo breaches detected"
+      ~measured:(float_of_int control.Mc.breaches)
+      ~expected:1.0 ~tolerance:0.0 `At_least
+  in
+  let isolation_check =
+    mk_check ~label:"no trial needed isolation (containment held)"
+      ~measured:(float_of_int !faulted) ~expected:0.0 ~tolerance:0.0 `At_most
+  in
+  { id = "E16";
+    title = "Chaos sweep: fault schedules never lift the best attacker above the bound";
+    claim =
+      "Under dropped, duplicated, delayed, bit-flipped and truncated messages and \
+       crash-stopped parties, the measured best-attacker utility of pi1/pi2/PiOpt/GK \
+       stays within its clean-channel bound — the 'deviation collapses to abort' \
+       reduction, exercised; an unauthenticated echo protocol is the negative control \
+       showing the harness does detect genuine violations.";
+    checks = checks @ identity_check @ [ control_check; isolation_check ];
+    notes =
+      [ Printf.sprintf "%d protocol x schedule combinations, %d trials each"
+          (List.length per_combo) t;
+        Printf.sprintf "negative control: %d/%d echo trials breached" control.Mc.breaches
+          control.Mc.trials ];
+    rows =
+      Some
+        ( [ "protocol"; "schedule"; "spec"; "best strategy"; "measured"; "bound"; "ok" ],
+          rows ) }
+
+let e16 ~trials ~seed ~jobs = chaos ~trials ~seed ~jobs ()
+
 type spec = {
   eid : string;
   etitle : string;
@@ -873,7 +1085,10 @@ let registry =
       run = e14; target = Some (target_optn ~n:5 ~adaptive_budgets:[ 1; 2; 3; 4 ]) };
     { eid = "E15"; etitle = "1/p-security as statistical distance (Lemma 25)";
       eclaim = "real and simulated GK ensembles are within TV distance 1/p";
-      run = e15; target = None } ]
+      run = e15; target = None };
+    { eid = "E16"; etitle = "chaos sweep: fault schedules vs the fairness bounds";
+      eclaim = "drop/dup/delay/flip/trunc/crash never lift the best attacker above the bound";
+      run = e16; target = None } ]
 
 let find id =
   let id = String.uppercase_ascii id in

@@ -111,3 +111,25 @@ val e12 : trials:int -> seed:int -> jobs:int -> result
 val e13 : trials:int -> seed:int -> jobs:int -> result
 val e14 : trials:int -> seed:int -> jobs:int -> result
 val e15 : trials:int -> seed:int -> jobs:int -> result
+val e16 : trials:int -> seed:int -> jobs:int -> result
+
+(** {2 Chaos sweep (E16)}
+
+    The fault-injection layer ({!Fair_faults}) lets E16 exercise the
+    "deviation collapses to abort" reduction instead of assuming it: each
+    protocol races its adversary zoo over faulty channels and the measured
+    best-attacker utility must still respect the clean-channel bound. *)
+
+val chaos_schedules : (string * string) list
+(** The default fault grid as [(name, spec)] pairs; [""] is the faults-off
+    identity schedule (kept in the grid as a bit-identity self-test).
+    Specs use the {!Fair_faults.Faults.parse} grammar. *)
+
+val chaos :
+  ?schedules:(string * string) list -> trials:int -> seed:int -> jobs:int -> unit -> result
+(** [e16] with a custom schedule grid — the CLI's [chaos --faults SPEC]
+    entry point.  Each (protocol, schedule) combination runs
+    [max 40 (trials / 8)] trials with a hardened zoo
+    ({!Fair_faults.Faults.harden_adversary}) and checks the measured sup
+    against the protocol's bound; an unauthenticated echo protocol under a
+    bit-flip schedule is the negative control. *)

@@ -30,8 +30,20 @@ type estimate = {
   corrupted_counts : (int * int) list;
   breaches : int;
   trials : int;
+  trial_faults : int;
   trajectory : convergence_point list;
 }
+
+exception Fault_budget_exceeded of { faulted : int; attempted : int; budget : float }
+
+let () =
+  Printexc.register_printer (function
+    | Fault_budget_exceeded { faulted; attempted; budget } ->
+        Some
+          (Printf.sprintf
+             "Montecarlo.Fault_budget_exceeded: %d of %d trials faulted (budget %.3f)"
+             faulted attempted budget)
+    | _ -> None)
 
 (* Observability: batch/chunk accounting and spans.  Everything here is
    derived from the deterministic accumulator state — no RNG is consulted
@@ -41,6 +53,7 @@ module Metrics = Fair_obs.Metrics
 module Otrace = Fair_obs.Trace
 
 let c_trials = Metrics.counter "mc.trials"
+let c_trial_faults = Metrics.counter "mc.trial_faults"
 let c_chunks = Metrics.counter "mc.chunks"
 let c_ranges = Metrics.counter "mc.ranges"
 let c_adaptive_rounds = Metrics.counter "mc.adaptive_rounds"
@@ -61,6 +74,7 @@ type acc = {
   mutable mean : float;
   mutable m2 : float;
   mutable breaches : int;
+  mutable faulted : int;  (** trials that raised and were excluded from the mean *)
   event_counts : (Events.event, int) Hashtbl.t;
   corrupted_counts_tbl : (int, int) Hashtbl.t;
 }
@@ -70,6 +84,7 @@ let acc_create () =
     mean = 0.0;
     m2 = 0.0;
     breaches = 0;
+    faulted = 0;
     event_counts = Hashtbl.create 4;
     corrupted_counts_tbl = Hashtbl.create 4 }
 
@@ -87,6 +102,7 @@ let acc_observe a ~payoff ~event ~n_corrupted ~breach =
 
 (* Merge [b] into [a] (the left operand of the chunk-order fold). *)
 let acc_merge a b =
+  a.faulted <- a.faulted + b.faulted;
   if b.count > 0 then begin
     let na = float_of_int a.count and nb = float_of_int b.count in
     let n = na +. nb in
@@ -129,6 +145,7 @@ let acc_finalize ?(trajectory = []) a =
     corrupted_counts = sorted_bindings a.corrupted_counts_tbl;
     breaches = a.breaches;
     trials = a.count;
+    trial_faults = a.faulted;
     trajectory }
 
 (* ------------------------------------------------------------------ *)
@@ -142,31 +159,57 @@ let acc_finalize ?(trajectory = []) a =
    table and certificate is preserved. *)
 let trial_seed_prefix seed = "mc:" ^ string_of_int seed ^ ":"
 
-let run_trial ~overrides ~protocol ~adversary ~func ~gamma ~env ~prefix a i =
+(* Exceptions trial isolation must never swallow. *)
+let fatal = function
+  | Stack_overflow | Out_of_memory | Assert_failure _ -> true
+  | _ -> false
+
+let run_trial ~overrides ~inject ~protocol ~adversary ~func ~gamma ~env ~prefix a i =
   let master = Rng.create ~seed:(prefix ^ string_of_int i) in
-  let inputs = env (Rng.split master ~label:"env") in
-  let outcome =
-    Engine.run ~protocol ~adversary ~inputs ~rng:(Rng.split master ~label:"exec")
-  in
-  let trial = { Events.outcome; inputs; func } in
-  let cl = Events.classify ~overrides trial in
-  let payoff =
-    match cl.Events.event with
-    | Events.E00 -> gamma.Payoff.g00
-    | Events.E01 -> gamma.Payoff.g01
-    | Events.E10 -> gamma.Payoff.g10
-    | Events.E11 -> gamma.Payoff.g11
-  in
-  acc_observe a ~payoff ~event:cl.Events.event
-    ~n_corrupted:(List.length (Events.corrupted_parties trial))
-    ~breach:cl.Events.correctness_breach
+  (* Trial-level isolation: a raising trial (engine violation, machine bug
+     surfacing through classification, fault-plan fallout) is counted under
+     [faulted] and excluded from the mean instead of aborting the whole
+     estimate; {!estimate} enforces the fault budget on the total.  The
+     classification is deterministic per (seed, i), so which trials fault —
+     and hence the estimate — is still jobs-invariant. *)
+  match
+    let inputs = env (Rng.split master ~label:"env") in
+    let outcome =
+      match inject with
+      | None -> Engine.run ~protocol ~adversary ~inputs ~rng:(Rng.split master ~label:"exec")
+      | Some mk ->
+          (* The injector draws only from its own "faults" split —
+             [Rng.split] never advances [master] — so the env and exec
+             streams are bit-identical to the inject-free path. *)
+          let faults = mk (Rng.split master ~label:"faults") in
+          Engine.run_with ~faults ~protocol ~adversary ~inputs
+            ~rng:(Rng.split master ~label:"exec") ()
+    in
+    let trial = { Events.outcome; inputs; func } in
+    (Events.classify ~overrides trial, trial)
+  with
+  | cl, trial ->
+      let payoff =
+        match cl.Events.event with
+        | Events.E00 -> gamma.Payoff.g00
+        | Events.E01 -> gamma.Payoff.g01
+        | Events.E10 -> gamma.Payoff.g10
+        | Events.E11 -> gamma.Payoff.g11
+      in
+      acc_observe a ~payoff ~event:cl.Events.event
+        ~n_corrupted:(List.length (Events.corrupted_parties trial))
+        ~breach:cl.Events.correctness_breach
+  | exception e when not (fatal e) ->
+      a.faulted <- a.faulted + 1;
+      Metrics.incr c_trial_faults
 
 (* Chunk size is a fixed constant (never derived from the job count): chunk
    boundaries, and hence the merge tree, depend only on the trial range, so
    the final numbers are bit-identical for any [jobs]. *)
 let chunk_size = 64
 
-let run_range ~overrides ~protocol ~adversary ~func ~gamma ~env ~seed ~jobs ~lo ~hi acc =
+let run_range ~overrides ~inject ~protocol ~adversary ~func ~gamma ~env ~seed ~jobs ~lo ~hi
+    acc =
   Metrics.incr c_ranges;
   Metrics.observe h_range_trials (float_of_int (hi - lo));
   Otrace.with_span ~cat:"mc"
@@ -181,38 +224,66 @@ let run_range ~overrides ~protocol ~adversary ~func ~gamma ~env ~seed ~jobs ~lo 
                 Metrics.add c_trials (hi - lo);
                 let a = acc_create () in
                 for i = lo to hi - 1 do
-                  run_trial ~overrides ~protocol ~adversary ~func ~gamma ~env ~prefix a i
+                  run_trial ~overrides ~inject ~protocol ~adversary ~func ~gamma ~env ~prefix
+                    a i
                 done;
                 a))
       in
       List.fold_left acc_merge acc chunks)
 
+(* The fault budget is a loudness guard, not smoothing: excluding trials
+   conditions the estimator on "the trial completed", which is sound only
+   while faults are rare.  Past [budget] (a fraction of attempted trials)
+   the estimate is refused outright. *)
+let check_budget ~fault_budget a =
+  if a.faulted > 0 then begin
+    let attempted = a.count + a.faulted in
+    (* Zero completed trials means there is no mean to report, so even a
+       budget of 1.0 cannot save the estimate. *)
+    if
+      a.count = 0
+      || float_of_int a.faulted > fault_budget *. float_of_int attempted
+    then raise (Fault_budget_exceeded { faulted = a.faulted; attempted; budget = fault_budget })
+  end
+
 let estimate ?(overrides = Events.no_overrides) ?(jobs = Parallel.default_jobs)
-    ?target_std_err ?max_trials ~protocol ~adversary ~func ~gamma ~env ~trials ~seed () =
+    ?target_std_err ?max_trials ?inject ?(fault_budget = 0.1) ~protocol ~adversary ~func
+    ~gamma ~env ~trials ~seed () =
   if trials < 1 then invalid_arg "Montecarlo.estimate: trials < 1";
-  let run = run_range ~overrides ~protocol ~adversary ~func ~gamma ~env ~seed ~jobs in
+  if fault_budget < 0.0 || fault_budget > 1.0 then
+    invalid_arg "Montecarlo.estimate: fault_budget outside [0,1]";
+  let run = run_range ~overrides ~inject ~protocol ~adversary ~func ~gamma ~env ~seed ~jobs in
   match target_std_err with
-  | None -> acc_finalize (run ~lo:0 ~hi:trials (acc_create ()))
+  | None ->
+      let a = run ~lo:0 ~hi:trials (acc_create ()) in
+      check_budget ~fault_budget a;
+      acc_finalize a
   | Some target ->
       if target <= 0.0 then invalid_arg "Montecarlo.estimate: target_std_err <= 0";
       let cap = match max_trials with Some c -> max c trials | None -> 20 * trials in
       (* Batches double the total trial count until the (deterministically
          merged, hence jobs-independent) standard error meets the target or
          the cap is exhausted.  Each batch appends a convergence point, so
-         the stopping decision is auditable from the estimate itself. *)
+         the stopping decision is auditable from the estimate itself.
+         Trial ranges are indexed by *attempted* trials (count + faulted):
+         a faulted trial consumes its index, so batches never re-run a
+         trial id and the schedule stays aligned with the fault-free one. *)
       let rec go acc total points =
         Metrics.incr c_adaptive_rounds;
-        let before = acc.count in
+        let before_observed = acc.count in
+        let before = acc.count + acc.faulted in
         let acc = run ~lo:before ~hi:total acc in
         let points =
           { after = acc.count;
-            batch = acc.count - before;
+            batch = acc.count - before_observed;
             running_mean = acc.mean;
             running_std_err = acc_std_err acc }
           :: points
         in
-        if acc_std_err acc <= target || total >= cap then
+        if acc_std_err acc <= target || total >= cap then begin
+          check_budget ~fault_budget acc;
           acc_finalize ~trajectory:(List.rev points) acc
+        end
         else go acc (min cap (2 * total)) points
       in
       go (acc_create ()) (min cap trials) []
@@ -242,10 +313,10 @@ module Acc = struct
     acc_observe a ~payoff ~event:Events.E00 ~n_corrupted:0 ~breach:false
 end
 
-let sample ?(overrides = Events.no_overrides) ?(jobs = Parallel.default_jobs) ~protocol
-    ~adversary ~func ~gamma ~env ~seed ~lo ~hi acc =
+let sample ?(overrides = Events.no_overrides) ?(jobs = Parallel.default_jobs) ?inject
+    ~protocol ~adversary ~func ~gamma ~env ~seed ~lo ~hi acc =
   if lo < 0 || hi < lo then invalid_arg "Montecarlo.sample: bad range";
-  run_range ~overrides ~protocol ~adversary ~func ~gamma ~env ~seed ~jobs ~lo ~hi acc
+  run_range ~overrides ~inject ~protocol ~adversary ~func ~gamma ~env ~seed ~jobs ~lo ~hi acc
 
 let estimate_with_cost e ~cost =
   let penalty =
@@ -256,7 +327,8 @@ let estimate_with_cost e ~cost =
   e.utility -. penalty
 
 let best_response ?(overrides = Events.no_overrides) ?(jobs = Parallel.default_jobs)
-    ?target_std_err ?max_trials ~protocol ~adversaries ~func ~gamma ~env ~trials ~seed () =
+    ?target_std_err ?max_trials ?inject ?fault_budget ~protocol ~adversaries ~func ~gamma
+    ~env ~trials ~seed () =
   match adversaries with
   | [] -> invalid_arg "Montecarlo.best_response: empty zoo"
   | _ ->
@@ -268,8 +340,8 @@ let best_response ?(overrides = Events.no_overrides) ?(jobs = Parallel.default_j
         Parallel.map_list ~jobs
           (fun adversary ->
             ( adversary,
-              estimate ~overrides ~jobs ?target_std_err ?max_trials ~protocol ~adversary
-                ~func ~gamma ~env ~trials ~seed () ))
+              estimate ~overrides ~jobs ?target_std_err ?max_trials ?inject ?fault_budget
+                ~protocol ~adversary ~func ~gamma ~env ~trials ~seed () ))
           adversaries
       in
       List.fold_left

@@ -53,17 +53,30 @@ type estimate = {
       (** (#corrupted, occurrences), sorted by #corrupted *)
   breaches : int;  (** correctness breaches observed *)
   trials : int;  (** trials actually spent (≥ [trials] in adaptive mode) *)
+  trial_faults : int;
+      (** trials that raised and were excluded from the mean (trial-level
+          isolation); 0 in a clean run *)
   trajectory : convergence_point list;
       (** chronological; one point per adaptive batch (a single point for
           fixed-size runs), so adaptive stopping is auditable after the
           fact *)
 }
 
+exception Fault_budget_exceeded of { faulted : int; attempted : int; budget : float }
+(** Raised by {!estimate} when more than [fault_budget · attempted] trials
+    faulted: excluding trials conditions the estimator on "the trial
+    completed", which is only sound while faults are rare, so past the
+    threshold the estimate fails loudly instead of silently biasing.  Also
+    raised — whatever the budget — when {e every} trial faulted, because a
+    mean over zero completed trials does not exist. *)
+
 val estimate :
   ?overrides:Events.overrides ->
   ?jobs:int ->
   ?target_std_err:float ->
   ?max_trials:int ->
+  ?inject:(Rng.t -> Engine.injector) ->
+  ?fault_budget:float ->
   protocol:Protocol.t ->
   adversary:Adversary.t ->
   func:Func.t ->
@@ -83,7 +96,21 @@ val estimate :
     [20 * trials]); [estimate.trials] reports how many were actually spent.
     The stopping rule reads the deterministically-merged accumulator, so
     adaptive runs are also jobs-independent.
-    @raise Invalid_argument if [trials < 1] or [target_std_err <= 0]. *)
+
+    [inject] builds a per-trial fault injector (see {!Fair_faults}) from
+    the trial's ["faults"] RNG split; because {!Rng.split} does not advance
+    its parent, passing an injector that does nothing — or passing no
+    [inject] at all — yields bit-identical estimates.  {e Trial-level
+    isolation:} a trial that raises a non-fatal exception is counted in
+    [estimate.trial_faults] (metric [mc.trial_faults]) and excluded from
+    the mean rather than aborting the estimate; which trials fault is a
+    deterministic function of (seed, i), so faulted estimates remain
+    jobs-invariant.  [fault_budget] (default [0.1]) is the tolerated
+    faulted fraction of attempted trials.
+
+    @raise Invalid_argument if [trials < 1], [target_std_err <= 0] or
+    [fault_budget] is outside [0,1].
+    @raise Fault_budget_exceeded past the budget. *)
 
 (** {2 Incremental accumulation}
 
@@ -119,6 +146,7 @@ end
 val sample :
   ?overrides:Events.overrides ->
   ?jobs:int ->
+  ?inject:(Rng.t -> Engine.injector) ->
   protocol:Protocol.t ->
   adversary:Adversary.t ->
   func:Func.t ->
@@ -142,6 +170,8 @@ val best_response :
   ?jobs:int ->
   ?target_std_err:float ->
   ?max_trials:int ->
+  ?inject:(Rng.t -> Engine.injector) ->
+  ?fault_budget:float ->
   protocol:Protocol.t ->
   adversaries:Adversary.t list ->
   func:Func.t ->

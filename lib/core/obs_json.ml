@@ -38,6 +38,7 @@ let pool (s : Parallel.stats) =
     [ ("spawned", Json.num_int s.Parallel.spawned);
       ("pooled_batches", Json.num_int s.Parallel.pooled_batches);
       ("inline_batches", Json.num_int s.Parallel.inline_batches);
+      ("requeued", Json.num_int s.Parallel.requeued);
       ("caller", worker s.Parallel.caller);
       ("workers", Json.List (List.map worker s.Parallel.workers)) ]
 

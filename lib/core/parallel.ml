@@ -1,5 +1,8 @@
 module Clock = Fair_obs.Clock
 module Otrace = Fair_obs.Trace
+module Metrics = Fair_obs.Metrics
+
+let c_requeued = Metrics.counter "pool.requeued"
 
 let default_jobs = max 1 (Domain.recommended_domain_count ())
 
@@ -57,6 +60,7 @@ let worker_stats : (int * wstat) list ref = ref []  (* (spawn index, stats) *)
 let caller_stat = new_wstat ()
 let pooled_batches = ref 0         (* bumped under [pool_mutex] *)
 let inline_batches = Atomic.make 0 (* sequential fallbacks; any domain *)
+let requeued_tasks = Atomic.make 0 (* worker-chunk exceptions retried inline *)
 
 (* Held for the duration of one pooled [run_tasks]; taken with [try_lock]
    so contenders fall back to inline execution instead of blocking. *)
@@ -123,6 +127,7 @@ type stats = {
   spawned : int;
   pooled_batches : int;
   inline_batches : int;
+  requeued : int;
   caller : worker_stats;
   workers : worker_stats list;
 }
@@ -135,6 +140,7 @@ let pool_stats () =
     { spawned = !spawned;
       pooled_batches = !pooled_batches;
       inline_batches = Atomic.get inline_batches;
+      requeued = Atomic.get requeued_tasks;
       caller = read_wstat caller_stat;
       workers =
         List.sort (fun (a, _) (b, _) -> compare a b) !worker_stats
@@ -147,12 +153,25 @@ let run_seq n task =
   Atomic.incr inline_batches;
   List.init n task
 
-let collect results =
+(* Containment: a task whose worker-side run raised is requeued once,
+   inline on the caller, instead of poisoning the whole batch.  Workers
+   already stored the exception in the slot (they never unwind), so the
+   pool stays healthy; a transient failure heals here, and a deterministic
+   one re-raises from the caller with its original backtrace semantics.
+   Requeued tasks re-run in slot order, so results — and, for deterministic
+   tasks, any retried value — are position-stable. *)
+let collect results task =
   Array.to_list results
-  |> List.map (function
-       | Some (Ok x) -> x
-       | Some (Error e) -> raise e
-       | None -> assert false)
+  |> List.mapi (fun i r ->
+         match r with
+         | Some (Ok x) -> x
+         | Some (Error e) -> (
+             Atomic.incr requeued_tasks;
+             Metrics.incr c_requeued;
+             match task i with
+             | x -> x
+             | exception _retry_failed -> raise e)
+         | None -> assert false)
 
 let run_pooled ~jobs ~n task =
   let t_start = Clock.now_ns () in
@@ -191,7 +210,7 @@ let run_pooled ~jobs ~n task =
     Otrace.emit_span ~cat:"pool"
       ~args:[ ("tasks", string_of_int n); ("jobs", string_of_int jobs) ]
       "pool.batch" ~ts_ns:t_start ~dur_ns:(t_done - t_start);
-  collect results
+  collect results task
 
 let run_tasks ~jobs ~n (task : int -> 'a) : 'a list =
   if n = 0 then []

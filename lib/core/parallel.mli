@@ -39,9 +39,17 @@ val map_range :
     [f ~lo ~hi] on each chunk using up to [jobs] domains (the caller plus
     pooled workers, work-stealing via a shared atomic counter), and returns
     the results in chunk-index order.  [jobs <= 1] runs everything on the
-    calling domain.  An exception raised by [f] is re-raised in the caller
-    after the whole batch has completed (the first failing chunk in chunk
-    order wins).
+    calling domain.
+
+    {e Worker-chunk containment:} a chunk whose worker-side evaluation
+    raised never poisons the pool (workers park the exception in the
+    chunk's result slot and stay alive); after the batch completes, each
+    failed chunk is requeued once, inline on the caller, in chunk order
+    (counted in [stats.requeued] and metric [pool.requeued]).  A chunk
+    that fails again re-raises its original exception in the caller (the
+    first failing chunk in chunk order wins).  For deterministic tasks the
+    retry returns the identical value, so the determinism contract is
+    untouched.
     @raise Invalid_argument if [chunk_size < 1]. *)
 
 val map_list : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
@@ -65,6 +73,9 @@ type stats = {
   inline_batches : int;
       (** [run_tasks] calls that ran sequentially on the caller
           ([jobs <= 1], a single task, or the pool was busy) *)
+  requeued : int;
+      (** tasks whose worker-side run raised and were retried inline on
+          the caller *)
   caller : worker_stats;
       (** aggregated over every domain that led a pooled batch *)
   workers : worker_stats list;  (** in spawn order *)

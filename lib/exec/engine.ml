@@ -14,6 +14,8 @@ let c_msgs = Metrics.counter "engine.messages"
 let c_corruptions = Metrics.counter "engine.corruptions"
 let c_aborts = Metrics.counter "engine.aborts"
 let c_breach_rounds = Metrics.counter "engine.max_round_stops"
+let c_machine_faults = Metrics.counter "engine.machine_faults"
+let c_crashes = Metrics.counter "engine.party_crashes"
 
 type party_result =
   | Honest_output of Wire.payload
@@ -21,11 +23,66 @@ type party_result =
   | Honest_no_output
   | Was_corrupted
 
+(* ------------------------------------------------------------------ *)
+(* Failure taxonomy.  Everything that can go structurally wrong in a run
+   is one of these four shapes, each carrying the round and party where it
+   happened.  [Malformed_message] and [Party_crash] are *contained*: the
+   affected party collapses to an abort (the paper's reduction — any
+   deviation is worth no more than aborting) and the run continues, with
+   the failure recorded on the outcome.  [Protocol_violation] and
+   [Round_limit] invalidate the run and are raised as [Fail]. *)
+
+type failure =
+  | Malformed_message of { round : int; party : Wire.party_id; reason : string }
+  | Protocol_violation of { round : int; party : Wire.party_id; reason : string }
+  | Round_limit of { round : int; messages : int; limit : int }
+  | Party_crash of { round : int; party : Wire.party_id }
+
+exception Fail of failure
+
+let failure_to_string = function
+  | Malformed_message { round; party; reason } ->
+      Printf.sprintf "malformed message: party %d raised in round %d (%s)" party round reason
+  | Protocol_violation { round; party; reason } ->
+      Printf.sprintf "protocol violation: party %d, round %d: %s" party round reason
+  | Round_limit { round; messages; limit } ->
+      Printf.sprintf "round limit: %d messages by round %d exceeds the %d-message guard"
+        messages round limit
+  | Party_crash { round; party } ->
+      Printf.sprintf "party crash: party %d crash-stopped at round %d" party round
+
+let pp_failure fmt f = Format.pp_print_string fmt (failure_to_string f)
+
+let () =
+  Printexc.register_printer (function
+    | Fail f -> Some ("Engine.Fail: " ^ failure_to_string f)
+    | _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection.  The engine itself knows nothing about fault plans;
+   it exposes two interposition points and [Fair_faults] compiles
+   declarative specs into them.  [on_envelope] rewrites one sent envelope
+   into the list of copies actually put on the wire, each with an extra
+   delivery delay in rounds (0 = the normal next-round delivery; [] drops
+   the message).  [crash] is consulted once per still-running honest party
+   at the top of every round.  [no_faults] is the identity and consumes no
+   randomness, so a run without faults is byte-identical to one that never
+   heard of injectors. *)
+
+type injector = {
+  on_envelope : round:int -> Wire.envelope -> (int * Wire.envelope) list;
+  crash : round:int -> Wire.party_id -> bool;
+}
+
+let no_faults =
+  { on_envelope = (fun ~round:_ env -> [ (0, env) ]); crash = (fun ~round:_ _ -> false) }
+
 type outcome = {
   results : (Wire.party_id * party_result) list;
   claims : (int * Wire.payload) list;
   rounds : int;
   trace : Trace.t;
+  failures : failure list;
 }
 
 let honest_outputs outcome =
@@ -54,16 +111,32 @@ type slot =
   | Running of Machine.t * string * string (* machine, input, setup *)
   | Finished of party_result
 
-let run_exec ~protocol ~adversary ~inputs ~rng =
+(* Exceptions the containment layer must never swallow. *)
+let fatal = function
+  | Stack_overflow | Out_of_memory | Assert_failure _ -> true
+  | _ -> false
+
+let run_exec ~faults ~max_messages ~protocol ~adversary ~inputs ~rng =
   let n = protocol.Protocol.parties in
-  if Array.length inputs <> n then invalid_arg "Engine.run: wrong number of inputs";
+  if Array.length inputs <> n then
+    invalid_arg
+      (Printf.sprintf "Engine.run: wrong number of inputs (got %d, protocol %S wants %d)"
+         (Array.length inputs) protocol.Protocol.name n);
+  let msg_limit =
+    match max_messages with Some m -> m | None -> (n + 1) * protocol.Protocol.max_rounds * 1024
+  in
   let trace = Trace.create () in
+  let failures = ref [] in
+  let record_failure f = failures := f :: !failures in
   let setup =
     match protocol.Protocol.setup with
     | None -> Array.make n ""
     | Some deal ->
         let s = deal (Rng.split rng ~label:"dealer") in
-        if Array.length s <> n then invalid_arg "Engine.run: setup arity";
+        if Array.length s <> n then
+          invalid_arg
+            (Printf.sprintf "Engine.run: setup arity (dealer produced %d values for %d parties)"
+               (Array.length s) n);
         s
   in
   (* Slots indexed 0..n; slot 0 is the functionality (or an inert machine). *)
@@ -85,7 +158,14 @@ let run_exec ~protocol ~adversary ~inputs ~rng =
   let results = Array.make (n + 1) Honest_no_output in
   let claims = ref [] in
   let corrupt_party round id =
-    if id < 1 || id > n then invalid_arg "Engine.run: corrupting invalid id";
+    if id < 1 || id > n then
+      raise
+        (Fail
+           (Protocol_violation
+              { round;
+                party = id;
+                reason =
+                  Printf.sprintf "adversary corrupted invalid id %d (parties are 1..%d)" id n }));
     if not corrupted.(id) then begin
       corrupted.(id) <- true;
       results.(id) <- Was_corrupted;
@@ -96,6 +176,10 @@ let run_exec ~protocol ~adversary ~inputs ~rng =
   (* Inboxes for the *current* round, indexed by party id. *)
   let inbox_now = Array.make (n + 1) [] in
   let inbox_next = Array.make (n + 1) [] in
+  (* Envelopes re-scheduled by a delay fault: (due round, envelope), due in
+     the round whose inbox they join.  Prepended, so reversing the due
+     slice restores chronological order before the stable per-source sort. *)
+  let pending = ref [] in
   let deliver (env : Wire.envelope) =
     match env.dst with
     | Wire.To p ->
@@ -104,6 +188,20 @@ let run_exec ~protocol ~adversary ~inputs ~rng =
         for p = 0 to n do
           inbox_next.(p) <- (env.src, env.payload) :: inbox_next.(p)
         done
+  in
+  let deliver_now (env : Wire.envelope) =
+    match env.dst with
+    | Wire.To p ->
+        if p >= 0 && p <= n then inbox_now.(p) <- (env.src, env.payload) :: inbox_now.(p)
+    | Wire.Broadcast ->
+        for p = 0 to n do
+          inbox_now.(p) <- (env.src, env.payload) :: inbox_now.(p)
+        done
+  in
+  (* Route one faulted copy: normal copies join the next-round inboxes,
+     delayed copies park in [pending] until their due round. *)
+  let route ~round (d, env) =
+    if d <= 0 then deliver env else pending := (round + 1 + d, env) :: !pending
   in
   let active () =
     (* At least one party in 1..n still honestly running. *)
@@ -117,37 +215,75 @@ let run_exec ~protocol ~adversary ~inputs ~rng =
   in
   let round = ref 0 in
   let msgs = ref 0 in
+  let count_msg r =
+    incr msgs;
+    if !msgs > msg_limit then
+      raise (Fail (Round_limit { round = r; messages = !msgs; limit = msg_limit }))
+  in
   let exec_round r =
     Array.blit inbox_next 0 inbox_now 0 (n + 1);
     Array.fill inbox_next 0 (n + 1) [];
+    (* Delayed envelopes whose due round has arrived join this round's
+       inboxes alongside the normally-delivered ones. *)
+    (match !pending with
+    | [] -> ()
+    | ps ->
+        let due, rest = List.partition (fun (d, _) -> d <= r) ps in
+        pending := rest;
+        List.iter (fun (_, env) -> deliver_now env) (List.rev due));
     (* Inboxes are accumulated in reverse order of delivery; present them
        sender-ordered for determinism. *)
     for i = 0 to n do
       inbox_now.(i) <- List.stable_sort (fun (a, _) (b, _) -> compare a b) inbox_now.(i)
     done;
+    (* Crash-stop faults: a crashed party is an honest party that aborts
+       with no output and sends nothing from this round on — exactly the
+       abort the fairness reduction charges the adversary for. *)
+    for id = 1 to n do
+      match slots.(id) with
+      | Running _ when (not corrupted.(id)) && faults.crash ~round:r id ->
+          slots.(id) <- Finished Honest_abort;
+          results.(id) <- Honest_abort;
+          record_failure (Party_crash { round = r; party = id });
+          Metrics.incr c_crashes;
+          Trace.record trace (Trace.Crashed (r, id))
+      | _ -> ()
+    done;
     let honest_envelopes = ref [] in
     let step_slot id =
       match slots.(id) with
-      | Running (m, input, setup) when not corrupted.(id) ->
-          let m', actions = m.Machine.step ~round:r ~inbox:inbox_now.(id) in
-          slots.(id) <- Running (m', input, setup);
-          List.iter
-            (fun action ->
-              match action with
-              | Machine.Send (dst, payload) ->
-                  let env = { Wire.src = id; dst; payload } in
-                  incr msgs;
-                  Trace.record trace (Trace.Sent (r, env));
-                  honest_envelopes := env :: !honest_envelopes
-              | Machine.Output v ->
-                  slots.(id) <- Finished (Honest_output v);
-                  if id > 0 then results.(id) <- Honest_output v;
-                  Trace.record trace (Trace.Output_event (r, id, v))
-              | Machine.Abort_self ->
-                  slots.(id) <- Finished Honest_abort;
-                  if id > 0 then results.(id) <- Honest_abort;
-                  Trace.record trace (Trace.Aborted (r, id)))
-            actions
+      | Running (m, input, setup) when not corrupted.(id) -> (
+          match m.Machine.step ~round:r ~inbox:inbox_now.(id) with
+          | m', actions ->
+              slots.(id) <- Running (m', input, setup);
+              List.iter
+                (fun action ->
+                  match action with
+                  | Machine.Send (dst, payload) ->
+                      let env = { Wire.src = id; dst; payload } in
+                      count_msg r;
+                      Trace.record trace (Trace.Sent (r, env));
+                      honest_envelopes := env :: !honest_envelopes
+                  | Machine.Output v ->
+                      slots.(id) <- Finished (Honest_output v);
+                      if id > 0 then results.(id) <- Honest_output v;
+                      Trace.record trace (Trace.Output_event (r, id, v))
+                  | Machine.Abort_self ->
+                      slots.(id) <- Finished Honest_abort;
+                      if id > 0 then results.(id) <- Honest_abort;
+                      Trace.record trace (Trace.Aborted (r, id)))
+                actions
+          | exception e when not (fatal e) ->
+              (* A machine that cannot digest its inbox is a machine that
+                 aborts: contain the raise, record it, keep the run alive.
+                 Anything the adversary (or a fault) gained by crashing a
+                 party is therefore bounded by what aborting it gains. *)
+              slots.(id) <- Finished Honest_abort;
+              if id > 0 then results.(id) <- Honest_abort;
+              record_failure
+                (Malformed_message { round = r; party = id; reason = Printexc.to_string e });
+              Metrics.incr c_machine_faults;
+              Trace.record trace (Trace.Aborted (r, id)))
       | _ -> ()
     in
     (* The functionality steps first (a trusted party answers within the
@@ -157,15 +293,23 @@ let run_exec ~protocol ~adversary ~inputs ~rng =
       step_slot id
     done;
     let honest_envelopes = List.rev !honest_envelopes in
+    (* Channel faults interpose here, between the machines and the wire:
+       each honest envelope becomes the list of (delay, copy) actually in
+       flight.  With [no_faults] this is the identity. *)
+    let faulted =
+      List.concat_map (fun env -> faults.on_envelope ~round:r env) honest_envelopes
+    in
     (* Rushing: adversary sees round-r messages to corrupted parties and all
-       broadcasts before answering. *)
+       broadcasts before answering.  It taps the wire, so it sees the
+       faulted copies (tampered payloads included), not the pristine
+       sends. *)
     let rushed =
-      List.filter
-        (fun (env : Wire.envelope) ->
+      List.filter_map
+        (fun ((_, env) : int * Wire.envelope) ->
           match env.dst with
-          | Wire.To p -> p >= 1 && p <= n && corrupted.(p)
-          | Wire.Broadcast -> true)
-        honest_envelopes
+          | Wire.To p -> if p >= 1 && p <= n && corrupted.(p) then Some env else None
+          | Wire.Broadcast -> Some env)
+        faulted
     in
     let corrupted_info =
       List.filter_map
@@ -189,15 +333,22 @@ let run_exec ~protocol ~adversary ~inputs ~rng =
         rushed }
     in
     let decision = adv.Adversary.step view in
-    List.iter deliver honest_envelopes;
+    List.iter (route ~round:r) faulted;
     List.iter
       (fun (src, dst, payload) ->
         if src < 1 || src > n || not corrupted.(src) then
-          invalid_arg "Engine.run: adversary sent from a non-corrupted party";
+          raise
+            (Fail
+               (Protocol_violation
+                  { round = r;
+                    party = src;
+                    reason =
+                      Printf.sprintf "adversary sent from non-corrupted party %d" src }));
         let env = { Wire.src; dst; payload } in
-        incr msgs;
+        count_msg r;
         Trace.record trace (Trace.Sent (r, env));
-        deliver env)
+        (* Adversary traffic crosses the same faulty channels. *)
+        List.iter (route ~round:r) (faults.on_envelope ~round:r env))
       decision.Adversary.send;
     (match decision.Adversary.claim_learned with
     | None -> ()
@@ -263,8 +414,12 @@ let run_exec ~protocol ~adversary ~inputs ~rng =
   { results = List.init n (fun i -> (i + 1, results.(i + 1)));
     claims = List.rev !claims;
     rounds = !round;
-    trace }
+    trace;
+    failures = List.rev !failures }
+
+let run_with ?(faults = no_faults) ?max_messages ~protocol ~adversary ~inputs ~rng () =
+  Otrace.with_span ~cat:"engine" "engine.run" (fun () ->
+      run_exec ~faults ~max_messages ~protocol ~adversary ~inputs ~rng)
 
 let run ~protocol ~adversary ~inputs ~rng =
-  Otrace.with_span ~cat:"engine" "engine.run" (fun () ->
-      run_exec ~protocol ~adversary ~inputs ~rng)
+  run_with ~protocol ~adversary ~inputs ~rng ()

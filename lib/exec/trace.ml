@@ -4,6 +4,7 @@ type event =
   | Aborted of int * Wire.party_id
   | Corrupted of int * Wire.party_id
   | Claimed of int * Wire.payload
+  | Crashed of int * Wire.party_id
 
 type t = { mutable rev_events : event list }
 
@@ -22,3 +23,4 @@ let pp_event fmt = function
   | Aborted (r, p) -> Format.fprintf fmt "[r%d] p%d aborts" r p
   | Corrupted (r, p) -> Format.fprintf fmt "[r%d] p%d corrupted" r p
   | Claimed (r, v) -> Format.fprintf fmt "[r%d] adversary claims %S" r v
+  | Crashed (r, p) -> Format.fprintf fmt "[r%d] p%d crash-stopped" r p

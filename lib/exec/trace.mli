@@ -7,6 +7,7 @@ type event =
   | Aborted of int * Wire.party_id
   | Corrupted of int * Wire.party_id  (** round the corruption took effect *)
   | Claimed of int * Wire.payload  (** adversary registered a learned-output claim *)
+  | Crashed of int * Wire.party_id  (** crash-stopped by a fault plan *)
 
 type t
 

@@ -30,7 +30,7 @@ let test_fmt () =
   Alcotest.(check string) "fail" "FAIL" (Report.check_mark false)
 
 let test_registry_complete () =
-  Alcotest.(check int) "15 experiments" 15 (List.length E.registry);
+  Alcotest.(check int) "16 experiments" 16 (List.length E.registry);
   List.iteri
     (fun i (s : E.spec) ->
       Alcotest.(check string) "ids in order" (Printf.sprintf "E%d" (i + 1)) s.E.eid)

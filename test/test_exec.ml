@@ -201,7 +201,10 @@ let test_engine_rejects_unauthorized_send () =
         })
   in
   Alcotest.check_raises "unauthorized send"
-    (Invalid_argument "Engine.run: adversary sent from a non-corrupted party") (fun () ->
+    (Engine.Fail
+       (Engine.Protocol_violation
+          { round = 1; party = 1; reason = "adversary sent from non-corrupted party 1" }))
+    (fun () ->
       ignore (Engine.run ~protocol:pingpong ~adversary:adv ~inputs:[| "a"; "" |] ~rng:(rng ())))
 
 let test_engine_max_rounds () =
@@ -249,11 +252,40 @@ let test_trace_records_messages () =
   | _ -> Alcotest.fail "unexpected trace"
 
 let test_engine_input_arity () =
-  Alcotest.check_raises "wrong arity" (Invalid_argument "Engine.run: wrong number of inputs")
-    (fun () ->
+  Alcotest.check_raises "wrong arity"
+    (Invalid_argument
+       "Engine.run: wrong number of inputs (got 1, protocol \"pingpong\" wants 2)") (fun () ->
       ignore
         (Engine.run ~protocol:pingpong ~adversary:Adversary.passive ~inputs:[| "only-one" |]
            ~rng:(rng ())))
+
+(* A machine that raises mid-protocol is contained, not propagated: the
+   party collapses to Honest_abort and the outcome carries a
+   [Malformed_message] failure naming the round and party. *)
+let test_engine_contains_machine_raise () =
+  let fragile =
+    Protocol.make ~name:"fragile" ~parties:2 ~max_rounds:3
+      (fun ~rng:_ ~id ~n:_ ~input:_ ~setup:_ ->
+        Machine.make () (fun () ~round ~inbox:_ ->
+            if id = 1 && round = 2 then failwith "boom"
+            else if id = 2 && round = 3 then ((), [ Machine.Output "ok" ])
+            else ((), [])))
+  in
+  let o =
+    Engine.run ~protocol:fragile ~adversary:Adversary.passive ~inputs:[| "a"; "b" |]
+      ~rng:(rng ())
+  in
+  (match List.assoc 1 o.Engine.results with
+  | Engine.Honest_abort -> ()
+  | _ -> Alcotest.fail "raising party should collapse to Honest_abort");
+  (match List.assoc 2 o.Engine.results with
+  | Engine.Honest_output "ok" -> ()
+  | _ -> Alcotest.fail "peer should keep running");
+  match o.Engine.failures with
+  | [ Engine.Malformed_message { round = 2; party = 1; reason } ] ->
+      Alcotest.(check bool) "reason mentions the exception" true
+        (String.length reason > 0)
+  | _ -> Alcotest.fail "expected exactly one Malformed_message{round=2;party=1}"
 
 (* Delivery-exactness property: under a random send schedule, every message
    party 1 sends in round r arrives at party 2 exactly once, in round r+1,
@@ -313,4 +345,5 @@ let () =
           Alcotest.test_case "deterministic under fixed seed" `Quick test_engine_deterministic;
           Alcotest.test_case "trace records messages" `Quick test_trace_records_messages;
           Alcotest.test_case "input arity checked" `Quick test_engine_input_arity;
+          Alcotest.test_case "machine raise contained" `Quick test_engine_contains_machine_raise;
           prop_delivery_exact ] ) ]

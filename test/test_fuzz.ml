@@ -120,6 +120,39 @@ let protocols : (string * Protocol.t * Func.t * (Rng.t -> string array) * bool) 
       bits,
       true ) ]
 
+(* ----------------------- wire-framing fuzz --------------------------- *)
+
+let qtest name count arb law =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb law)
+
+(* Fully arbitrary byte strings, including '|', '\\' and '\000' — harsher
+   than the printable-ish default generator used in test_exec. *)
+let arb_bytes = QCheck.string_gen_of_size QCheck.Gen.(int_range 0 64) QCheck.Gen.char
+
+let prop_unframe_inverts_frame =
+  qtest "unframe (frame xs) = xs over arbitrary bytes" 1000
+    QCheck.(list_of_size (Gen.int_range 1 8) arb_bytes)
+    (fun fields -> Wire.unframe (Wire.frame fields) = fields)
+
+(* Malformed input must fail loudly but narrowly: any byte string either
+   unframes cleanly or raises [Invalid_argument] — never a parse crash
+   (Failure, Not_found, out-of-bounds...), never a hang. *)
+let prop_unframe_total =
+  qtest "unframe: arbitrary bytes raise only Invalid_argument" 2000 arb_bytes (fun s ->
+      match Wire.unframe s with
+      | _ -> true
+      | exception Invalid_argument _ -> true
+      | exception _ -> false)
+
+(* Successful unframing is stable: re-framing the fields and unframing
+   again yields the same field list (frame/unframe is a retraction pair on
+   the image of [frame]). *)
+let prop_unframe_refames =
+  qtest "unframe-frame-unframe stabilizes" 1000 arb_bytes (fun s ->
+      match Wire.unframe s with
+      | fields -> Wire.unframe (Wire.frame fields) = fields
+      | exception Invalid_argument _ -> true)
+
 let fuzz_case ~adversary ~adversary_name (name, proto, func, env, check_breach) =
   Alcotest.test_case (Printf.sprintf "%s vs %s" name adversary_name) `Slow (fun () ->
       for i = 0 to 59 do
@@ -141,6 +174,8 @@ let fuzz_case ~adversary ~adversary_name (name, proto, func, env, check_breach) 
 
 let () =
   Alcotest.run "fair_fuzz"
-    [ ("raw-garbage", List.map (fuzz_case ~adversary:fuzzer ~adversary_name:"fuzzer") protocols);
+    [ ( "wire-framing",
+        [ prop_unframe_inverts_frame; prop_unframe_total; prop_unframe_refames ] );
+      ("raw-garbage", List.map (fuzz_case ~adversary:fuzzer ~adversary_name:"fuzzer") protocols);
       ( "garbage-behind-honest-play",
         List.map (fuzz_case ~adversary:hybrid_fuzzer ~adversary_name:"hybrid") protocols ) ]

@@ -74,6 +74,24 @@ let test_exception_propagates () =
     [ 0; 2; 4 ]
     (Parallel.map_list ~jobs:4 (fun i -> 2 * i) [ 0; 1; 2 ])
 
+let test_transient_failure_requeued () =
+  (* A task that raises on its first invocation (wherever it ran) and
+     succeeds on the second models a transient worker-side failure: the
+     batch must heal by requeueing inline instead of propagating, and the
+     requeue counter must account for every retry. *)
+  let n = 8 in
+  let attempts = Array.init n (fun _ -> Atomic.make 0) in
+  let before = (Parallel.pool_stats ()).Parallel.requeued in
+  let r =
+    Parallel.map_list ~jobs:4
+      (fun i ->
+        if Atomic.fetch_and_add attempts.(i) 1 = 0 then failwith "transient" else i + 100)
+      (List.init n (fun i -> i))
+  in
+  Alcotest.(check (list int)) "every task healed on retry" (List.init n (fun i -> i + 100)) r;
+  Alcotest.(check int) "retries counted" (before + n)
+    (Parallel.pool_stats ()).Parallel.requeued
+
 let test_nested_no_deadlock () =
   (* A task that itself calls [map_list] must not wait on the pool it is
      running inside — the inner call degrades to the calling domain. *)
@@ -146,6 +164,7 @@ let () =
       ( "pool",
         [ Alcotest.test_case "workers reused across calls" `Quick test_pool_reuse;
           Alcotest.test_case "exception propagation" `Quick test_exception_propagates;
+          Alcotest.test_case "transient failure requeued" `Quick test_transient_failure_requeued;
           Alcotest.test_case "nested calls do not deadlock" `Quick test_nested_no_deadlock ] );
       ( "determinism",
         [ Alcotest.test_case "estimate bit-identical across jobs" `Quick
