@@ -59,7 +59,37 @@ type mc_comparison = {
   degraded : bool;
       (* the host exposes a single core, so the "parallel" leg cannot
          demonstrate a real speedup; consumers should not gate on it *)
+  par_pooled_batches : int;
+      (* pool batches the parallel leg actually fanned out — 0 means the
+         "parallel" timing never left the calling domain *)
+  par_inline_batches : int;  (* parallel-leg batches that degraded inline *)
 }
+
+module Pl = Fairness.Parallel
+
+(* [b - a] for two pool-stats snapshots, so the JSON reports what the
+   comparison itself did rather than everything since process start (the
+   experiment registry above also uses the pool). *)
+let stats_delta (a : Pl.stats) (b : Pl.stats) =
+  let dw (x : Pl.worker_stats) (y : Pl.worker_stats) =
+    { Pl.tasks = y.Pl.tasks - x.Pl.tasks;
+      busy_ns = y.Pl.busy_ns - x.Pl.busy_ns;
+      idle_ns = y.Pl.idle_ns - x.Pl.idle_ns }
+  in
+  let zero = { Pl.tasks = 0; busy_ns = 0; idle_ns = 0 } in
+  let rec dws xs ys =
+    match (xs, ys) with
+    | _, [] -> []
+    | [], y :: ys -> dw zero y :: dws [] ys
+    | x :: xs, y :: ys -> dw x y :: dws xs ys
+  in
+  { Pl.spawned = b.Pl.spawned - a.Pl.spawned;
+    pooled_batches = b.Pl.pooled_batches - a.Pl.pooled_batches;
+    seq_batches = b.Pl.seq_batches - a.Pl.seq_batches;
+    inline_batches = b.Pl.inline_batches - a.Pl.inline_batches;
+    requeued = b.Pl.requeued - a.Pl.requeued;
+    caller = dw a.Pl.caller b.Pl.caller;
+    workers = dws a.Pl.workers b.Pl.workers }
 
 let run_parallel_comparison () =
   let module Mc = Fairness.Montecarlo in
@@ -92,9 +122,13 @@ let run_parallel_comparison () =
     avail
     (if avail = 1 then "" else "s")
     (if degraded then "; DEGRADED: single core, speedup not meaningful" else "");
+  let s_before = Pl.pool_stats () in
   ignore (estimate ~jobs:1);  (* warm up (Lamport key pool, allocator) *)
   let e_seq, t_seq = wall (fun () -> estimate ~jobs:1) in
+  let s_par0 = Pl.pool_stats () in
   let e_par, t_par = wall (fun () -> estimate ~jobs) in
+  let s_par1 = Pl.pool_stats () in
+  let par_delta = stats_delta s_par0 s_par1 in
   (* Throughput divides by [e.Mc.trials] — the trials the estimate actually
      spent — not the requested count, so the number stays honest if this
      kernel ever switches to adaptive sampling (where spent ≥ requested). *)
@@ -109,18 +143,28 @@ let run_parallel_comparison () =
     e_seq.Mc.utility;
   Printf.printf "  jobs=%-2d  %7.2f s   %8.0f trials/s   u = %.6f\n" jobs t_par
     (throughput e_par t_par) e_par.Mc.utility;
-  Printf.printf "  speedup: %.2fx   bit-identical: %b%s\n\n" (t_seq /. t_par) bit_identical
+  Printf.printf "  speedup: %.2fx   bit-identical: %b%s\n" (t_seq /. t_par) bit_identical
     (if degraded then "   (degraded: 1 core)" else "");
-  { mc_jobs = jobs;
-    mc_trials = trials;
-    mc_trials_spent = e_seq.Mc.trials;
-    seq_seconds = t_seq;
-    par_seconds = t_par;
-    seq_trials_per_s = throughput e_seq t_seq;
-    par_trials_per_s = throughput e_par t_par;
-    speedup = t_seq /. t_par;
-    bit_identical;
-    degraded }
+  Printf.printf "  parallel leg: %d pooled batch(es), %d inline\n" par_delta.Pl.pooled_batches
+    par_delta.Pl.inline_batches;
+  if par_delta.Pl.pooled_batches = 0 then
+    print_endline "  WARNING: parallel leg never reached the pool — timing is sequential";
+  if (not degraded) && par_delta.Pl.inline_batches > 0 then
+    print_endline "  WARNING: parallel-leg batches degraded inline on a multi-core host";
+  print_newline ();
+  ( { mc_jobs = jobs;
+      mc_trials = trials;
+      mc_trials_spent = e_seq.Mc.trials;
+      seq_seconds = t_seq;
+      par_seconds = t_par;
+      seq_trials_per_s = throughput e_seq t_seq;
+      par_trials_per_s = throughput e_par t_par;
+      speedup = t_seq /. t_par;
+      bit_identical;
+      degraded;
+      par_pooled_batches = par_delta.Pl.pooled_batches;
+      par_inline_batches = par_delta.Pl.inline_batches },
+    stats_delta s_before (Pl.pool_stats ()) )
 
 (* ------------------------------------------------------------------ *)
 (* Part 2: timing kernels                                              *)
@@ -412,7 +456,9 @@ let write_json ~path mc ~obs_metrics ~obs_pool kernels =
               ("par_trials_per_sec", J.Num mc.par_trials_per_s);
               ("speedup", J.Num mc.speedup);
               ("bit_identical", J.Bool mc.bit_identical);
-              ("degraded", J.Bool mc.degraded) ] );
+              ("degraded", J.Bool mc.degraded);
+              ("par_pooled_batches", J.num_int mc.par_pooled_batches);
+              ("par_inline_batches", J.num_int mc.par_inline_batches) ] );
         ("metrics", obs_metrics);
         ("pool", obs_pool);
         ( "kernels",
@@ -435,9 +481,12 @@ let () =
      again before the Bechamel kernels so the obs/* rows measure the
      disabled fast path, which is what ships by default. *)
   Fair_obs.Metrics.enable ();
-  let mc = run_parallel_comparison () in
+  let mc, pool_delta = run_parallel_comparison () in
   let obs_metrics = Fairness.Obs_json.metrics (Fair_obs.Metrics.snapshot ()) in
-  let obs_pool = Fairness.Obs_json.pool (Fairness.Parallel.pool_stats ()) in
+  (* The pool section is the delta over the comparison run, not the
+     cumulative since-process-start counters (the experiment registry also
+     exercises the pool and would drown the numbers of interest). *)
+  let obs_pool = Fairness.Obs_json.pool pool_delta in
   Fair_obs.Metrics.disable ();
   let kernels = run_timings () in
   write_json ~path:"BENCH_mc.json" mc ~obs_metrics ~obs_pool kernels

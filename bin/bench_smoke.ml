@@ -1,14 +1,44 @@
 (* `dune build @bench-smoke` — a seconds-scale slice of bench/main.ml's
    sequential-vs-parallel comparison, wired into @repro so every smoke run
-   re-proves the pool's determinism contract: the pooled estimate must be
-   bit-for-bit the sequential one (utility, std_err, event tables), else
-   exit non-zero and fail the alias.  The speedup is printed for eyeballs
-   only — on a single-core host it is noise, and the line says so. *)
+   re-proves three contracts:
+
+   1. Determinism: the pooled estimate must be bit-for-bit the sequential
+      one (utility, std_err, event tables).
+   2. Allocation: the per-trial minor-heap footprint of the opt2 and optn
+      kernels must stay under a budget set ~1.5x above the arena-path
+      measurement, so a regression that reintroduces per-envelope or
+      per-trial-setup allocation fails loudly here rather than showing up
+      as a silent slowdown.
+   3. Pool health: the parallel leg must actually fan out through the pool
+      (a batch that silently runs inline would time the sequential path
+      and call it "parallel"), and on a multi-core host it must not be
+      slower than the sequential leg.  On a single-core host the speedup
+      is noise, the line says so, and only the fan-out half is enforced. *)
 
 module Mc = Fairness.Montecarlo
 module Parallel = Fairness.Parallel
 module Func = Fair_mpc.Func
 module Adv = Fair_protocols.Adversaries
+
+let failures = ref 0
+
+let check name ok detail =
+  Printf.printf "bench-smoke: %s %s (%s)\n" (if ok then "ok  " else "FAIL") name detail;
+  if not ok then incr failures
+
+(* Per-trial minor words of a sequential estimate, warmed so one-time setup
+   (Lamport key pool, Prep cache, domain-local arena growth) is excluded —
+   the budget is about the steady-state trial loop. *)
+let minor_words_per_trial ~protocol ~adversary ~func ~env ~trials =
+  let run seed =
+    ignore
+      (Mc.estimate ~jobs:1 ~protocol ~adversary ~func ~gamma:Fairness.Payoff.default ~env
+         ~trials ~seed ())
+  in
+  run 7;
+  let w0 = Gc.minor_words () in
+  run 8;
+  (Gc.minor_words () -. w0) /. float_of_int trials
 
 let () =
   let swap = Func.concat ~n:5 in
@@ -29,7 +59,9 @@ let () =
   let jobs = max 2 avail in
   ignore (estimate ~jobs:1);
   let e_seq, t_seq = wall (fun () -> estimate ~jobs:1) in
+  let s_par0 = Parallel.pool_stats () in
   let e_par, t_par = wall (fun () -> estimate ~jobs) in
+  let s_par1 = Parallel.pool_stats () in
   let bit_identical =
     e_seq.Mc.utility = e_par.Mc.utility
     && e_seq.Mc.std_err = e_par.Mc.std_err
@@ -40,11 +72,38 @@ let () =
     "bench-smoke: %d trials, seq %.3fs vs pool(jobs=%d) %.3fs, speedup %.2fx%s, workers spawned %d\n"
     trials t_seq jobs t_par (t_seq /. t_par)
     (if degraded then " (degraded: 1 core, speedup is noise)" else "")
-    (Parallel.pool_stats ()).Parallel.spawned;
-  if not bit_identical then begin
-    Printf.eprintf
-      "bench-smoke: FAIL — pooled estimate differs from sequential (u: %.17g vs %.17g)\n"
-      e_seq.Mc.utility e_par.Mc.utility;
+    s_par1.Parallel.spawned;
+  check "pooled run bit-identical to sequential" bit_identical
+    (Printf.sprintf "u %.17g vs %.17g" e_seq.Mc.utility e_par.Mc.utility);
+  check "parallel leg fanned out through the pool"
+    (s_par1.Parallel.pooled_batches > s_par0.Parallel.pooled_batches)
+    (Printf.sprintf "pooled batches +%d, inline +%d"
+       (s_par1.Parallel.pooled_batches - s_par0.Parallel.pooled_batches)
+       (s_par1.Parallel.inline_batches - s_par0.Parallel.inline_batches));
+  if degraded then
+    print_endline "bench-smoke: skip pooled-throughput guard (single-core host)"
+  else
+    check "pooled leg not slower than sequential" (t_par <= t_seq)
+      (Printf.sprintf "seq %.3fs, pool %.3fs" t_seq t_par);
+  (* Allocation budgets: measured on the arena fast path (see DESIGN.md
+     §10) at ~16k words/trial for optn-n5/t4 and ~9k for opt2; 1.5x
+     headroom tolerates compiler/stdlib drift but not a reintroduced
+     per-envelope allocation path (which costs several multiples). *)
+  let optn_words =
+    minor_words_per_trial ~protocol ~adversary ~func:swap
+      ~env:(Mc.uniform_field_inputs ~n:5) ~trials:200
+  in
+  check "optn-n5 minor words per trial within budget" (optn_words <= 25_000.0)
+    (Printf.sprintf "%.0f <= 25000" optn_words);
+  let opt2_words =
+    minor_words_per_trial ~protocol:(Fair_protocols.Opt2.hybrid Func.swap)
+      ~adversary:(Adv.greedy ~func:Func.swap Adv.Random_party) ~func:Func.swap
+      ~env:(Mc.uniform_field_inputs ~n:2) ~trials:200
+  in
+  check "opt2 minor words per trial within budget" (opt2_words <= 14_000.0)
+    (Printf.sprintf "%.0f <= 14000" opt2_words);
+  if !failures > 0 then begin
+    Printf.eprintf "bench-smoke: %d check(s) FAILED\n" !failures;
     exit 1
   end;
-  print_endline "bench-smoke: OK — pooled run bit-identical to sequential"
+  print_endline "bench-smoke: OK"

@@ -164,14 +164,24 @@ let fatal = function
   | Stack_overflow | Out_of_memory | Assert_failure _ -> true
   | _ -> false
 
-let run_trial ~overrides ~inject ~protocol ~adversary ~func ~gamma ~env ~prefix a i =
+(* One classified trial, decoupled from any accumulator so paired designs
+   ({!Crn}) can observe the same (seed, i) stream under several
+   configurations.  Returns [None] when the trial raised (trial-level
+   isolation): a raising trial (engine violation, machine bug surfacing
+   through classification, fault-plan fallout) is excluded from the mean
+   instead of aborting the whole estimate; callers count it and
+   {!estimate} enforces the fault budget on the total.  The classification
+   is deterministic per (seed, i), so which trials fault — and hence the
+   estimate — is still jobs-invariant. *)
+type trial_obs = {
+  t_payoff : float;
+  t_event : Events.event;
+  t_corrupted : int;
+  t_breach : bool;
+}
+
+let observe_trial ~overrides ~inject ~protocol ~adversary ~func ~gamma ~env ~prefix i =
   let master = Rng.create ~seed:(prefix ^ string_of_int i) in
-  (* Trial-level isolation: a raising trial (engine violation, machine bug
-     surfacing through classification, fault-plan fallout) is counted under
-     [faulted] and excluded from the mean instead of aborting the whole
-     estimate; {!estimate} enforces the fault budget on the total.  The
-     classification is deterministic per (seed, i), so which trials fault —
-     and hence the estimate — is still jobs-invariant. *)
   match
     let inputs = env (Rng.split master ~label:"env") in
     let outcome =
@@ -196,12 +206,21 @@ let run_trial ~overrides ~inject ~protocol ~adversary ~func ~gamma ~env ~prefix 
         | Events.E10 -> gamma.Payoff.g10
         | Events.E11 -> gamma.Payoff.g11
       in
-      acc_observe a ~payoff ~event:cl.Events.event
-        ~n_corrupted:(List.length (Events.corrupted_parties trial))
-        ~breach:cl.Events.correctness_breach
+      Some
+        { t_payoff = payoff;
+          t_event = cl.Events.event;
+          t_corrupted = List.length (Events.corrupted_parties trial);
+          t_breach = cl.Events.correctness_breach }
   | exception e when not (fatal e) ->
-      a.faulted <- a.faulted + 1;
-      Metrics.incr c_trial_faults
+      Metrics.incr c_trial_faults;
+      None
+
+let run_trial ~overrides ~inject ~protocol ~adversary ~func ~gamma ~env ~prefix a i =
+  match observe_trial ~overrides ~inject ~protocol ~adversary ~func ~gamma ~env ~prefix i with
+  | Some o ->
+      acc_observe a ~payoff:o.t_payoff ~event:o.t_event ~n_corrupted:o.t_corrupted
+        ~breach:o.t_breach
+  | None -> a.faulted <- a.faulted + 1
 
 (* Chunk size is a fixed constant (never derived from the job count): chunk
    boundaries, and hence the merge tree, depend only on the trial range, so
@@ -317,6 +336,23 @@ let sample ?(overrides = Events.no_overrides) ?(jobs = Parallel.default_jobs) ?i
     ~protocol ~adversary ~func ~gamma ~env ~seed ~lo ~hi acc =
   if lo < 0 || hi < lo then invalid_arg "Montecarlo.sample: bad range";
   run_range ~overrides ~inject ~protocol ~adversary ~func ~gamma ~env ~seed ~jobs ~lo ~hi acc
+
+(* Public face of the trial hook, used by {!Crn} to drive paired designs
+   through the exact per-trial stream [estimate] uses. *)
+module Trial = struct
+  type obs = trial_obs = {
+    t_payoff : float;
+    t_event : Events.event;
+    t_corrupted : int;
+    t_breach : bool;
+  }
+
+  let seed_prefix = trial_seed_prefix
+
+  let run ?(overrides = Events.no_overrides) ?inject ~protocol ~adversary ~func ~gamma ~env
+      ~prefix i =
+    observe_trial ~overrides ~inject ~protocol ~adversary ~func ~gamma ~env ~prefix i
+end
 
 let estimate_with_cost e ~cost =
   let penalty =

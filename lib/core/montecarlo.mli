@@ -162,6 +162,42 @@ val sample :
     exactly {!estimate}'s.
     @raise Invalid_argument if [lo < 0] or [hi < lo]. *)
 
+(** {2 Single-trial hook}
+
+    {!Crn} (common-random-numbers pairing) needs to observe the {e same}
+    (seed, i) trial stream under several configurations.  [Trial.run]
+    executes exactly the trial {!estimate} would run for index [i] —
+    same seeding, same env/exec/faults splits, same classification — and
+    returns the observation instead of folding it into an accumulator. *)
+
+module Trial : sig
+  type obs = {
+    t_payoff : float;  (** γ-payoff of the classified event *)
+    t_event : Events.event;
+    t_corrupted : int;  (** corrupted-party count *)
+    t_breach : bool;  (** correctness breach *)
+  }
+
+  val seed_prefix : int -> string
+  (** [seed_prefix seed] is the ["mc:<seed>:"] prefix; [prefix ^
+      string_of_int i] seeds trial [i] exactly as {!estimate} does. *)
+
+  val run :
+    ?overrides:Events.overrides ->
+    ?inject:(Rng.t -> Engine.injector) ->
+    protocol:Protocol.t ->
+    adversary:Adversary.t ->
+    func:Func.t ->
+    gamma:Payoff.t ->
+    env:environment ->
+    prefix:string ->
+    int ->
+    obs option
+  (** [None] when the trial raised (trial-level isolation; metric
+      [mc.trial_faults] is bumped).  Callers own fault accounting and
+      budgets. *)
+end
+
 val estimate_with_cost : estimate -> cost:(int -> float) -> float
 (** Reinterpret an estimate under corruption costs (Equation 5). *)
 

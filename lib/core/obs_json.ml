@@ -21,10 +21,13 @@ let metrics (s : Metrics.snapshot) =
                      ("total", Json.num_int h.Metrics.total) ] ))
              s.Metrics.histograms) ) ]
 
+(* Always present, clamped to 0.0 for a participant that never ran (busy
+   and idle both zero) — emitting [0/0] would print NaN, which is not JSON,
+   and omitting the field makes consumers branch on its absence. *)
 let utilization busy idle =
   let denom = busy + idle in
-  if denom > 0 then [ ("utilization", Json.Num (float_of_int busy /. float_of_int denom)) ]
-  else []
+  let u = if denom > 0 then float_of_int busy /. float_of_int denom else 0.0 in
+  [ ("utilization", Json.Num u) ]
 
 let worker (w : Parallel.worker_stats) =
   Json.Obj
@@ -37,6 +40,7 @@ let pool (s : Parallel.stats) =
   Json.Obj
     [ ("spawned", Json.num_int s.Parallel.spawned);
       ("pooled_batches", Json.num_int s.Parallel.pooled_batches);
+      ("seq_batches", Json.num_int s.Parallel.seq_batches);
       ("inline_batches", Json.num_int s.Parallel.inline_batches);
       ("requeued", Json.num_int s.Parallel.requeued);
       ("caller", worker s.Parallel.caller);

@@ -59,7 +59,8 @@ let handles : unit Domain.t list ref = ref []
 let worker_stats : (int * wstat) list ref = ref []  (* (spawn index, stats) *)
 let caller_stat = new_wstat ()
 let pooled_batches = ref 0         (* bumped under [pool_mutex] *)
-let inline_batches = Atomic.make 0 (* sequential fallbacks; any domain *)
+let seq_batches = Atomic.make 0    (* caller asked for sequential (jobs<=1 or n=1) *)
+let inline_batches = Atomic.make 0 (* pool busy: parallel request degraded inline *)
 let requeued_tasks = Atomic.make 0 (* worker-chunk exceptions retried inline *)
 
 (* Held for the duration of one pooled [run_tasks]; taken with [try_lock]
@@ -126,6 +127,7 @@ type worker_stats = { tasks : int; busy_ns : int; idle_ns : int }
 type stats = {
   spawned : int;
   pooled_batches : int;
+  seq_batches : int;
   inline_batches : int;
   requeued : int;
   caller : worker_stats;
@@ -139,6 +141,7 @@ let pool_stats () =
   let s =
     { spawned = !spawned;
       pooled_batches = !pooled_batches;
+      seq_batches = Atomic.get seq_batches;
       inline_batches = Atomic.get inline_batches;
       requeued = Atomic.get requeued_tasks;
       caller = read_wstat caller_stat;
@@ -149,8 +152,13 @@ let pool_stats () =
   Mutex.unlock pool_mutex;
   s
 
-let run_seq n task =
-  Atomic.incr inline_batches;
+(* [counter] distinguishes *why* the batch ran sequentially: [seq_batches]
+   when the caller asked for it (jobs <= 1, or nothing to parallelize),
+   [inline_batches] when a parallel request degraded because the pool was
+   already serving another batch.  Only the latter is a symptom worth
+   alerting on. *)
+let run_seq counter n task =
+  Atomic.incr counter;
   List.init n task
 
 (* Containment: a task whose worker-side run raised is requeued once,
@@ -214,12 +222,12 @@ let run_pooled ~jobs ~n task =
 
 let run_tasks ~jobs ~n (task : int -> 'a) : 'a list =
   if n = 0 then []
-  else if jobs <= 1 || n = 1 then run_seq n task
+  else if jobs <= 1 || n = 1 then run_seq seq_batches n task
   else if Mutex.try_lock pool_busy then
     Fun.protect
       ~finally:(fun () -> Mutex.unlock pool_busy)
       (fun () -> run_pooled ~jobs ~n task)
-  else run_seq n task
+  else run_seq inline_batches n task
 
 let map_range ~jobs ~chunk_size ~lo ~hi f =
   if chunk_size < 1 then invalid_arg "Parallel.map_range: chunk_size < 1";

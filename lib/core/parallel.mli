@@ -70,9 +70,14 @@ type worker_stats = {
 type stats = {
   spawned : int;  (** worker domains spawned since process start *)
   pooled_batches : int;  (** [run_tasks] calls served by the pool *)
+  seq_batches : int;
+      (** [run_tasks] calls that were sequential by construction:
+          [jobs <= 1] or a single task.  Expected, not a symptom. *)
   inline_batches : int;
-      (** [run_tasks] calls that ran sequentially on the caller
-          ([jobs <= 1], a single task, or the pool was busy) *)
+      (** parallel [run_tasks] calls ([jobs > 1], [n > 1]) that degraded
+          to the calling domain because the pool was busy serving another
+          batch.  A persistently non-zero value on a multi-core host means
+          the outer parallelism is swallowing the inner fan-out. *)
   requeued : int;
       (** tasks whose worker-side run raised and were retried inline on
           the caller *)

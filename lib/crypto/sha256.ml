@@ -138,24 +138,36 @@ end
 
 let hex_chars = "0123456789abcdef"
 
+(* Hex codecs run over multi-KiB strings on the protocol hot path (a
+   Lamport key is 16 KiB of bytes, 32 KiB of hex), so both directions are
+   direct byte loops — [String.init]'s per-character closure call costs
+   more than the conversion itself at these sizes. *)
 let to_hex s =
-  String.init
-    (2 * String.length s)
-    (fun i ->
-      let c = Char.code s.[i / 2] in
-      hex_chars.[if i mod 2 = 0 then c lsr 4 else c land 0xF])
+  let n = String.length s in
+  let b = Bytes.create (2 * n) in
+  for i = 0 to n - 1 do
+    let c = Char.code (String.unsafe_get s i) in
+    Bytes.unsafe_set b (2 * i) (String.unsafe_get hex_chars (c lsr 4));
+    Bytes.unsafe_set b ((2 * i) + 1) (String.unsafe_get hex_chars (c land 0xF))
+  done;
+  Bytes.unsafe_to_string b
+
+let nibble c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> invalid_arg "Sha256.of_hex: bad character"
 
 let of_hex s =
-  if String.length s mod 2 <> 0 then invalid_arg "Sha256.of_hex: odd length";
-  let nibble c =
-    match c with
-    | '0' .. '9' -> Char.code c - Char.code '0'
-    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
-    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
-    | _ -> invalid_arg "Sha256.of_hex: bad character"
-  in
-  String.init
-    (String.length s / 2)
-    (fun i -> Char.chr ((nibble s.[2 * i] lsl 4) lor nibble s.[(2 * i) + 1]))
+  let n = String.length s in
+  if n mod 2 <> 0 then invalid_arg "Sha256.of_hex: odd length";
+  let b = Bytes.create (n / 2) in
+  for i = 0 to (n / 2) - 1 do
+    let hi = nibble (String.unsafe_get s (2 * i)) in
+    let lo = nibble (String.unsafe_get s ((2 * i) + 1)) in
+    Bytes.unsafe_set b i (Char.unsafe_chr ((hi lsl 4) lor lo))
+  done;
+  Bytes.unsafe_to_string b
 
 let hex_digest msg = to_hex (digest msg)

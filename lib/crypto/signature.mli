@@ -16,11 +16,35 @@ module Lamport : sig
   val sign : secret_key -> string -> signature
   val verify : public_key -> string -> signature -> bool
 
+  val verify_digest : public_key -> string -> signature -> bool
+  (** [verify_digest pk d s] is {!verify} with the SHA-256 digest of the
+      message precomputed — for callers that check several candidate
+      signatures against one message. *)
+
   val public_key_to_string : public_key -> string
   val public_key_of_string : string -> public_key
   val signature_to_string : signature -> string
   val signature_of_string : string -> signature
   (** Wire forms. @raise Invalid_argument on malformed input. *)
+
+  (** Memoized verification of hex-encoded wire forms.  Parsing a 32 KiB
+      public-key hex string and re-hashing 256 preimages are pure functions
+      of the inputs, so their results are cached (per domain, bounded,
+      reset-on-full): repeated verification of the same announcement — by
+      every receiving party in an execution, and across Monte-Carlo trials
+      that draw keys from a small pool — costs one table lookup.  No
+      randomness is consumed and no result ever differs from the uncached
+      path, so estimates are bit-identical with or without the cache. *)
+  module Verifier : sig
+    val public_key_of_hex : string -> public_key
+    (** Cached [public_key_of_string (Sha256.of_hex hex)].
+        @raise Invalid_argument on malformed input (not cached). *)
+
+    val verify_hex : pk_hex:string -> msg:string -> signature_hex:string -> bool
+    (** Cached "decode both wire forms and verify"; malformed input is
+        [false] (never raises), matching the protocol-layer convention that
+        an unparseable announcement is simply invalid. *)
+  end
 end
 
 module Merkle : sig

@@ -116,6 +116,40 @@ let fatal = function
   | Stack_overflow | Out_of_memory | Assert_failure _ -> true
   | _ -> false
 
+(* ------------------------------------------------------------------ *)
+(* Per-domain run arena.  A Monte-Carlo sweep executes hundreds of
+   thousands of runs per domain, and the per-run arrays (slots, corruption
+   flags, results, the two inbox generations) were the dominant fixed
+   allocation of [run_exec].  Each domain keeps one arena, grown to the
+   largest [n + 1] it has seen and reused across runs.  The arena is
+   purely a memory optimisation: every cell of the active prefix is reset
+   on acquire and cleared again on release (so no machine or payload
+   outlives its run), and a re-entrant run — a nested execution started
+   from inside an adversary or a utility — finds [in_use] set and falls
+   back to fresh allocation, the pre-arena behaviour. *)
+type arena = {
+  mutable cap : int; (* current array length; 0 until first use *)
+  mutable a_slots : slot array;
+  mutable a_corrupted : bool array;
+  mutable a_results : party_result array;
+  mutable a_inbox_now : (Wire.party_id * Wire.payload) list array;
+  mutable a_inbox_next : (Wire.party_id * Wire.payload) list array;
+  mutable in_use : bool;
+}
+
+let arena_key =
+  Domain.DLS.new_key (fun () ->
+      { cap = 0;
+        a_slots = [||];
+        a_corrupted = [||];
+        a_results = [||];
+        a_inbox_now = [||];
+        a_inbox_next = [||];
+        in_use = false })
+
+(* Inboxes are sender-sorted; sources are small ints. *)
+let by_src ((a : int), _) ((b : int), _) = compare a b
+
 let run_exec ~faults ~max_messages ~protocol ~adversary ~inputs ~rng =
   let n = protocol.Protocol.parties in
   if Array.length inputs <> n then
@@ -125,6 +159,46 @@ let run_exec ~faults ~max_messages ~protocol ~adversary ~inputs ~rng =
   let msg_limit =
     match max_messages with Some m -> m | None -> (n + 1) * protocol.Protocol.max_rounds * 1024
   in
+  let ar = Domain.DLS.get arena_key in
+  let use_arena = not ar.in_use in
+  if use_arena then begin
+    ar.in_use <- true;
+    if ar.cap < n + 1 then begin
+      ar.cap <- n + 1;
+      ar.a_slots <- Array.make (n + 1) (Finished Was_corrupted);
+      ar.a_corrupted <- Array.make (n + 1) false;
+      ar.a_results <- Array.make (n + 1) Honest_no_output;
+      ar.a_inbox_now <- Array.make (n + 1) [];
+      ar.a_inbox_next <- Array.make (n + 1) []
+    end
+  end;
+  (* Slots indexed 0..n; slot 0 is the functionality (or an inert machine). *)
+  let slots = if use_arena then ar.a_slots else Array.make (n + 1) (Finished Was_corrupted) in
+  let corrupted = if use_arena then ar.a_corrupted else Array.make (n + 1) false in
+  let results = if use_arena then ar.a_results else Array.make (n + 1) Honest_no_output in
+  (* Inboxes for the *current* round, indexed by party id. *)
+  let inbox_now = if use_arena then ar.a_inbox_now else Array.make (n + 1) [] in
+  let inbox_next = if use_arena then ar.a_inbox_next else Array.make (n + 1) [] in
+  if use_arena then begin
+    (* Cells beyond [n] were cleared by the previous release; reset the
+       prefix this run will touch. *)
+    Array.fill slots 0 (n + 1) (Finished Was_corrupted);
+    Array.fill corrupted 0 (n + 1) false;
+    Array.fill results 0 (n + 1) Honest_no_output;
+    Array.fill inbox_now 0 (n + 1) [];
+    Array.fill inbox_next 0 (n + 1) []
+  end;
+  let release () =
+    if use_arena then begin
+      (* Drop machine/payload references so nothing outlives its run. *)
+      Array.fill slots 0 (n + 1) (Finished Was_corrupted);
+      Array.fill results 0 (n + 1) Honest_no_output;
+      Array.fill inbox_now 0 (n + 1) [];
+      Array.fill inbox_next 0 (n + 1) [];
+      ar.in_use <- false
+    end
+  in
+  Fun.protect ~finally:release @@ fun () ->
   let trace = Trace.create () in
   let failures = ref [] in
   let record_failure f = failures := f :: !failures in
@@ -139,8 +213,6 @@ let run_exec ~faults ~max_messages ~protocol ~adversary ~inputs ~rng =
                (Array.length s) n);
         s
   in
-  (* Slots indexed 0..n; slot 0 is the functionality (or an inert machine). *)
-  let slots = Array.make (n + 1) (Finished Was_corrupted) in
   slots.(0) <-
     (match protocol.Protocol.functionality with
     | None -> Finished Honest_abort (* unused marker; never consulted *)
@@ -154,8 +226,6 @@ let run_exec ~faults ~max_messages ~protocol ~adversary ~inputs ~rng =
     slots.(i) <- Running (m, inputs.(i - 1), setup.(i - 1))
   done;
   let adv = adversary.Adversary.make (Rng.split rng ~label:"adversary") ~protocol in
-  let corrupted = Array.make (n + 1) false in
-  let results = Array.make (n + 1) Honest_no_output in
   let claims = ref [] in
   let corrupt_party round id =
     if id < 1 || id > n then
@@ -173,20 +243,25 @@ let run_exec ~faults ~max_messages ~protocol ~adversary ~inputs ~rng =
     end
   in
   List.iter (corrupt_party 0) adv.Adversary.initial;
-  (* Inboxes for the *current* round, indexed by party id. *)
-  let inbox_now = Array.make (n + 1) [] in
-  let inbox_next = Array.make (n + 1) [] in
   (* Envelopes re-scheduled by a delay fault: (due round, envelope), due in
      the round whose inbox they join.  Prepended, so reversing the due
      slice restores chronological order before the stable per-source sort. *)
   let pending = ref [] in
+  (* [no_fault_path] skips the channel interposition entirely: with the
+     identity injector the faulted copy list is [[(0, env)]] per envelope,
+     so routing degenerates to plain delivery and the per-envelope
+     list/tuple wrappers never need to exist. *)
+  let no_fault_path = faults == no_faults in
   let deliver (env : Wire.envelope) =
     match env.dst with
     | Wire.To p ->
         if p >= 0 && p <= n then inbox_next.(p) <- (env.src, env.payload) :: inbox_next.(p)
     | Wire.Broadcast ->
+        (* One shared cell for all recipients: broadcast delivery costs n+1
+           conses, not n+1 tuples as well. *)
+        let cell = (env.src, env.payload) in
         for p = 0 to n do
-          inbox_next.(p) <- (env.src, env.payload) :: inbox_next.(p)
+          inbox_next.(p) <- cell :: inbox_next.(p)
         done
   in
   let deliver_now (env : Wire.envelope) =
@@ -194,8 +269,9 @@ let run_exec ~faults ~max_messages ~protocol ~adversary ~inputs ~rng =
     | Wire.To p ->
         if p >= 0 && p <= n then inbox_now.(p) <- (env.src, env.payload) :: inbox_now.(p)
     | Wire.Broadcast ->
+        let cell = (env.src, env.payload) in
         for p = 0 to n do
-          inbox_now.(p) <- (env.src, env.payload) :: inbox_now.(p)
+          inbox_now.(p) <- cell :: inbox_now.(p)
         done
   in
   (* Route one faulted copy: normal copies join the next-round inboxes,
@@ -212,6 +288,30 @@ let run_exec ~faults ~max_messages ~protocol ~adversary ~inputs ~rng =
       | _ -> ()
     done;
     !some
+  in
+  (* Adversary view pieces, built with one descending loop (prepending
+     keeps ids ascending) instead of materialising a fresh id list per
+     round. *)
+  let corrupted_view inboxes =
+    let info = ref [] and inbox = ref [] in
+    for id = n downto 1 do
+      if corrupted.(id) then begin
+        (match slots.(id) with
+        | Running (m, input, setup) ->
+            info := { Adversary.id; input; setup; machine = m } :: !info
+        | Finished _ -> ());
+        inbox := (id, inboxes.(id)) :: !inbox
+      end
+    done;
+    (!info, !inbox)
+  in
+  (* Inboxes are accumulated in reverse order of delivery; present them
+     sender-ordered for determinism.  Empty and singleton inboxes (the
+     overwhelmingly common case) are already sorted. *)
+  let sort_inboxes a =
+    for i = 0 to n do
+      match a.(i) with [] | [ _ ] -> () | l -> a.(i) <- List.stable_sort by_src l
+    done
   in
   let round = ref 0 in
   let msgs = ref 0 in
@@ -231,24 +331,21 @@ let run_exec ~faults ~max_messages ~protocol ~adversary ~inputs ~rng =
         let due, rest = List.partition (fun (d, _) -> d <= r) ps in
         pending := rest;
         List.iter (fun (_, env) -> deliver_now env) (List.rev due));
-    (* Inboxes are accumulated in reverse order of delivery; present them
-       sender-ordered for determinism. *)
-    for i = 0 to n do
-      inbox_now.(i) <- List.stable_sort (fun (a, _) (b, _) -> compare a b) inbox_now.(i)
-    done;
+    sort_inboxes inbox_now;
     (* Crash-stop faults: a crashed party is an honest party that aborts
        with no output and sends nothing from this round on — exactly the
        abort the fairness reduction charges the adversary for. *)
-    for id = 1 to n do
-      match slots.(id) with
-      | Running _ when (not corrupted.(id)) && faults.crash ~round:r id ->
-          slots.(id) <- Finished Honest_abort;
-          results.(id) <- Honest_abort;
-          record_failure (Party_crash { round = r; party = id });
-          Metrics.incr c_crashes;
-          Trace.record trace (Trace.Crashed (r, id))
-      | _ -> ()
-    done;
+    if not no_fault_path then
+      for id = 1 to n do
+        match slots.(id) with
+        | Running _ when (not corrupted.(id)) && faults.crash ~round:r id ->
+            slots.(id) <- Finished Honest_abort;
+            results.(id) <- Honest_abort;
+            record_failure (Party_crash { round = r; party = id });
+            Metrics.incr c_crashes;
+            Trace.record trace (Trace.Crashed (r, id))
+        | _ -> ()
+      done;
     let honest_envelopes = ref [] in
     let step_slot id =
       match slots.(id) with
@@ -295,45 +392,36 @@ let run_exec ~faults ~max_messages ~protocol ~adversary ~inputs ~rng =
     let honest_envelopes = List.rev !honest_envelopes in
     (* Channel faults interpose here, between the machines and the wire:
        each honest envelope becomes the list of (delay, copy) actually in
-       flight.  With [no_faults] this is the identity. *)
+       flight.  On the no-fault path the copies *are* the envelopes. *)
     let faulted =
-      List.concat_map (fun env -> faults.on_envelope ~round:r env) honest_envelopes
+      if no_fault_path then []
+      else List.concat_map (fun env -> faults.on_envelope ~round:r env) honest_envelopes
     in
     (* Rushing: adversary sees round-r messages to corrupted parties and all
        broadcasts before answering.  It taps the wire, so it sees the
        faulted copies (tampered payloads included), not the pristine
        sends. *)
     let rushed =
-      List.filter_map
-        (fun ((_, env) : int * Wire.envelope) ->
-          match env.dst with
-          | Wire.To p -> if p >= 1 && p <= n && corrupted.(p) then Some env else None
-          | Wire.Broadcast -> Some env)
-        faulted
+      if no_fault_path then
+        List.filter
+          (fun (env : Wire.envelope) ->
+            match env.dst with
+            | Wire.To p -> p >= 1 && p <= n && corrupted.(p)
+            | Wire.Broadcast -> true)
+          honest_envelopes
+      else
+        List.filter_map
+          (fun ((_, env) : int * Wire.envelope) ->
+            match env.dst with
+            | Wire.To p -> if p >= 1 && p <= n && corrupted.(p) then Some env else None
+            | Wire.Broadcast -> Some env)
+          faulted
     in
-    let corrupted_info =
-      List.filter_map
-        (fun id ->
-          if id >= 1 && id <= n && corrupted.(id) then
-            match slots.(id) with
-            | Running (m, input, setup) ->
-                Some { Adversary.id; input; setup; machine = m }
-            | Finished _ -> None
-          else None)
-        (List.init n (fun i -> i + 1))
-    in
-    let view =
-      { Adversary.round = r;
-        n;
-        corrupted = corrupted_info;
-        inbox =
-          List.filter_map
-            (fun i -> if corrupted.(i) then Some (i, inbox_now.(i)) else None)
-            (List.init n (fun i -> i + 1));
-        rushed }
-    in
+    let corrupted_info, adv_inbox = corrupted_view inbox_now in
+    let view = { Adversary.round = r; n; corrupted = corrupted_info; inbox = adv_inbox; rushed } in
     let decision = adv.Adversary.step view in
-    List.iter (route ~round:r) faulted;
+    if no_fault_path then List.iter deliver honest_envelopes
+    else List.iter (route ~round:r) faulted;
     List.iter
       (fun (src, dst, payload) ->
         if src < 1 || src > n || not corrupted.(src) then
@@ -348,7 +436,8 @@ let run_exec ~faults ~max_messages ~protocol ~adversary ~inputs ~rng =
         count_msg r;
         Trace.record trace (Trace.Sent (r, env));
         (* Adversary traffic crosses the same faulty channels. *)
-        List.iter (route ~round:r) (faults.on_envelope ~round:r env))
+        if no_fault_path then deliver env
+        else List.iter (route ~round:r) (faults.on_envelope ~round:r env))
       decision.Adversary.send;
     (match decision.Adversary.claim_learned with
     | None -> ()
@@ -367,29 +456,11 @@ let run_exec ~faults ~max_messages ~protocol ~adversary ~inputs ~rng =
      receives them.  Give it one last step (claims only — nobody is left to
      read further messages). *)
   let r = !round + 1 in
-  for i = 0 to n do
-    inbox_next.(i) <- List.stable_sort (fun (a, _) (b, _) -> compare a b) inbox_next.(i)
-  done;
-  let corrupted_info =
-    List.filter_map
-      (fun id ->
-        if corrupted.(id) then
-          match slots.(id) with
-          | Running (m, input, setup) -> Some { Adversary.id; input; setup; machine = m }
-          | Finished _ -> None
-        else None)
-      (List.init n (fun i -> i + 1))
-  in
+  sort_inboxes inbox_next;
+  let corrupted_info, adv_inbox = corrupted_view inbox_next in
   if corrupted_info <> [] then begin
     let view =
-      { Adversary.round = r;
-        n;
-        corrupted = corrupted_info;
-        inbox =
-          List.filter_map
-            (fun i -> if corrupted.(i) then Some (i, inbox_next.(i)) else None)
-            (List.init n (fun i -> i + 1));
-        rushed = [] }
+      { Adversary.round = r; n; corrupted = corrupted_info; inbox = adv_inbox; rushed = [] }
     in
     let decision = adv.Adversary.step view in
     match decision.Adversary.claim_learned with

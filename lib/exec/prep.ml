@@ -1,0 +1,27 @@
+module Metrics = Fair_obs.Metrics
+
+let c_hits = Metrics.counter "prep.hits"
+let c_misses = Metrics.counter "prep.misses"
+
+type 'a slot = {
+  name : string;
+  tbl : (string, 'a) Hashtbl.t;
+  lock : Mutex.t;
+}
+
+let slot ~name = { name; tbl = Hashtbl.create 4; lock = Mutex.create () }
+
+let get s ~key compute =
+  Mutex.protect s.lock (fun () ->
+      match Hashtbl.find_opt s.tbl key with
+      | Some v ->
+          Metrics.incr c_hits;
+          v
+      | None ->
+          Metrics.incr c_misses;
+          let v = compute () in
+          Hashtbl.add s.tbl key v;
+          v)
+
+let clear s = Mutex.protect s.lock (fun () -> Hashtbl.reset s.tbl)
+let size s = Mutex.protect s.lock (fun () -> Hashtbl.length s.tbl)

@@ -1,0 +1,44 @@
+(** Per-configuration preprocessing cache.
+
+    A Monte-Carlo sweep runs the same protocol configuration for thousands
+    of trials, and some setup material is a function of the {e config}, not
+    the trial: the ΠOpt-nSFE Lamport key pool is drawn from fixed seeds, a
+    dealer for a given (protocol, n, t) always produces the same
+    correlation {e structure}, precomputed encodings never change.
+    Recomputing such material per trial is pure waste — this module makes
+    "compute once per config, share read-only across trials and domains"
+    a one-liner.
+
+    A {!slot} is one preprocessing kind (e.g. ["optn-key-pool"]); {!get}
+    keys it by a config string (e.g. ["n=16"]) and either returns the
+    cached value or computes, stores and returns it.  The slot lock is held
+    across the compute, so concurrent domains asking for the same key block
+    until the first finishes instead of duplicating the work.
+
+    {b Caching contract.} Only cache values that are (a) deterministic
+    functions of the key — same bytes every time — and (b) treated as
+    immutable by every consumer: values are shared across domains with no
+    further synchronization.  In particular, {e trial-dependent} randomness
+    (per-trial dealer correlations for SPDZ/GMW sharing) must NOT be
+    cached: reusing one draw across trials would correlate them and
+    silently invalidate the variance estimate.  Cache the trial-independent
+    skeleton only.
+
+    Hits and misses are counted in metrics [prep.hits] / [prep.misses]. *)
+
+type 'a slot
+
+val slot : name:string -> 'a slot
+(** Declare a preprocessing kind.  Call once at module init (the table
+    lives for the process). *)
+
+val get : 'a slot -> key:string -> (unit -> 'a) -> 'a
+(** [get s ~key compute] returns the cached value for [key], computing it
+    on first use.  [compute] runs under the slot lock (once per key,
+    process-wide). *)
+
+val clear : 'a slot -> unit
+(** Drop all cached values (tests). *)
+
+val size : 'a slot -> int
+(** Number of distinct keys cached. *)

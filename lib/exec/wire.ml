@@ -13,43 +13,77 @@ let pp_dest fmt = function
 let pp_envelope fmt e =
   Format.fprintf fmt "%d%a: %S" e.src pp_dest e.dst e.payload
 
+(* Framing is on the per-message hot path, and protocol payloads can be
+   large (a hex-encoded Lamport key is 32 KiB), so both directions avoid
+   per-character buffer writes: a field with nothing to escape is returned
+   {e as-is} (no copy at all — the common case, since hex and decimal
+   fields never contain '|' or '\'), and the slow path copies in chunks
+   between escapes rather than character by character.  The wire format is
+   unchanged. *)
+
+let needs_escape s =
+  let n = String.length s in
+  let rec go i = i < n && (match s.[i] with '\\' | '|' -> true | _ -> go (i + 1)) in
+  go 0
+
 let escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '|' -> Buffer.add_string buf "\\p"
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
+  if not (needs_escape s) then s
+  else begin
+    let buf = Buffer.create (String.length s + 8) in
+    let n = String.length s in
+    (* [from] is the start of the pending unescaped run. *)
+    let rec go from i =
+      if i >= n then Buffer.add_substring buf s from (n - from)
+      else
+        match s.[i] with
+        | '\\' ->
+            Buffer.add_substring buf s from (i - from);
+            Buffer.add_string buf "\\\\";
+            go (i + 1) (i + 1)
+        | '|' ->
+            Buffer.add_substring buf s from (i - from);
+            Buffer.add_string buf "\\p";
+            go (i + 1) (i + 1)
+        | _ -> go from (i + 1)
+    in
+    go 0 0;
+    Buffer.contents buf
+  end
 
 let frame fields =
   if fields = [] then invalid_arg "Wire.frame: empty field list";
   String.concat "|" (List.map escape fields)
 
 let unframe payload =
-  let fields = ref [] in
-  let buf = Buffer.create 16 in
-  let n = String.length payload in
-  let rec go i =
-    if i >= n then fields := Buffer.contents buf :: !fields
-    else
-      match payload.[i] with
-      | '|' ->
-          fields := Buffer.contents buf :: !fields;
-          Buffer.clear buf;
-          go (i + 1)
-      | '\\' ->
-          if i + 1 >= n then invalid_arg "Wire.unframe: dangling escape";
-          (match payload.[i + 1] with
-          | '\\' -> Buffer.add_char buf '\\'
-          | 'p' -> Buffer.add_char buf '|'
-          | _ -> invalid_arg "Wire.unframe: bad escape");
-          go (i + 2)
-      | c ->
-          Buffer.add_char buf c;
-          go (i + 1)
-  in
-  go 0;
-  List.rev !fields
+  if not (String.contains payload '\\') then String.split_on_char '|' payload
+  else begin
+    let fields = ref [] in
+    let buf = Buffer.create 16 in
+    let n = String.length payload in
+    (* [from] is the start of the pending literal run (no escapes, no
+       separators), flushed in one [add_substring] at each boundary. *)
+    let rec go from i =
+      if i >= n then begin
+        Buffer.add_substring buf payload from (n - from);
+        fields := Buffer.contents buf :: !fields
+      end
+      else
+        match payload.[i] with
+        | '|' ->
+            Buffer.add_substring buf payload from (i - from);
+            fields := Buffer.contents buf :: !fields;
+            Buffer.clear buf;
+            go (i + 1) (i + 1)
+        | '\\' ->
+            Buffer.add_substring buf payload from (i - from);
+            if i + 1 >= n then invalid_arg "Wire.unframe: dangling escape";
+            (match payload.[i + 1] with
+            | '\\' -> Buffer.add_char buf '\\'
+            | 'p' -> Buffer.add_char buf '|'
+            | _ -> invalid_arg "Wire.unframe: bad escape");
+            go (i + 2) (i + 2)
+        | _ -> go from (i + 1)
+    in
+    go 0 0;
+    List.rev !fields
+  end

@@ -20,12 +20,7 @@ type state = {
 }
 
 let verify_value vk y signature =
-  match
-    ( Signature.Lamport.public_key_of_string (Sha256.of_hex vk),
-      Signature.Lamport.signature_of_string (Sha256.of_hex signature) )
-  with
-  | pk, s -> Signature.Lamport.verify pk y s
-  | exception Invalid_argument _ -> false
+  Signature.Lamport.Verifier.verify_hex ~pk_hex:vk ~msg:y ~signature_hex:signature
 
 let party (_func : Func.t) ~rng ~id ~n ~input ~setup:_ =
   let coin_heads = Rng.bool (Rng.split rng ~label:"lemma18-coin") in

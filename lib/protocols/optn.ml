@@ -12,29 +12,41 @@ let hybrid_rounds = Ideal.dummy_rounds + 2
 (* Lamport key generation dominates the per-trial cost of Monte-Carlo
    sweeps; since key reuse across *independent executions* cannot change any
    event (no strategy forges either way), we draw from a small precomputed
-   pool instead of regenerating 16 KiB of preimages per trial. *)
-let key_pool =
-  lazy
-    (Array.init 16 (fun i ->
-         Signature.Lamport.keygen (Rng.create ~seed:("optn-key-pool-" ^ string_of_int i))))
+   pool instead of regenerating 16 KiB of preimages per trial.  The pool is
+   a pure function of its fixed seeds, so it lives in the preprocessing
+   cache: materialised once per process, shared read-only across trials and
+   domains.  The hex verification key the wire format ships (32 KiB per
+   encode) is equally static and is precomputed alongside each entry. *)
+type pool_key = {
+  sk : Signature.Lamport.secret_key;
+  vk_hex : string;
+  none_framed : string;  (* [Wire.frame ["none"; vk_hex]], static per key *)
+}
 
-(* Monte-Carlo trials may run on several domains; forcing a lazy
-   concurrently raises, so the pool is materialised under a lock. *)
-let key_pool_lock = Mutex.create ()
-let key_pool () = Mutex.protect key_pool_lock (fun () -> Lazy.force key_pool)
+let pool_size = 16
+let key_pool_slot : pool_key array Fair_exec.Prep.slot = Fair_exec.Prep.slot ~name:"optn-key-pool"
+
+let key_pool () =
+  Fair_exec.Prep.get key_pool_slot ~key:(string_of_int pool_size) (fun () ->
+      Array.init pool_size (fun i ->
+          let sk, pk =
+            Signature.Lamport.keygen (Rng.create ~seed:("optn-key-pool-" ^ string_of_int i))
+          in
+          let vk_hex = Sha256.to_hex (Signature.Lamport.public_key_to_string pk) in
+          { sk; vk_hex; none_framed = Wire.frame [ "none"; vk_hex ] }))
 
 (* F^⊥_priv-sfe outputs: party i* gets (y, σ, vk); everyone else (⊥, vk). *)
 let priv_outputs (func : Func.t) rng ~inputs =
   let n = func.Func.arity in
   let y = Func.eval_exn func inputs in
   let pool = key_pool () in
-  let sk, pk = pool.(Rng.int rng (Array.length pool)) in
-  let vk = Sha256.to_hex (Signature.Lamport.public_key_to_string pk) in
-  let signature = Sha256.to_hex (Signature.Lamport.signature_to_string (Signature.Lamport.sign sk y)) in
+  let k = pool.(Rng.int rng (Array.length pool)) in
+  let signature =
+    Sha256.to_hex (Signature.Lamport.signature_to_string (Signature.Lamport.sign k.sk y))
+  in
   let star = 1 + Rng.int rng n in
   Array.init n (fun i ->
-      if i + 1 = star then Wire.frame [ "val"; y; signature; vk ]
-      else Wire.frame [ "none"; vk ])
+      if i + 1 = star then Wire.frame [ "val"; y; signature; k.vk_hex ] else k.none_framed)
 
 type holding = Value of string * string (* y, signature hex *) | Nothing
 
@@ -80,21 +92,18 @@ let optn_party (_func : Func.t) ~rng:_ ~id:_ ~n:_ ~input ~setup:_ =
             | None -> (st, []))
       | Some holding ->
           if round = st.received_round + 1 then begin
-            (* Collect announcements; adopt a validly signed value. *)
-            let pk =
-              Signature.Lamport.public_key_of_string (Sha256.of_hex st.vk)
-            in
+            (* Collect announcements; adopt a validly signed value.  Every
+               party verifies the same announcement (and trials reuse pool
+               keys), so verification goes through the memoized wire-form
+               verifier — same verdicts, no repeated 32 KiB key parses. *)
             let valid =
               List.find_map
                 (fun (_, payload) ->
                   match Wire.unframe payload with
-                  | [ "announce"; y; signature ] -> (
-                      match
-                        Signature.Lamport.signature_of_string (Sha256.of_hex signature)
-                      with
-                      | s when Signature.Lamport.verify pk y s -> Some y
-                      | _ -> None
-                      | exception Invalid_argument _ -> None)
+                  | [ "announce"; y; signature ]
+                    when Signature.Lamport.Verifier.verify_hex ~pk_hex:st.vk ~msg:y
+                           ~signature_hex:signature ->
+                      Some y
                   | _ | (exception Invalid_argument _) -> None)
                 inbox
             in

@@ -268,6 +268,43 @@ let test_pool_stats () =
     (fun w -> Alcotest.(check bool) "busy time non-negative" true (w.Parallel.busy_ns >= 0))
     (after.Parallel.caller :: after.Parallel.workers)
 
+(* A participant that never ran (busy and idle both 0) must still carry a
+   numeric utilization — 0/0 would render NaN, which is not JSON, and a
+   missing field makes every consumer branch.  Round-trip through the
+   parser to prove the emitted document stays well-formed. *)
+let test_pool_utilization_clamped () =
+  let zero = { Parallel.tasks = 0; busy_ns = 0; idle_ns = 0 } in
+  let stats =
+    { Parallel.spawned = 1;
+      pooled_batches = 0;
+      seq_batches = 0;
+      inline_batches = 0;
+      requeued = 0;
+      caller = { Parallel.tasks = 3; busy_ns = 750; idle_ns = 250 };
+      workers = [ zero ] }
+  in
+  let doc = Obs_json.pool stats in
+  match Json.of_string (Json.to_string doc) with
+  | Error e -> Alcotest.failf "pool JSON does not re-parse: %s" e
+  | Ok j ->
+      let util of_whom =
+        match Json.(Result.bind (member of_whom j) (member "utilization")) with
+        | Ok (Json.Num u) -> u
+        | Ok _ -> Alcotest.failf "%s utilization not a number" of_whom
+        | Error e -> Alcotest.failf "%s: %s" of_whom e
+      in
+      Alcotest.(check (float 1e-12)) "caller utilization" 0.75 (util "caller");
+      (match Json.member "workers" j with
+      | Ok (Json.List [ w ]) -> (
+          match Json.member "utilization" w with
+          | Ok (Json.Num u) ->
+              Alcotest.(check (float 0.0)) "idle worker clamps to 0.0" 0.0 u
+          | _ -> Alcotest.fail "idle worker lost its utilization field")
+      | _ -> Alcotest.fail "workers list shape");
+      (match Json.member "seq_batches" j with
+      | Ok (Json.Num _) -> ()
+      | _ -> Alcotest.fail "seq_batches field missing")
+
 let test_obs_json_documents () =
   quiesce ();
   Metrics.enable ();
@@ -313,4 +350,6 @@ let () =
             test_zero_perturbation;
           Alcotest.test_case "racing round log" `Quick test_racing_round_log;
           Alcotest.test_case "pool stats" `Quick test_pool_stats;
+          Alcotest.test_case "pool utilization clamped + round-trips" `Quick
+            test_pool_utilization_clamped;
           Alcotest.test_case "obs JSON documents" `Quick test_obs_json_documents ] ) ]

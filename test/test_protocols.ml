@@ -139,6 +139,26 @@ let test_optn_per_t () =
       close (Printf.sprintf "optn t=%d" t) e.Mc.utility (Bounds.optn gamma ~n ~t))
     (Adv.greedy_per_t ~func ~n ())
 
+(* Golden regression: the exact trial stream captured before the arena /
+   Prep-cache / memoized-verification fast paths landed.  The fast paths
+   are pure refactors of the same computation, so every one of these
+   numbers must stay bitwise — a drift here means per-trial randomness or
+   message scheduling changed, which silently invalidates every recorded
+   experiment table. *)
+let test_optn_golden_stream () =
+  let func = Func.concat ~n:3 in
+  let e =
+    Mc.estimate ~jobs:1
+      ~protocol:(Fair_protocols.Optn.hybrid func)
+      ~adversary:(Adv.greedy ~func (Adv.Random_subset 2))
+      ~func ~gamma ~env:(Mc.uniform_field_inputs ~n:3) ~trials:120 ~seed:42 ()
+  in
+  Alcotest.(check (float 0.0)) "utility" 0.81666666666666665 e.Mc.utility;
+  Alcotest.(check (float 0.0)) "std_err" 0.022087594060721583 e.Mc.std_err;
+  Alcotest.(check int) "trials" 120 e.Mc.trials;
+  Alcotest.(check bool) "event counts" true (e.Mc.counts = [ (Events.E10, 76); (Events.E11, 44) ]);
+  Alcotest.(check bool) "corrupted counts" true (e.Mc.corrupted_counts = [ (2, 120) ])
+
 (* --------------------------- gmw-half -------------------------------- *)
 
 let test_gmw_half_honest () =
@@ -328,7 +348,8 @@ let () =
           Alcotest.test_case "SPDZ composition" `Slow test_opt2_spdz_composition ] );
       ( "optn",
         [ Alcotest.test_case "honest execution" `Quick test_optn_honest;
-          Alcotest.test_case "per-coalition bounds" `Slow test_optn_per_t ] );
+          Alcotest.test_case "per-coalition bounds" `Slow test_optn_per_t;
+          Alcotest.test_case "golden trial stream unchanged" `Quick test_optn_golden_stream ] );
       ( "gmw_half",
         [ Alcotest.test_case "honest execution" `Quick test_gmw_half_honest;
           Alcotest.test_case "Lemma 17 profile" `Slow test_gmw_half_profile;
