@@ -167,6 +167,88 @@ let run_parallel_comparison () =
     stats_delta s_before (Pl.pool_stats ()) )
 
 (* ------------------------------------------------------------------ *)
+(* Part 1c: the certificate service — cold vs cached query latency     *)
+(* ------------------------------------------------------------------ *)
+
+(* An in-process daemon on a temp socket, measured from the client side:
+   the cold query pays the full Monte-Carlo race, the cached query is a
+   content-address lookup plus two frames on a Unix socket — the gap
+   between those two numbers is the service's whole reason to exist.  The
+   4-client row stresses the connection layer: every query is a hit, so
+   throughput is limited by framing and scheduling, not by compute. *)
+type service_bench = {
+  svc_budget : int;
+  svc_cold_seconds : float;
+  svc_cached_seconds : float;  (* one warm query, same connection *)
+  svc_cached_per_s : float;  (* sustained warm queries/s, 1 client *)
+  svc_qps_4clients : float;  (* sustained warm queries/s, 4 concurrent clients *)
+}
+
+let run_service_bench () =
+  let module S = Fair_service in
+  print_endline "=== Certificate service: cold vs cached query ===\n";
+  let socket =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "fair-bench-%d.sock" (Unix.getpid ()))
+  in
+  let server = S.Server.start ~socket ~jobs:Fairness.Parallel.default_jobs () in
+  let budget = 2000 in
+  let q =
+    { S.Proto.q_kind = S.Proto.Search; q_experiment = "E1"; q_budget = budget;
+      q_seed = 42; q_zoo = false; q_fresh = false }
+  in
+  let connect () =
+    match S.Client.connect ~socket ~timeout:300.0 () with
+    | Ok c -> c
+    | Error e -> failwith ("service bench: " ^ e)
+  in
+  let query c =
+    match S.Client.query c q with
+    | Ok r -> r
+    | Error f -> failwith ("service bench: " ^ S.Failure.to_string f)
+  in
+  let wall f =
+    let t0 = Fair_obs.Clock.now_ns () in
+    let r = f () in
+    (r, Fair_obs.Clock.elapsed_s ~since_ns:t0)
+  in
+  let c = connect () in
+  let r_cold, t_cold = wall (fun () -> query c) in
+  assert (not r_cold.S.Proto.r_cached);
+  let r_warm, t_warm = wall (fun () -> query c) in
+  assert r_warm.S.Proto.r_cached;
+  let reps = 200 in
+  let (), t_sustained = wall (fun () -> for _ = 1 to reps do ignore (query c) done) in
+  S.Client.close c;
+  let clients = 4 in
+  let (), t_conc =
+    wall (fun () ->
+        let threads =
+          List.init clients (fun _ ->
+              Thread.create
+                (fun () ->
+                  let c = connect () in
+                  for _ = 1 to reps do ignore (query c) done;
+                  S.Client.close c)
+                ())
+        in
+        List.iter Thread.join threads)
+  in
+  S.Server.stop server;
+  let cached_per_s = float_of_int reps /. t_sustained in
+  let qps4 = float_of_int (clients * reps) /. t_conc in
+  Printf.printf "  cold  (E1 search, budget %d)   %8.3f s\n" budget t_cold;
+  Printf.printf "  cached                          %8.6f s   (%.0fx faster)\n" t_warm
+    (t_cold /. t_warm);
+  Printf.printf "  cached sustained, 1 client      %8.0f queries/s\n" cached_per_s;
+  Printf.printf "  cached sustained, %d clients     %8.0f queries/s\n\n" clients qps4;
+  { svc_budget = budget;
+    svc_cold_seconds = t_cold;
+    svc_cached_seconds = t_warm;
+    svc_cached_per_s = cached_per_s;
+    svc_qps_4clients = qps4 }
+
+(* ------------------------------------------------------------------ *)
 (* Part 2: timing kernels                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -422,7 +504,9 @@ let run_timings () =
    regressions can be tracked across commits without scraping stdout.
    Schema 2 adds the observability sections: the metrics-registry snapshot
    of the Monte-Carlo comparison run (with per-worker pool utilization)
-   and the derived disabled-hook overhead of the obs/* kernels. *)
+   and the derived disabled-hook overhead of the obs/* kernels.  Schema 3
+   adds the service section: cold- vs cached-query latency and sustained
+   cached throughput at 1 and 4 concurrent clients. *)
 let kernel_ns kernels suffix =
   List.find_map
     (fun (name, ns) ->
@@ -433,7 +517,7 @@ let kernel_ns kernels suffix =
       else None)
     kernels
 
-let write_json ~path mc ~obs_metrics ~obs_pool kernels =
+let write_json ~path mc ~svc ~obs_metrics ~obs_pool kernels =
   let module J = Fairness.Json in
   let overhead =
     match (kernel_ns kernels "crypto/sha256-256B", kernel_ns kernels "obs/sha256-256B-span-disabled") with
@@ -443,7 +527,7 @@ let write_json ~path mc ~obs_metrics ~obs_pool kernels =
   in
   let json =
     J.Obj
-      [ ("schema", J.Str "fairness-bench/2");
+      [ ("schema", J.Str "fairness-bench/3");
         ( "montecarlo",
           J.Obj
             [ ("kernel", J.Str "optn-n5-vs-greedy-t4");
@@ -459,6 +543,14 @@ let write_json ~path mc ~obs_metrics ~obs_pool kernels =
               ("degraded", J.Bool mc.degraded);
               ("par_pooled_batches", J.num_int mc.par_pooled_batches);
               ("par_inline_batches", J.num_int mc.par_inline_batches) ] );
+        ( "service",
+          J.Obj
+            [ ("kernel", J.Str "E1-search");
+              ("budget", J.num_int svc.svc_budget);
+              ("cold_query_seconds", J.Num svc.svc_cold_seconds);
+              ("cached_query_seconds", J.Num svc.svc_cached_seconds);
+              ("cached_queries_per_sec", J.Num svc.svc_cached_per_s);
+              ("cached_queries_per_sec_4_clients", J.Num svc.svc_qps_4clients) ] );
         ("metrics", obs_metrics);
         ("pool", obs_pool);
         ( "kernels",
@@ -488,5 +580,6 @@ let () =
      exercises the pool and would drown the numbers of interest). *)
   let obs_pool = Fairness.Obs_json.pool pool_delta in
   Fair_obs.Metrics.disable ();
+  let svc = run_service_bench () in
   let kernels = run_timings () in
-  write_json ~path:"BENCH_mc.json" mc ~obs_metrics ~obs_pool kernels
+  write_json ~path:"BENCH_mc.json" mc ~svc ~obs_metrics ~obs_pool kernels

@@ -346,9 +346,186 @@ let demos_cmd =
     (Cmd.info "demos" ~doc:"List the available protocol demos and their strategies.")
     Term.(const run $ const ())
 
+(* ------------------------------------------------------------------ *)
+(* The service: `fairness serve` / `fairness query`                    *)
+
+let socket_arg =
+  let doc = "Unix-domain socket path of the certificate server." in
+  Arg.(value & opt string "fairness.sock" & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let serve_cmd =
+  let cache_dir_arg =
+    let doc =
+      "Spill cache entries to $(docv) (created if missing): entries evicted from memory \
+       stay answerable across restarts, content-addressed by query key."
+    in
+    Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+  in
+  let capacity_arg =
+    let doc = "In-memory cache capacity (LRU-evicted beyond this)." in
+    Arg.(value & opt int 256 & info [ "cache-capacity" ] ~docv:"N" ~doc)
+  in
+  let queue_limit_arg =
+    let doc =
+      "Bounded admission queue: past $(docv) pending queries, new ones are answered with \
+       an explicit `overloaded' error instead of queueing without bound."
+    in
+    Arg.(value & opt int 64 & info [ "queue-limit" ] ~docv:"N" ~doc)
+  in
+  let run socket cache_dir capacity queue_limit jobs =
+    let cache = Fair_service.Cache.create ~capacity ?dir:cache_dir () in
+    let server =
+      try Fair_service.Server.start ~socket ~cache ~queue_limit ~jobs ()
+      with Unix.Unix_error (e, _, _) ->
+        Printf.eprintf "cannot listen on %s: %s\n" socket (Unix.error_message e);
+        exit 1
+    in
+    Printf.eprintf "fairness service listening on %s (cache %d%s, queue %d, jobs %d)\n%!"
+      socket capacity
+      (match cache_dir with Some d -> Printf.sprintf ", spill %s" d | None -> "")
+      queue_limit jobs;
+    let stop = ref false in
+    let on_signal _ = stop := true in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+    while not !stop do
+      Thread.delay 0.2
+    done;
+    prerr_endline "shutting down";
+    Fair_service.Server.stop server;
+    0
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the fairness certificate server: a daemon answering search/run queries over a \
+          Unix-domain socket, with a content-addressed certificate cache and fair \
+          (round-robin, coalescing) scheduling of cache misses onto the domain pool.  \
+          Results are byte-identical to the CLI at the same seed.")
+    Term.(const run $ socket_arg $ cache_dir_arg $ capacity_arg $ queue_limit_arg $ jobs_arg)
+
+let query_cmd =
+  let module S = Fair_service in
+  let id_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc:"Experiment id (e.g. E2).")
+  in
+  let kind_arg =
+    let doc =
+      "What to compute: `search' races the adversary space and returns the certificate \
+       (ids without a search target are usage errors); `run' executes the experiment and \
+       returns its result as JSON."
+    in
+    Arg.(
+      value
+      & opt (enum [ ("search", S.Proto.Search); ("run", S.Proto.Run) ]) S.Proto.Search
+      & info [ "kind" ] ~docv:"KIND" ~doc)
+  in
+  let budget_arg =
+    let doc = "Trial budget: total racing budget for `search', trials for `run'." in
+    Arg.(value & opt int 20_000 & info [ "b"; "budget" ] ~docv:"B" ~doc)
+  in
+  let zoo_arg =
+    let doc = "Race the fixed adversary zoo as extra arms (search only)." in
+    Arg.(value & flag & info [ "zoo" ] ~doc)
+  in
+  let fresh_arg =
+    let doc = "Bypass the server's cache: recompute and overwrite the entry." in
+    Arg.(value & flag & info [ "fresh" ] ~doc)
+  in
+  let no_daemon_arg =
+    let doc =
+      "Compute inline in this process instead of talking to a server — same code path the \
+       daemon's executor uses, hence byte-identical output."
+    in
+    Arg.(value & flag & info [ "no-daemon" ] ~doc)
+  in
+  let progress_arg =
+    let doc = "Print the Monte-Carlo convergence stream to stderr as it arrives." in
+    Arg.(value & flag & info [ "progress" ] ~doc)
+  in
+  let timeout_arg =
+    let doc = "Give up on the server after $(docv) seconds of silence." in
+    Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  let exit_of_failure = function
+    | S.Failure.Unknown_query _ -> 2
+    | S.Failure.Overloaded _ | S.Failure.Query_failed _ | S.Failure.Connection_lost _
+    | S.Failure.Malformed_frame _ ->
+        1
+  in
+  let run id kind budget zoo fresh no_daemon progress timeout socket seed jobs =
+    let q =
+      {
+        S.Proto.q_kind = kind;
+        q_experiment = id;
+        q_budget = budget;
+        q_seed = seed;
+        q_zoo = zoo;
+        q_fresh = fresh;
+      }
+    in
+    if no_daemon then begin
+      match S.Handlers.answer ~jobs q with
+      | Ok (body, ok) ->
+          print_string body;
+          if ok then 0 else 1
+      | Error f ->
+          prerr_endline (S.Failure.to_string f);
+          exit_of_failure f
+    end
+    else begin
+      match S.Client.connect ~socket ?timeout () with
+      | Error msg ->
+          (* A dead socket is an operational failure (1), not a usage error,
+             and never a raw Unix_error backtrace. *)
+          prerr_endline msg;
+          1
+      | Ok client ->
+          let on_progress (p : S.Proto.progress) =
+            if progress then
+              Printf.eprintf "progress: %d trials (+%d) mean %.4f ±%.4f\n%!"
+                p.S.Proto.p_after p.S.Proto.p_batch p.S.Proto.p_mean p.S.Proto.p_std_err
+          in
+          let r = S.Client.query client ~on_progress q in
+          S.Client.close client;
+          (match r with
+          | Ok res ->
+              if progress && res.S.Proto.r_cached then
+                Printf.eprintf "cache hit (key %s)\n%!" res.S.Proto.r_key;
+              print_string res.S.Proto.r_body;
+              if res.S.Proto.r_ok then 0 else 1
+          | Error f ->
+              prerr_endline (S.Failure.to_string f);
+              exit_of_failure f)
+    end
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:
+         "Ask the certificate server for a search certificate or an experiment run.  \
+          Repeated queries with the same parameters are served from the content-addressed \
+          cache; --fresh forces recomputation; --no-daemon computes inline without a server.")
+    Term.(
+      const run $ id_arg $ kind_arg $ budget_arg $ zoo_arg $ fresh_arg $ no_daemon_arg
+      $ progress_arg $ timeout_arg $ socket_arg $ seed_arg $ jobs_arg)
+
 let main =
   let doc = "Reproduction harness for 'How Fair is Your Protocol?' (PODC 2015)" in
-  Cmd.group (Cmd.info "fairness" ~version:"1.0.0" ~doc)
-    [ list_cmd; run_cmd; all_cmd; search_cmd; chaos_cmd; demo_cmd; demos_cmd; sweep_cmd ]
+  let man =
+    [
+      `S "EXIT STATUS";
+      `P
+        "Every subcommand follows one convention: $(b,0) — success (all paper bounds hold, \
+         the query was answered); $(b,1) — a fairness bound violation, a failed check, or an \
+         operational failure (server overloaded, unreachable, or lost mid-stream); $(b,2) — \
+         usage error (unknown experiment id, malformed --faults spec, a query kind the \
+         experiment does not support).";
+    ]
+  in
+  Cmd.group (Cmd.info "fairness" ~version:"1.0.0" ~doc ~man)
+    [
+      list_cmd; run_cmd; all_cmd; search_cmd; chaos_cmd; demo_cmd; demos_cmd; sweep_cmd;
+      serve_cmd; query_cmd;
+    ]
 
 let () = exit (Cmd.eval' main)

@@ -1,0 +1,164 @@
+(* @service-smoke — the certificate server end to end, in-process:
+
+     1. cold query  → computed (not cached), progress frames streamed;
+     2. warm query  → cache hit, byte-identical, answered without the
+        scheduler or the domain pool moving (asserted on the server's own
+        stats: cache.hits +1, pool counters frozen);
+     3. byte identity → the same query computed inline (`query
+        --no-daemon` path) at two different -j values matches the served
+        bytes exactly;
+     4. chaos isolation → a connection feeding the server a truncated
+        frame gets a structured `malformed-frame` error while a
+        concurrent clean connection's cold query completes correctly, and
+        a scripted client crash mid-stream leaves the server serving.
+
+   Exit 0 only if every assertion holds. *)
+
+module S = Fair_service
+module Json = Fairness.Json
+
+let fail fmt =
+  Printf.ksprintf
+    (fun m ->
+      prerr_endline ("service-smoke: FAIL — " ^ m);
+      exit 1)
+    fmt
+
+let member k = function
+  | Json.Obj kv -> (
+      match List.assoc_opt k kv with
+      | Some v -> v
+      | None -> fail "stats reply has no %S field" k)
+  | _ -> fail "stats reply is not an object"
+
+let int_member k j =
+  match Json.to_int (member k j) with
+  | Ok n -> n
+  | Result.Error e -> fail "stats field %S: %s" k e
+
+let query =
+  {
+    S.Proto.q_kind = S.Proto.Search;
+    q_experiment = "E1";
+    q_budget = 2000;
+    q_seed = 42;
+    q_zoo = false;
+    q_fresh = false;
+  }
+
+let connect ~socket () =
+  match S.Client.connect ~socket ~timeout:120.0 () with
+  | Ok c -> c
+  | Result.Error e -> fail "%s" e
+
+let plan_of spec =
+  match Fair_faults.Faults.parse spec with
+  | Ok p -> p
+  | Result.Error e -> fail "bad fault spec %S: %s" spec e
+
+let () =
+  let socket =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "fair-svc-%d.sock" (Unix.getpid ()))
+  in
+  let cache = S.Cache.create ~capacity:8 ~dir:"svc-cache" () in
+  let server = S.Server.start ~socket ~cache ~queue_limit:8 ~jobs:2 () in
+
+  (* 1 — cold query: computed, progress streamed. *)
+  let c1 = connect ~socket () in
+  let progress = ref 0 in
+  let r1 =
+    match S.Client.query c1 ~on_progress:(fun _ -> incr progress) query with
+    | Ok r -> r
+    | Result.Error f -> fail "cold query: %s" (S.Failure.to_string f)
+  in
+  if r1.S.Proto.r_cached then fail "cold query claimed to be a cache hit";
+  if !progress = 0 then fail "no progress frames streamed during the cold query";
+
+  (* 2 — warm query: a hit, byte-identical, pool and scheduler untouched. *)
+  let stats_before =
+    match S.Client.stats c1 with
+    | Ok j -> j
+    | Result.Error f -> fail "stats: %s" (S.Failure.to_string f)
+  in
+  let r2 =
+    match S.Client.query c1 query with
+    | Ok r -> r
+    | Result.Error f -> fail "warm query: %s" (S.Failure.to_string f)
+  in
+  if not r2.S.Proto.r_cached then fail "repeated query was not served from the cache";
+  if r2.S.Proto.r_body <> r1.S.Proto.r_body then
+    fail "cached certificate differs from the computed one";
+  if r2.S.Proto.r_key <> r1.S.Proto.r_key then fail "cache key changed between identical queries";
+  let stats_after =
+    match S.Client.stats c1 with
+    | Ok j -> j
+    | Result.Error f -> fail "stats: %s" (S.Failure.to_string f)
+  in
+  let hits_delta =
+    int_member "hits" (member "cache" stats_after) - int_member "hits" (member "cache" stats_before)
+  in
+  if hits_delta < 1 then fail "service.cache.hits did not increase on the warm query";
+  let pool_frozen =
+    Json.to_string (member "pool" stats_before) = Json.to_string (member "pool" stats_after)
+  in
+  if not pool_frozen then fail "the warm query touched the domain pool";
+
+  (* 3 — byte identity with the inline (--no-daemon) path, at two -j values. *)
+  let inline jobs =
+    match S.Handlers.answer ~jobs query with
+    | Ok (body, _) -> body
+    | Result.Error f -> fail "inline compute: %s" (S.Failure.to_string f)
+  in
+  if inline 2 <> r1.S.Proto.r_body then fail "socket and inline bytes differ";
+  if inline 1 <> r1.S.Proto.r_body then fail "inline bytes depend on -j";
+
+  (* 4a — truncated frame: structured error on that connection, while a
+     concurrent clean connection's cold query completes. *)
+  let clean_result = ref None in
+  let clean_thread =
+    Thread.create
+      (fun () ->
+        let c = connect ~socket () in
+        let q2 = { query with S.Proto.q_experiment = "E2" } in
+        clean_result := Some (S.Client.query c q2);
+        S.Client.close c)
+      ()
+  in
+  let cbad = connect ~socket () in
+  S.Client.set_chaos cbad (S.Chaos.create (plan_of "trunc@1") ~rng:(Fair_crypto.Rng.of_int_seed 7));
+  (match S.Client.query cbad query with
+  | Ok _ -> fail "a truncated frame was still answered with a result"
+  | Result.Error (S.Failure.Malformed_frame _) -> ()
+  | Result.Error (S.Failure.Connection_lost _) -> ()  (* teardown raced the error frame *)
+  | Result.Error f -> fail "truncated frame: unexpected failure %s" (S.Failure.to_string f));
+  S.Client.close cbad;
+  Thread.join clean_thread;
+  (match !clean_result with
+  | Some (Ok r) when not r.S.Proto.r_cached -> ()
+  | Some (Ok _) -> fail "concurrent clean query unexpectedly cached"
+  | Some (Result.Error f) ->
+      fail "clean connection failed alongside the faulty one: %s" (S.Failure.to_string f)
+  | None -> fail "clean connection never answered");
+
+  (* 4b — scripted client crash mid-stream; the server must keep serving. *)
+  let ccrash = connect ~socket () in
+  S.Client.set_chaos ccrash (S.Chaos.create (plan_of "crash@2:p1") ~rng:(Fair_crypto.Rng.of_int_seed 9));
+  (match S.Client.ping ccrash with
+  | Ok () -> ()
+  | Result.Error f -> fail "pre-crash ping: %s" (S.Failure.to_string f));
+  (match S.Client.query ccrash query with
+  | Result.Error (S.Failure.Connection_lost _) -> ()
+  | Ok _ -> fail "crashed client still got an answer"
+  | Result.Error f -> fail "client crash: unexpected failure %s" (S.Failure.to_string f));
+  (match S.Client.ping c1 with
+  | Ok () -> ()
+  | Result.Error f -> fail "server down after client crash: %s" (S.Failure.to_string f));
+
+  S.Client.close c1;
+  S.Server.stop server;
+  Printf.printf
+    "service-smoke: OK — cold compute streamed %d progress frames; warm query was a cache hit \
+     (+%d hits, pool frozen) with byte-identical certificate; inline bytes match at -j 1 and \
+     -j 2; truncated frame and client crash stayed isolated to their connections\n"
+    !progress hits_delta

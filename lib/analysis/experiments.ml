@@ -95,6 +95,39 @@ let to_markdown r =
   List.iter (fun n -> Buffer.add_string b (Printf.sprintf "\n*%s*\n" n)) r.notes;
   Buffer.contents b
 
+(* JSON rendering: the certificate service serves experiment results over
+   the wire, and the body must be a stable, diffable byte string (cache
+   hits are byte-compared against fresh computes).  Key order is therefore
+   fixed and every field is emitted even when empty. *)
+let result_to_json r =
+  let module J = Json in
+  let kind_str = function `Equals -> "equals" | `At_most -> "at-most" | `At_least -> "at-least" in
+  let check_json c =
+    J.Obj
+      [ ("label", J.Str c.label);
+        ("measured", J.Num c.measured);
+        ("expected", J.Num c.expected);
+        ("tolerance", J.Num c.tolerance);
+        ("kind", J.Str (kind_str c.kind));
+        ("ok", J.Bool c.ok) ]
+  in
+  J.Obj
+    [ ("id", J.Str r.id);
+      ("title", J.Str r.title);
+      ("claim", J.Str (squash r.claim));
+      ("checks", J.List (List.map check_json r.checks));
+      ("notes", J.List (List.map (fun n -> J.Str n) r.notes));
+      ( "rows",
+        match r.rows with
+        | None -> J.Null
+        | Some (header, rows) ->
+            J.Obj
+              [ ("header", J.List (List.map (fun h -> J.Str h) header));
+                ( "rows",
+                  J.List (List.map (fun row -> J.List (List.map (fun c -> J.Str c) row)) rows)
+                ) ] );
+      ("all_ok", J.Bool (all_ok r)) ]
+
 let gamma = Payoff.default
 let env_n n = Mc.uniform_field_inputs ~n
 

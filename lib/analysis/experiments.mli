@@ -34,6 +34,12 @@ val pp : Format.formatter -> result -> unit
 
 val to_markdown : result -> string
 
+val result_to_json : result -> Fairness.Json.t
+(** Stable machine-readable rendering (fixed key order, every field present)
+    — the wire body the certificate service ({!Fair_service}) serves for
+    [run]-kind queries, where cache hits are byte-compared against fresh
+    computes. *)
+
 (** {2 Best-response search integration}
 
     The registry's headline numbers are suprema over adversaries; a

@@ -79,6 +79,14 @@ let to_string ?(indent = true) v =
 
 exception Parse of int * string
 
+(* The parser is a wire-format boundary (service requests arrive here
+   straight off a socket), so malformed input must fail with a typed
+   [Error], never leak an exception.  Recursion depth is the one resource a
+   hostile document controls — ["[[[[..."] recurses once per byte — so
+   nesting is capped well below any stack limit.  255 is far beyond any
+   document we emit (certificates nest < 10 deep). *)
+let max_depth = 255
+
 let of_string s =
   let n = String.length s in
   let pos = ref 0 in
@@ -160,7 +168,8 @@ let of_string s =
     | Some f -> f
     | None -> fail "malformed number"
   in
-  let rec parse_value () =
+  let rec parse_value depth =
+    if depth > max_depth then fail "nesting too deep";
     skip_ws ();
     match peek () with
     | None -> fail "unexpected end of input"
@@ -174,7 +183,7 @@ let of_string s =
         if peek () = Some ']' then begin advance (); List [] end
         else
           let rec items acc =
-            let v = parse_value () in
+            let v = parse_value (depth + 1) in
             skip_ws ();
             match peek () with
             | Some ',' -> advance (); items (v :: acc)
@@ -192,7 +201,7 @@ let of_string s =
             let k = parse_string () in
             skip_ws ();
             expect ':';
-            (k, parse_value ())
+            (k, parse_value (depth + 1))
           in
           let rec items acc =
             let kv = pair () in
@@ -206,7 +215,7 @@ let of_string s =
     | Some _ -> Num (parse_number ())
   in
   match
-    let v = parse_value () in
+    let v = parse_value 0 in
     skip_ws ();
     if !pos <> n then fail "trailing garbage";
     v

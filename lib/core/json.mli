@@ -27,7 +27,15 @@ val to_string : ?indent:bool -> t -> string
 
 val of_string : string -> (t, string) result
 (** Parses exactly one JSON value (trailing whitespace allowed).  Errors
-    carry a byte offset. *)
+    carry a byte offset.  Total on arbitrary bytes: malformed input —
+    including nesting deeper than {!max_depth}, which would otherwise turn
+    attacker-controlled input into unbounded recursion — yields [Error],
+    never an exception (fuzz-locked in [test/test_fuzz.ml]; the parser is a
+    wire-format boundary for {!Fair_service}). *)
+
+val max_depth : int
+(** Maximum container nesting {!of_string} accepts (255 — our own emitters
+    stay below 10). *)
 
 (** Accessors: [Error] describes the type mismatch or missing key. *)
 

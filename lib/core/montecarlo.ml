@@ -164,6 +164,26 @@ let fatal = function
   | Stack_overflow | Out_of_memory | Assert_failure _ -> true
   | _ -> false
 
+(* Progress hook: an observation-only tap on the convergence stream, for
+   consumers (the certificate service) that want to surface liveness while
+   an estimate runs.  Strictly output-side: the hook is consulted only
+   after a range has been accumulated, never touches an RNG, and never
+   influences chunking or stopping — estimates are bit-identical with any
+   hook installed (the same invariant the obs layer keeps).  [sample] fires
+   it too, so racing-based searches report per-pull progress.  The hook may
+   fire from a pool worker domain (racing pulls arms through the pool);
+   implementations must be domain-safe.  A raising hook is contained: the
+   exception is swallowed (fatal ones still propagate) so telemetry can
+   never kill an estimate. *)
+let progress_hook : (convergence_point -> unit) option Atomic.t = Atomic.make None
+
+let set_progress_hook h = Atomic.set progress_hook h
+
+let fire_progress p =
+  match Atomic.get progress_hook with
+  | None -> ()
+  | Some f -> ( try f p with e when not (fatal e) -> ())
+
 (* One classified trial, decoupled from any accumulator so paired designs
    ({!Crn}) can observe the same (seed, i) stream under several
    configurations.  Returns [None] when the trial raised (trial-level
@@ -276,6 +296,11 @@ let estimate ?(overrides = Events.no_overrides) ?(jobs = Parallel.default_jobs)
   | None ->
       let a = run ~lo:0 ~hi:trials (acc_create ()) in
       check_budget ~fault_budget a;
+      fire_progress
+        { after = a.count;
+          batch = a.count;
+          running_mean = a.mean;
+          running_std_err = acc_std_err a };
       acc_finalize a
   | Some target ->
       if target <= 0.0 then invalid_arg "Montecarlo.estimate: target_std_err <= 0";
@@ -292,13 +317,14 @@ let estimate ?(overrides = Events.no_overrides) ?(jobs = Parallel.default_jobs)
         let before_observed = acc.count in
         let before = acc.count + acc.faulted in
         let acc = run ~lo:before ~hi:total acc in
-        let points =
+        let point =
           { after = acc.count;
             batch = acc.count - before_observed;
             running_mean = acc.mean;
             running_std_err = acc_std_err acc }
-          :: points
         in
+        fire_progress point;
+        let points = point :: points in
         if acc_std_err acc <= target || total >= cap then begin
           check_budget ~fault_budget acc;
           acc_finalize ~trajectory:(List.rev points) acc
@@ -335,7 +361,15 @@ end
 let sample ?(overrides = Events.no_overrides) ?(jobs = Parallel.default_jobs) ?inject
     ~protocol ~adversary ~func ~gamma ~env ~seed ~lo ~hi acc =
   if lo < 0 || hi < lo then invalid_arg "Montecarlo.sample: bad range";
-  run_range ~overrides ~inject ~protocol ~adversary ~func ~gamma ~env ~seed ~jobs ~lo ~hi acc
+  let acc =
+    run_range ~overrides ~inject ~protocol ~adversary ~func ~gamma ~env ~seed ~jobs ~lo ~hi acc
+  in
+  fire_progress
+    { after = acc.count;
+      batch = hi - lo;
+      running_mean = acc.mean;
+      running_std_err = acc_std_err acc };
+  acc
 
 (* Public face of the trial hook, used by {!Crn} to drive paired designs
    through the exact per-trial stream [estimate] uses. *)

@@ -112,6 +112,18 @@ val estimate :
     [fault_budget] is outside [0,1].
     @raise Fault_budget_exceeded past the budget. *)
 
+val set_progress_hook : (convergence_point -> unit) option -> unit
+(** Install (or clear) a process-wide observation tap on the convergence
+    stream: {!estimate} fires it once per batch (once total for fixed-size
+    runs) and {!sample} once per range, with the running mean/std-err of
+    the deterministically-merged accumulator.  Strictly output-side — the
+    hook sees state only {e after} it is computed, so installing one cannot
+    perturb any estimate (same invariant as {!Fair_obs}).  The hook may be
+    invoked from a pool worker domain (racing pulls arms through the pool);
+    it must be domain-safe.  Non-fatal exceptions raised by the hook are
+    swallowed.  Used by the certificate service ({!Fair_service}) to stream
+    progress frames; defaults to [None]. *)
+
 (** {2 Incremental accumulation}
 
     The best-response racing scheduler ({!Fair_search.Racing}) grows

@@ -1,0 +1,43 @@
+(** The content-addressed certificate cache.
+
+    Maps a content address ({!Proto.cache_key} — a hex SHA-256 covering the
+    question {e and} the code version) to the opaque byte string that
+    answers it.  Because the key covers everything that could move the
+    bytes, a hit can be served verbatim: repeated fairness queries are O(1)
+    string lookups instead of minutes of Monte-Carlo.
+
+    Two tiers.  A bounded in-memory LRU holds the hot set; a spill
+    directory (optional) holds everything ever stored, one file per key
+    ([<key>.entry], written atomically via rename).  Stores write through
+    to disk, so eviction is a pure memory drop and a server restart starts
+    warm.  A disk hit is promoted back into memory.
+
+    Thread-safe (all operations take the cache lock; values are immutable
+    strings).  Counted under [service.cache.{hits,misses,evictions}] (plus
+    [service.cache.disk_hits]) when metrics are enabled, mirrored in
+    {!stats} whether or not the registry is on. *)
+
+type t
+
+type stats = {
+  hits : int;  (** successful lookups (memory or disk) *)
+  misses : int;
+  evictions : int;  (** memory-LRU drops (the entry stays on disk) *)
+  disk_hits : int;  (** subset of [hits] that had to touch the spill dir *)
+  entries : int;  (** current in-memory population *)
+}
+
+val create : ?capacity:int -> ?dir:string -> unit -> t
+(** [capacity] (default 256) bounds the in-memory LRU; [dir] enables disk
+    spill (created, with parents, if missing).
+    @raise Invalid_argument if [capacity < 1]. *)
+
+val find : t -> string -> string option
+(** Lookup by content address; promotes to most-recently-used. *)
+
+val store : t -> key:string -> string -> unit
+(** Insert (or overwrite) an entry; may evict the least-recently-used
+    in-memory entry.  Write-through to [dir] when spill is enabled. *)
+
+val stats : t -> stats
+val dir : t -> string option

@@ -1,0 +1,61 @@
+module Faults = Fair_faults.Faults
+module Wire = Fair_exec.Wire
+
+(* The client is party 1, the server party 2: specs like "flip@1",
+   "drop@*%0.5:1->2" or "crash@2:p1" read exactly as they would against a
+   two-party protocol. *)
+let client_id = 1
+let server_id = 2
+
+type t = {
+  instance : Faults.instance;
+  mutable seq : int;  (* frames offered so far *)
+  mutable delayed : (int * string) list;  (* (due seq, payload), due order *)
+  mutable is_crashed : bool;
+}
+
+let create plan ~rng = { instance = Faults.instantiate plan ~rng; seq = 0; delayed = []; is_crashed = false }
+
+let crashed t = t.is_crashed
+
+let take_due t =
+  let due, still = List.partition (fun (at, _) -> at <= t.seq) t.delayed in
+  t.delayed <- still;
+  List.map snd due
+
+let send t payload =
+  if t.is_crashed then []
+  else begin
+    t.seq <- t.seq + 1;
+    if t.instance.Faults.injector.Fair_exec.Engine.crash ~round:t.seq client_id then begin
+      t.is_crashed <- true;
+      t.delayed <- [];
+      []
+    end
+    else begin
+      let copies =
+        t.instance.Faults.injector.Fair_exec.Engine.on_envelope ~round:t.seq
+          { Wire.src = client_id; dst = Wire.To server_id; payload }
+      in
+      let now = take_due t in
+      let immediate, deferred =
+        List.partition_map
+          (fun (extra, (env : Wire.envelope)) ->
+            if extra <= 0 then Either.Left env.Wire.payload
+            else Either.Right (t.seq + extra, env.Wire.payload))
+          copies
+      in
+      (* Keep the delay queue in due order; ties release in send order. *)
+      t.delayed <-
+        List.stable_sort (fun (a, _) (b, _) -> compare a b) (t.delayed @ deferred);
+      now @ immediate
+    end
+  end
+
+let flush t =
+  if t.is_crashed then []
+  else begin
+    let rest = List.map snd t.delayed in
+    t.delayed <- [];
+    rest
+  end

@@ -1,0 +1,34 @@
+(** {!Fair_faults} pointed at the service's own channel.
+
+    The fault layer's spec grammar and compiled plans operate on engine
+    envelopes; here the "protocol" is the framed socket stream, so the
+    mapping is: one outbound frame = one envelope (src = party 1, the
+    client; dst = party 2, the server), and the rule's round = the 1-based
+    frame sequence number.  [drop]/[dup]/[flip]/[trunc] then mean exactly
+    what they mean on protocol channels — lose, repeat, corrupt or cut the
+    frame payload — [delay+K] holds a frame back until K more frames have
+    been offered (reordering), and [crash@R:p1] is the client crashing
+    mid-stream: from frame R on, nothing is sent and the socket should be
+    torn down abruptly.
+
+    All randomness comes from the generator given to {!create} (the plan's
+    bernoullis, flip positions, truncation points), so a chaos run against
+    the server is as reproducible as a chaos run against a protocol. *)
+
+type t
+
+val create : Fair_faults.Faults.plan -> rng:Fair_crypto.Rng.t -> t
+
+val send : t -> string -> string list
+(** Offer the next outbound frame payload to the faulty channel; returns
+    the payloads to actually write, in order (possibly none, possibly
+    several: duplicates and released delayed frames).  After a crash fires,
+    always returns []. *)
+
+val crashed : t -> bool
+(** A crash rule has fired: the caller should close the socket without
+    flushing. *)
+
+val flush : t -> string list
+(** Frames still held by delay rules, in due order — write them before a
+    {e clean} close (a crashed channel flushes nothing). *)

@@ -1,0 +1,109 @@
+type t = {
+  fd : Unix.file_descr;
+  dec : Frame.Decoder.t;
+  mutable chaos : Chaos.t option;
+  mutable closed : bool;
+}
+
+let connect ~socket ?timeout () =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match
+    Unix.connect fd (Unix.ADDR_UNIX socket);
+    (match timeout with
+    | Some s -> Unix.setsockopt_float fd Unix.SO_RCVTIMEO s
+    | None -> ())
+  with
+  | () -> Ok { fd; dec = Frame.Decoder.create (); chaos = None; closed = false }
+  | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Result.Error
+        (Printf.sprintf "cannot connect to %s: %s" socket (Unix.error_message e))
+
+let set_chaos t ch = t.chaos <- Some ch
+
+let hard_close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let close t =
+  if not t.closed then begin
+    (match t.chaos with
+    | Some ch when not (Chaos.crashed ch) ->
+        List.iter
+          (fun p -> try Frame.write t.fd p with Unix.Unix_error _ | Invalid_argument _ -> ())
+          (Chaos.flush ch)
+    | _ -> ());
+    hard_close t
+  end
+
+let lost reason = Result.Error (Failure.Connection_lost { reason })
+
+let send_request t req =
+  if t.closed then lost "connection already closed"
+  else
+    let payload = Proto.encode_request req in
+    match t.chaos with
+    | None -> (
+        try
+          Frame.write t.fd payload;
+          Ok ()
+        with Unix.Unix_error (e, _, _) -> lost (Unix.error_message e))
+    | Some ch -> (
+        let outs = Chaos.send ch payload in
+        match List.iter (fun p -> Frame.write t.fd p) outs with
+        | () ->
+            if Chaos.crashed ch then begin
+              (* The scripted client crash: vanish abruptly, mid-stream. *)
+              hard_close t;
+              lost "chaos: client crashed"
+            end
+            else Ok ()
+        | exception Unix.Unix_error (e, _, _) -> lost (Unix.error_message e))
+
+let read_response t =
+  if t.closed then lost "connection already closed"
+  else
+    match Frame.read t.fd t.dec with
+    | Ok None -> lost "server closed the connection"
+    | Result.Error reason -> lost reason
+    | Ok (Some payload) -> (
+        match Proto.decode_response payload with
+        | Ok r -> Ok r
+        | Result.Error e -> lost (Printf.sprintf "undecodable response: %s" e))
+
+let query t ?on_progress q =
+  match send_request t (Proto.Query q) with
+  | Result.Error _ as e -> e
+  | Ok () ->
+      let rec pump () =
+        match read_response t with
+        | Result.Error _ as e -> e
+        | Ok (Proto.Progress p) ->
+            (match on_progress with Some f -> f p | None -> ());
+            pump ()
+        | Ok (Proto.Result r) -> Ok r
+        | Ok (Proto.Error f) -> Result.Error f
+        | Ok (Proto.Pong | Proto.Stats_reply _) ->
+            lost "protocol confusion: unexpected frame while awaiting result"
+      in
+      pump ()
+
+let ping t =
+  match send_request t Proto.Ping with
+  | Result.Error _ as e -> e
+  | Ok () -> (
+      match read_response t with
+      | Ok Proto.Pong -> Ok ()
+      | Ok _ -> lost "protocol confusion: expected pong"
+      | Result.Error _ as e -> e)
+
+let stats t =
+  match send_request t Proto.Stats with
+  | Result.Error _ as e -> e
+  | Ok () -> (
+      match read_response t with
+      | Ok (Proto.Stats_reply j) -> Ok j
+      | Ok _ -> lost "protocol confusion: expected stats reply"
+      | Result.Error _ as e -> e)

@@ -1,0 +1,43 @@
+(** The service client: connect, query, stream progress, and (for chaos
+    tests) misbehave on purpose.
+
+    Every operation is total over the connection's fate: a dead socket, a
+    timeout, a server that hangs up mid-stream all come back as
+    [Error Connection_lost] — callers never see [Unix_error] or a
+    backtrace, which is what lets the CLI turn any of them into a clean
+    exit 1 with a one-line message. *)
+
+type t
+
+val connect : socket:string -> ?timeout:float -> unit -> (t, string) Stdlib.result
+(** Connect to the daemon's Unix-domain socket.  [timeout] (seconds) bounds
+    every subsequent read — a wedged server becomes [Connection_lost], not
+    a hang.  The [Error] string is human-ready ("cannot connect to ...:
+    No such file or directory"). *)
+
+val close : t -> unit
+(** Clean close: flushes any chaos-delayed frames first ({!Chaos.flush}).
+    Idempotent. *)
+
+val set_chaos : t -> Chaos.t -> unit
+(** Route all subsequent outbound frames through a faulty channel.  When a
+    crash rule fires the socket is closed {e abruptly} mid-stream — exactly
+    the client misbehaviour the server must isolate. *)
+
+val send_request : t -> Proto.request -> (unit, Failure.t) Stdlib.result
+val read_response : t -> (Proto.response, Failure.t) Stdlib.result
+(** The raw halves, exposed for tests that need to interleave or mangle;
+    [read_response] returns [Error Connection_lost] on EOF, timeout, or an
+    undecodable reply. *)
+
+val query :
+  t ->
+  ?on_progress:(Proto.progress -> unit) ->
+  Proto.query ->
+  (Proto.result, Failure.t) Stdlib.result
+(** Send one query and pump the stream: progress frames go to
+    [on_progress], the final certificate frame is returned.  Any in-band
+    server failure ([Overloaded], [Unknown_query], ...) is the [Error]. *)
+
+val ping : t -> (unit, Failure.t) Stdlib.result
+val stats : t -> (Fairness.Json.t, Failure.t) Stdlib.result

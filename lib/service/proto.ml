@@ -1,0 +1,171 @@
+module Json = Fairness.Json
+module Wire = Fair_exec.Wire
+module Sha256 = Fair_crypto.Sha256
+
+type kind = Search | Run
+
+type query = {
+  q_kind : kind;
+  q_experiment : string;
+  q_budget : int;
+  q_seed : int;
+  q_zoo : bool;
+  q_fresh : bool;
+}
+
+type request = Query of query | Stats | Ping
+
+type progress = { p_after : int; p_batch : int; p_mean : float; p_std_err : float }
+
+type result = { r_cached : bool; r_key : string; r_ok : bool; r_body : string }
+
+type response =
+  | Progress of progress
+  | Result of result
+  | Error of Failure.t
+  | Stats_reply of Json.t
+  | Pong
+
+let kind_to_string = function Search -> "search" | Run -> "run"
+
+let kind_of_string = function
+  | "search" -> Ok Search
+  | "run" -> Ok Run
+  | s -> Result.Error (Printf.sprintf "unknown query kind %S (expected search|run)" s)
+
+(* The content address.  Uppercasing the experiment id folds the registry's
+   case-insensitive lookup into the key, so "e2" and "E2" are the same
+   question and hit the same entry. *)
+let cache_key q =
+  Sha256.hex_digest
+    (Wire.frame
+       [ Version.key_schema;
+         Version.code_version;
+         kind_to_string q.q_kind;
+         String.uppercase_ascii q.q_experiment;
+         string_of_int q.q_budget;
+         string_of_int q.q_seed;
+         (if q.q_zoo then "1" else "0") ])
+
+(* ------------------------------ encoding ----------------------------- *)
+
+let compact j = Json.to_string ~indent:false j
+
+let msg tag body = Wire.frame [ tag; compact body ]
+
+let encode_request = function
+  | Query q ->
+      msg "query"
+        (Json.Obj
+           [ ("v", Json.Str Version.wire_version);
+             ("kind", Json.Str (kind_to_string q.q_kind));
+             ("experiment", Json.Str q.q_experiment);
+             ("budget", Json.num_int q.q_budget);
+             ("seed", Json.num_int q.q_seed);
+             ("zoo", Json.Bool q.q_zoo);
+             ("fresh", Json.Bool q.q_fresh) ])
+  | Stats -> msg "stats" (Json.Obj [ ("v", Json.Str Version.wire_version) ])
+  | Ping -> msg "ping" (Json.Obj [ ("v", Json.Str Version.wire_version) ])
+
+let encode_response = function
+  | Progress p ->
+      msg "progress"
+        (Json.Obj
+           [ ("after", Json.num_int p.p_after);
+             ("batch", Json.num_int p.p_batch);
+             ("mean", Json.Num p.p_mean);
+             ("std_err", Json.Num p.p_std_err) ])
+  | Result r ->
+      msg "result"
+        (Json.Obj
+           [ ("cached", Json.Bool r.r_cached);
+             ("key", Json.Str r.r_key);
+             ("ok", Json.Bool r.r_ok);
+             ("body", Json.Str r.r_body) ])
+  | Error f -> msg "error" (Failure.to_json f)
+  | Stats_reply j -> msg "stats" j
+  | Pong -> msg "pong" (Json.Obj [])
+
+(* ------------------------------ decoding ----------------------------- *)
+
+(* Both decoders are total: the peer controls every byte, so a failure at
+   any layer — Wire unframing, JSON parsing, field extraction — becomes a
+   typed [Error], never an exception. *)
+
+let split payload =
+  match Wire.unframe payload with
+  | [ tag; body ] -> Ok (tag, body)
+  | fields -> Result.Error (Printf.sprintf "expected 2 wire fields, got %d" (List.length fields))
+  | exception Invalid_argument m -> Result.Error m
+
+let parse_body body =
+  match Json.of_string body with Ok j -> Ok j | Result.Error e -> Result.Error e
+
+let decode_request payload =
+  let open Json in
+  let* tag, body = split payload in
+  match tag with
+  | "stats" -> Ok Stats
+  | "ping" -> Ok Ping
+  | "query" ->
+      let* j = parse_body body in
+      let* kind = member "kind" j in
+      let* kind = to_str kind in
+      let* kind = kind_of_string kind in
+      let* experiment = member "experiment" j in
+      let* experiment = to_str experiment in
+      let* budget = member "budget" j in
+      let* budget = to_int budget in
+      let* seed = member "seed" j in
+      let* seed = to_int seed in
+      let* zoo = member "zoo" j in
+      let* zoo = to_bool zoo in
+      let* fresh = member "fresh" j in
+      let* fresh = to_bool fresh in
+      if budget < 1 then Result.Error "budget < 1"
+      else
+        Ok
+          (Query
+             { q_kind = kind;
+               q_experiment = experiment;
+               q_budget = budget;
+               q_seed = seed;
+               q_zoo = zoo;
+               q_fresh = fresh })
+  | other -> Result.Error (Printf.sprintf "unknown request tag %S" other)
+
+let decode_response payload =
+  let open Json in
+  let* tag, body = split payload in
+  match tag with
+  | "pong" -> Ok Pong
+  | "stats" ->
+      let* j = parse_body body in
+      Ok (Stats_reply j)
+  | "progress" ->
+      let* j = parse_body body in
+      let* after = member "after" j in
+      let* after = to_int after in
+      let* batch = member "batch" j in
+      let* batch = to_int batch in
+      let* mean = member "mean" j in
+      let* mean = to_float mean in
+      let* std_err = member "std_err" j in
+      let* std_err = to_float std_err in
+      Ok (Progress { p_after = after; p_batch = batch; p_mean = mean; p_std_err = std_err })
+  | "result" ->
+      let* j = parse_body body in
+      let* cached = member "cached" j in
+      let* cached = to_bool cached in
+      let* key = member "key" j in
+      let* key = to_str key in
+      let* ok = member "ok" j in
+      let* ok = to_bool ok in
+      let* bbody = member "body" j in
+      let* bbody = to_str bbody in
+      Ok (Result { r_cached = cached; r_key = key; r_ok = ok; r_body = bbody })
+  | "error" ->
+      let* j = parse_body body in
+      let* f = Failure.of_json j in
+      Ok (Error f)
+  | other -> Result.Error (Printf.sprintf "unknown response tag %S" other)

@@ -1,0 +1,64 @@
+(** The service's request/response protocol.
+
+    Every message is one {!Frame} payload, itself a two-field
+    {!Fair_exec.Wire} frame [[tag; body]] where [body] is compact JSON
+    ({!Fairness.Json}) — the same JSON layer every certificate already uses
+    is the wire format, so a served certificate is the {e exact} byte
+    string the CLI would have written to disk.
+
+    {b Shape-agnosticism.}  The server never interprets a result body: a
+    {!result} carries opaque bytes plus the [r_ok] verdict computed at
+    answer time, so new certificate shapes (equilibrium certificates,
+    partial-fairness tables...) need no protocol change — only a new
+    {!kind} mapping to a handler.
+
+    Decoding is total: both decoders return [Error] on any byte string —
+    garbage framing, bad JSON, missing fields, unknown tags — and never
+    raise, because the peer controls every byte (same boundary discipline
+    as {!Fairness.Json.of_string}). *)
+
+type kind = Search | Run
+
+type query = {
+  q_kind : kind;
+  q_experiment : string;  (** registry id, e.g. "E2" (case-insensitive) *)
+  q_budget : int;  (** [Search]: racing trial budget; [Run]: trials *)
+  q_seed : int;
+  q_zoo : bool;  (** [Search] only: race the fixed zoo as extra arms *)
+  q_fresh : bool;  (** bypass the cache (compute and overwrite) *)
+}
+
+type request = Query of query | Stats | Ping
+
+type progress = { p_after : int; p_batch : int; p_mean : float; p_std_err : float }
+(** One Monte-Carlo convergence point, relayed from
+    {!Fairness.Montecarlo.set_progress_hook} while the query computes. *)
+
+type result = {
+  r_cached : bool;  (** answered from the certificate cache *)
+  r_key : string;  (** the content address (hex SHA-256) *)
+  r_ok : bool;  (** certificate verdict: within bound / all checks pass *)
+  r_body : string;  (** the certificate bytes, byte-identical to a CLI run *)
+}
+
+type response =
+  | Progress of progress
+  | Result of result
+  | Error of Failure.t
+  | Stats_reply of Fairness.Json.t
+  | Pong
+
+val cache_key : query -> string
+(** The content address: hex SHA-256 of the {!Fair_exec.Wire}-framed tuple
+    (key-schema tag, {!Version.code_version}, kind, uppercased experiment
+    id, budget, seed, zoo).  [q_fresh] is excluded (it changes caching, not
+    content); [jobs] is excluded by design — parallelism never changes the
+    numbers, so it must not change the address. *)
+
+val kind_to_string : kind -> string
+val kind_of_string : string -> (kind, string) Stdlib.result
+
+val encode_request : request -> string
+val decode_request : string -> (request, string) Stdlib.result
+val encode_response : response -> string
+val decode_response : string -> (response, string) Stdlib.result

@@ -1,0 +1,161 @@
+module Metrics = Fair_obs.Metrics
+
+let c_admitted = Metrics.counter "service.sched.admitted"
+let c_rejected = Metrics.counter "service.sched.rejected"
+let c_coalesced = Metrics.counter "service.sched.coalesced"
+let c_exec_failures = Metrics.counter "service.sched.exec_failures"
+let g_depth = Metrics.gauge "service.sched.depth"
+
+type 'a job = { j_client : int; j_key : string; j_payload : 'a }
+
+(* Per-client FIFO plus a [queued] flag keeping the invariant: a client id
+   sits in [rotation] exactly once iff its flag is set.  Dispatch pops the
+   rotation head, takes one job, and re-appends the id only if its queue
+   still has work — textbook round-robin, so a flood from one client costs
+   every other client at most one queue position per own request. *)
+type 'a client = { q : 'a job Queue.t; mutable queued : bool }
+
+type 'a t = {
+  limit : int;
+  exec : 'a job -> followers:'a job list -> unit;
+  lock : Mutex.t;
+  work : Condition.t;
+  clients : (int, 'a client) Hashtbl.t;
+  rotation : int Queue.t;
+  mutable pending : int;
+  mutable stopped : bool;
+  mutable thread : Thread.t option;
+}
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* Fatal exceptions must still kill the process; everything else raised by
+   [exec] is contained so one poisoned query cannot take the executor (and
+   with it every other client's service) down. *)
+let fatal = function Stack_overflow | Out_of_memory | Assert_failure _ -> true | _ -> false
+
+(* Caller holds the lock.  Pick the next leader round-robin, then sweep
+   every client queue for jobs sharing its content address: they ride the
+   leader's computation instead of re-running it (single-flight batching
+   onto the domain pool). *)
+let rec take_next t =
+  match Queue.take_opt t.rotation with
+  | None -> None
+  | Some cid -> (
+      match Hashtbl.find_opt t.clients cid with
+      | None -> take_next t (* client dropped while queued *)
+      | Some c -> (
+          c.queued <- false;
+          match Queue.take_opt c.q with
+          | None -> take_next t
+          | Some leader ->
+              t.pending <- t.pending - 1;
+              if not (Queue.is_empty c.q) then begin
+                c.queued <- true;
+                Queue.add cid t.rotation
+              end;
+              let followers = ref [] in
+              let sweep _cid (c : 'a client) =
+                let keep = Queue.create () in
+                Queue.iter
+                  (fun j ->
+                    if j.j_key = leader.j_key then begin
+                      followers := j :: !followers;
+                      t.pending <- t.pending - 1;
+                      Metrics.incr c_coalesced
+                    end
+                    else Queue.add j keep)
+                  c.q;
+                Queue.clear c.q;
+                Queue.transfer keep c.q
+              in
+              Hashtbl.iter sweep t.clients;
+              Metrics.set_gauge g_depth (float_of_int t.pending);
+              Some (leader, List.rev !followers)))
+
+let executor t () =
+  let rec loop () =
+    let next =
+      with_lock t (fun () ->
+          while (not t.stopped) && t.pending = 0 do
+            Condition.wait t.work t.lock
+          done;
+          if t.stopped then None else take_next t)
+    in
+    match next with
+    | None -> ()
+    | Some (leader, followers) ->
+        (try t.exec leader ~followers
+         with e when not (fatal e) -> Metrics.incr c_exec_failures);
+        loop ()
+  in
+  loop ()
+
+let create ~queue_limit ~exec () =
+  if queue_limit < 0 then invalid_arg "Sched.create: queue_limit < 0";
+  let t =
+    { limit = queue_limit;
+      exec;
+      lock = Mutex.create ();
+      work = Condition.create ();
+      clients = Hashtbl.create 16;
+      rotation = Queue.create ();
+      pending = 0;
+      stopped = false;
+      thread = None }
+  in
+  t.thread <- Some (Thread.create (executor t) ());
+  t
+
+let submit t job =
+  let verdict =
+    with_lock t (fun () ->
+        if t.stopped || t.pending >= t.limit then `Rejected (t.pending, t.limit)
+        else begin
+          let c =
+            match Hashtbl.find_opt t.clients job.j_client with
+            | Some c -> c
+            | None ->
+                let c = { q = Queue.create (); queued = false } in
+                Hashtbl.replace t.clients job.j_client c;
+                c
+          in
+          Queue.add job c.q;
+          if not c.queued then begin
+            c.queued <- true;
+            Queue.add job.j_client t.rotation
+          end;
+          t.pending <- t.pending + 1;
+          Metrics.set_gauge g_depth (float_of_int t.pending);
+          Condition.signal t.work;
+          `Admitted
+        end)
+  in
+  (match verdict with
+  | `Admitted -> Metrics.incr c_admitted
+  | `Rejected _ -> Metrics.incr c_rejected);
+  verdict
+
+let drop_client t cid =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.clients cid with
+      | None -> ()
+      | Some c ->
+          t.pending <- t.pending - Queue.length c.q;
+          Metrics.set_gauge g_depth (float_of_int t.pending);
+          Hashtbl.remove t.clients cid)
+
+let depth t = with_lock t (fun () -> t.pending)
+
+let stop t =
+  let th =
+    with_lock t (fun () ->
+        t.stopped <- true;
+        Condition.broadcast t.work;
+        let th = t.thread in
+        t.thread <- None;
+        th)
+  in
+  Option.iter Thread.join th

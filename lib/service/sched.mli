@@ -1,0 +1,49 @@
+(** Admission control and fair dispatch for the certificate server.
+
+    Design goals, in order: {b never drop silently} (a request either
+    enters the bounded queue or is refused with an explicit
+    [`Rejected (depth, limit)] the caller turns into a structured
+    {!Failure.Overloaded} answer); {b no starvation} (dispatch round-robins
+    across {e clients}, not requests, so a client that floods the queue
+    only competes with itself — another client's single request waits
+    behind at most one request per other client); {b no duplicated work}
+    (jobs carrying the same content address are coalesced: when a leader is
+    dispatched, every pending job with the same key — from any client —
+    joins it as a follower and is answered by the leader's single
+    computation on the domain pool).
+
+    One executor thread owns all computation, calling [exec] outside the
+    scheduler lock.  Admission ({!submit}) is called from connection
+    threads and only ever touches the queue under the lock, so a slow
+    computation can never block admission — the queue simply fills and
+    refusals become immediate. *)
+
+type 'a job = {
+  j_client : int;  (** connection id, the unit of fairness *)
+  j_key : string;  (** content address, the unit of coalescing *)
+  j_payload : 'a;
+}
+
+type 'a t
+
+val create : queue_limit:int -> exec:('a job -> followers:'a job list -> unit) -> unit -> 'a t
+(** Starts the executor thread.  [exec] runs on it, outside the lock; an
+    exception escaping [exec] is contained (counted under
+    [service.sched.exec_failures]) and never kills the executor.
+    @raise Invalid_argument if [queue_limit < 0]. *)
+
+val submit : 'a t -> 'a job -> [ `Admitted | `Rejected of int * int ]
+(** [`Rejected (depth, limit)] when the queue already holds [depth ≥ limit]
+    jobs (backpressure) or the scheduler is stopped.  Never blocks on the
+    executor. *)
+
+val drop_client : 'a t -> int -> unit
+(** Forget every pending job of a dead connection (jobs already dispatched
+    complete; their delivery is the caller's dead-peer problem). *)
+
+val depth : 'a t -> int
+(** Jobs admitted and not yet dispatched. *)
+
+val stop : 'a t -> unit
+(** Refuse new work, let the in-flight [exec] finish, discard the rest of
+    the queue, and join the executor thread.  Idempotent. *)

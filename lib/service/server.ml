@@ -1,0 +1,300 @@
+module Json = Fairness.Json
+module Metrics = Fair_obs.Metrics
+
+let c_accepted = Metrics.counter "service.conns.accepted"
+
+(* Cache entries carry the verdict alongside the body so a hit can be
+   served without re-parsing certificate JSON: one verdict byte, then the
+   exact bytes the handler produced. *)
+let entry_encode ~ok body = (if ok then "1" else "0") ^ body
+
+let entry_decode entry =
+  if String.length entry = 0 then None
+  else
+    match entry.[0] with
+    | '1' -> Some (true, String.sub entry 1 (String.length entry - 1))
+    | '0' -> Some (false, String.sub entry 1 (String.length entry - 1))
+    | _ -> None
+
+type conn = {
+  cid : int;
+  fd : Unix.file_descr;
+  wlock : Mutex.t;  (* progress frames race the reader's own replies *)
+  mutable alive : bool;
+}
+
+type t = {
+  sock_path : string;
+  listen_fd : Unix.file_descr;
+  cch : Cache.t;
+  jobs : int;
+  queue_limit : int;
+  sched : (Proto.query * conn) Sched.t;
+  lock : Mutex.t;  (* conns + stopped *)
+  mutable conns : conn list;
+  mutable readers : Thread.t list;
+  mutable stopped : bool;
+  mutable accept_thread : Thread.t;
+}
+
+let socket t = t.sock_path
+let cache t = t.cch
+
+let stats_json t =
+  let cs = Cache.stats t.cch in
+  Json.Obj
+    [
+      ("version", Json.Str Version.code_version);
+      ( "cache",
+        Json.Obj
+          [
+            ("hits", Json.num_int cs.Cache.hits);
+            ("misses", Json.num_int cs.Cache.misses);
+            ("evictions", Json.num_int cs.Cache.evictions);
+            ("disk_hits", Json.num_int cs.Cache.disk_hits);
+            ("entries", Json.num_int cs.Cache.entries);
+          ] );
+      ( "queue",
+        Json.Obj
+          [
+            ("depth", Json.num_int (Sched.depth t.sched));
+            ("limit", Json.num_int t.queue_limit);
+          ] );
+      ("pool", Fairness.Obs_json.pool (Fairness.Parallel.pool_stats ()));
+    ]
+
+(* A write failure means the peer is gone: mark the connection dead so the
+   executor stops streaming to it; the reader notices on its next read. *)
+let send_response conn resp =
+  Mutex.lock conn.wlock;
+  let r =
+    try
+      if conn.alive then Frame.write conn.fd (Proto.encode_response resp);
+      true
+    with Unix.Unix_error _ | Invalid_argument _ ->
+      conn.alive <- false;
+      false
+  in
+  Mutex.unlock conn.wlock;
+  r
+
+let teardown t conn =
+  Mutex.lock t.lock;
+  t.conns <- List.filter (fun c -> c.cid <> conn.cid) t.conns;
+  Mutex.unlock t.lock;
+  conn.alive <- false;
+  Sched.drop_client t.sched conn.cid;
+  (try Unix.shutdown conn.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+  try Unix.close conn.fd with Unix.Unix_error _ -> ()
+
+(* The executor: computes one coalesced batch and answers everyone in it.
+   [recipients] are dead-skipped at each step, so a client that vanished
+   mid-computation costs nothing and poisons nobody. *)
+let exec t (leader : (Proto.query * conn) Sched.job) ~followers =
+  let jobs = leader :: followers in
+  let recipients () =
+    List.filter_map
+      (fun (j : (Proto.query * conn) Sched.job) ->
+        let _, conn = j.Sched.j_payload in
+        if conn.alive then Some conn else None)
+      jobs
+  in
+  let q, _ = leader.Sched.j_payload in
+  let key = leader.Sched.j_key in
+  let deliver resp = List.iter (fun c -> ignore (send_response c resp)) (recipients ()) in
+  let serve_entry ~cached entry =
+    match entry_decode entry with
+    | Some (ok, body) ->
+        deliver
+          (Proto.Result { Proto.r_cached = cached; r_key = key; r_ok = ok; r_body = body });
+        true
+    | None -> false
+  in
+  (* Single-flight double-check: an identical query may have been computed
+     and stored while this one sat in the queue. *)
+  let already =
+    if q.Proto.q_fresh then false
+    else
+      match Cache.find t.cch key with
+      | Some entry -> serve_entry ~cached:true entry
+      | None -> false
+  in
+  if not already then begin
+    Fairness.Montecarlo.set_progress_hook
+      (Some
+         (fun (p : Fairness.Montecarlo.convergence_point) ->
+           let pr =
+             Proto.Progress
+               {
+                 Proto.p_after = p.Fairness.Montecarlo.after;
+                 p_batch = p.Fairness.Montecarlo.batch;
+                 p_mean = p.Fairness.Montecarlo.running_mean;
+                 p_std_err = p.Fairness.Montecarlo.running_std_err;
+               }
+           in
+           deliver pr));
+    let answer =
+      match Handlers.answer ~jobs:t.jobs q with
+      | r -> r
+      | exception e ->
+          Fairness.Montecarlo.set_progress_hook None;
+          raise e
+    in
+    Fairness.Montecarlo.set_progress_hook None;
+    match answer with
+    | Ok (body, ok) ->
+        Cache.store t.cch ~key (entry_encode ~ok body);
+        deliver (Proto.Result { Proto.r_cached = false; r_key = key; r_ok = ok; r_body = body })
+    | Error f -> deliver (Proto.Error f)
+  end
+
+let handle_query t conn (q : Proto.query) =
+  match Fair_analysis.Experiments.find q.Proto.q_experiment with
+  | None ->
+      (* Bad ids answer immediately and never occupy a queue slot. *)
+      ignore
+        (send_response conn
+           (Proto.Error
+              (Failure.Unknown_query
+                 {
+                   reason =
+                     Printf.sprintf "unknown experiment %S; try `fairness list`"
+                       q.Proto.q_experiment;
+                 })))
+  | Some _ -> (
+      let key = Proto.cache_key q in
+      let hit =
+        if q.Proto.q_fresh then None
+        else
+          match Cache.find t.cch key with
+          | Some entry -> entry_decode entry
+          | None -> None
+      in
+      match hit with
+      | Some (ok, body) ->
+          (* The fast path: answered right here in the reader thread — the
+             scheduler and the domain pool never hear about it. *)
+          ignore
+            (send_response conn
+               (Proto.Result { Proto.r_cached = true; r_key = key; r_ok = ok; r_body = body }))
+      | None -> (
+          match
+            Sched.submit t.sched
+              { Sched.j_client = conn.cid; j_key = key; j_payload = (q, conn) }
+          with
+          | `Admitted -> ()
+          | `Rejected (depth, limit) ->
+              ignore
+                (send_response conn (Proto.Error (Failure.Overloaded { depth; limit })))))
+
+let serve_conn t conn =
+  let dec = Frame.Decoder.create () in
+  let rec loop seq =
+    match Frame.read conn.fd dec with
+    | Ok None -> ()  (* clean EOF *)
+    | Error reason ->
+        (* Garbage on the wire: name the frame, answer in-band, close.  The
+           decoder is poisoned, so closing is the only honest option. *)
+        ignore
+          (send_response conn
+             (Proto.Error (Failure.Malformed_frame { seq = seq + 1; reason })))
+    | Ok (Some payload) -> (
+        let seq = seq + 1 in
+        match Proto.decode_request payload with
+        | Result.Error reason ->
+            ignore
+              (send_response conn
+                 (Proto.Error (Failure.Malformed_frame { seq; reason })))
+        | Ok Proto.Ping ->
+            ignore (send_response conn Proto.Pong);
+            loop seq
+        | Ok Proto.Stats ->
+            ignore (send_response conn (Proto.Stats_reply (stats_json t)));
+            loop seq
+        | Ok (Proto.Query q) ->
+            handle_query t conn q;
+            loop seq)
+  in
+  (try loop 0 with _ -> ());
+  teardown t conn
+
+let accept_loop t =
+  let next_cid = ref 0 in
+  let rec go () =
+    match Unix.accept t.listen_fd with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    | exception _ -> ()  (* listener closed: stop *)
+    | fd, _ ->
+        if t.stopped then (try Unix.close fd with Unix.Unix_error _ -> ())
+        else begin
+          incr next_cid;
+          let conn = { cid = !next_cid; fd; wlock = Mutex.create (); alive = true } in
+          Mutex.lock t.lock;
+          t.conns <- conn :: t.conns;
+          let th = Thread.create (fun () -> serve_conn t conn) () in
+          t.readers <- th :: t.readers;
+          Mutex.unlock t.lock;
+          Metrics.incr c_accepted
+        end;
+        if t.stopped then () else go ()
+  in
+  go ()
+
+let start ~socket ?cache ?(queue_limit = 64) ?jobs () =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let jobs = match jobs with Some j -> j | None -> Fairness.Parallel.default_jobs in
+  let cch = match cache with Some c -> c | None -> Cache.create () in
+  (try Unix.unlink socket with Unix.Unix_error _ -> ());
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     Unix.bind listen_fd (Unix.ADDR_UNIX socket);
+     Unix.listen listen_fd 16
+   with e ->
+     (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+     raise e);
+  (* The executor closure needs [t] and [t] needs the scheduler: tie the
+     knot through a ref (no job can be submitted before [start] returns). *)
+  let t_ref = ref None in
+  let sched =
+    Sched.create ~queue_limit
+      ~exec:(fun leader ~followers ->
+        match !t_ref with None -> () | Some t -> exec t leader ~followers)
+      ()
+  in
+  let t =
+    {
+      sock_path = socket;
+      listen_fd;
+      cch;
+      jobs;
+      queue_limit;
+      sched;
+      lock = Mutex.create ();
+      conns = [];
+      readers = [];
+      stopped = false;
+      accept_thread = Thread.self ();
+    }
+  in
+  t_ref := Some t;
+  t.accept_thread <- Thread.create (fun () -> accept_loop t) ();
+  t
+
+let stop t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    Mutex.lock t.lock;
+    let conns = t.conns and readers = t.readers in
+    Mutex.unlock t.lock;
+    List.iter
+      (fun c ->
+        c.alive <- false;
+        try Unix.shutdown c.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+      conns;
+    (try Thread.join t.accept_thread with _ -> ());
+    List.iter (fun th -> try Thread.join th with _ -> ()) readers;
+    Sched.stop t.sched;
+    try Unix.unlink t.sock_path with Unix.Unix_error _ -> ()
+  end

@@ -1,0 +1,51 @@
+(** The certificate server: a daemon serving fairness queries over a
+    Unix-domain socket.
+
+    Architecture (one paragraph): an accept thread hands each connection to
+    a reader thread; readers decode length-framed requests
+    ({!Frame}/{!Proto}), answer cache hits {e inline} (a hit never touches
+    the scheduler or the domain pool — that is the O(1) path repeated
+    queries take), and submit misses to the fair scheduler ({!Sched});
+    the scheduler's single executor thread computes answers through
+    {!Handlers} on the persistent domain pool, streaming Monte-Carlo
+    progress frames to every connection waiting on that computation
+    (coalesced same-key requests share one compute), stores the bytes in
+    the content-addressed cache ({!Cache}) and delivers the result.
+
+    Failure isolation: anything that goes wrong on one connection — gibberish
+    frames, a mid-stream crash, a peer that dies while its query runs —
+    collapses to that connection (a structured {!Failure.t} answer and/or a
+    teardown) and never perturbs another connection's bytes.  This is
+    chaos-tested by pointing {!Fair_faults} at the socket channel itself
+    ({!Chaos}, [@service-smoke]). *)
+
+type t
+
+val start :
+  socket:string ->
+  ?cache:Cache.t ->
+  ?queue_limit:int ->
+  ?jobs:int ->
+  unit ->
+  t
+(** Bind [socket] (an existing socket file is replaced), start the accept,
+    reader and executor threads, and return.  [cache] defaults to a fresh
+    memory-only cache ({!Cache.create} [~capacity:256]); [queue_limit]
+    (default 64) bounds admission; [jobs] (default
+    {!Fairness.Parallel.default_jobs}) bounds the domain pool per query —
+    it never changes any served byte.  [SIGPIPE] is ignored process-wide (a
+    dying client must not kill the server).
+    @raise Unix.Unix_error if the socket cannot be bound. *)
+
+val stop : t -> unit
+(** Stop accepting, tear down live connections, wait for the in-flight
+    computation (if any) to finish, join all threads and remove the socket
+    file.  Idempotent. *)
+
+val socket : t -> string
+val cache : t -> Cache.t
+
+val stats_json : t -> Fairness.Json.t
+(** The [stats] answer: cache counters, queue depth/limit, domain-pool
+    stats — what [@service-smoke] reads to assert "second query was a hit
+    and the pool never moved". *)

@@ -1,0 +1,17 @@
+(* The code-version string baked into every cache key.  A certificate is
+   only as reusable as the code that computed it: any change to the engine,
+   the estimators, the strategy space or the experiment registry can move
+   the numbers, so the content address must cover "which code" as well as
+   "which question".  Bump this on every release that may change any served
+   byte — stale disk-spilled entries then simply stop being addressable
+   (their keys are never derived again) rather than being served wrongly. *)
+
+let code_version = "fair-protocol/7.0"
+
+(* Version tag of the cache-key derivation itself (the field layout fed to
+   SHA-256), independent of the code version: bump it if the key schema
+   ever changes shape. *)
+let key_schema = "fair-service-key/1"
+
+(* Version tag of the framed socket protocol. *)
+let wire_version = "fair-service/1"

@@ -153,6 +153,84 @@ let prop_unframe_refames =
       | fields -> Wire.unframe (Wire.frame fields) = fields
       | exception Invalid_argument _ -> true)
 
+(* ----------------------- JSON-parser fuzz --------------------------- *)
+(* [Fairness.Json] is the service's wire format, so its parser is a
+   security boundary: any byte string — hostile framing, deep nesting,
+   binary noise — must come back as [Ok] or [Error], never an exception
+   (not even [Stack_overflow]) and never a hang. *)
+
+let prop_json_total_on_bytes =
+  qtest "of_string: arbitrary bytes never raise" 2000 arb_bytes (fun s ->
+      match Json.of_string s with Ok _ | Error _ -> true | exception _ -> false)
+
+(* JSON-flavoured noise reaches far deeper parser states than uniform
+   bytes: brackets, quotes, escapes, digits and keyword fragments. *)
+let arb_jsonish =
+  let jsonish_chars = "{}[]\",:\\0123456789.eE+-truefalsnu \n\t" in
+  QCheck.string_gen_of_size
+    QCheck.Gen.(int_range 0 80)
+    (QCheck.Gen.map
+       (fun i -> jsonish_chars.[i])
+       (QCheck.Gen.int_range 0 (String.length jsonish_chars - 1)))
+
+let prop_json_total_on_jsonish =
+  qtest "of_string: json-flavoured noise never raises" 4000 arb_jsonish (fun s ->
+      match Json.of_string s with Ok _ | Error _ -> true | exception _ -> false)
+
+(* The depth guard, both sides: our emitters' depths parse fine, while
+   nesting an attacker could only produce on purpose is a typed [Error] —
+   crucially not a [Stack_overflow] leaking through the boundary. *)
+let json_depth_guard () =
+  let nested d = String.make d '[' ^ String.make d ']' in
+  (match Json.of_string (nested 64) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "depth 64 should parse: %s" e);
+  (match Json.of_string (nested 100_000) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "100k-deep nesting parsed"
+  | exception e ->
+      Alcotest.failf "100k-deep nesting leaked an exception: %s" (Printexc.to_string e));
+  (* unclosed nesting (the classic parser-recursion bomb) *)
+  match Json.of_string (String.make 1_000_000 '[') with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "a million unclosed brackets parsed"
+  | exception e ->
+      Alcotest.failf "unclosed-bracket bomb leaked an exception: %s" (Printexc.to_string e)
+
+(* Emit/parse is the identity on trees our own code can produce (integers,
+   full byte-range strings, nested containers), with and without
+   indentation — the property that makes JSON safe as a wire format. *)
+let arb_json_tree =
+  let open QCheck.Gen in
+  let leaf =
+    oneof
+      [ return Json.Null;
+        map (fun b -> Json.Bool b) bool;
+        map Json.num_int (int_range (-1_000_000) 1_000_000);
+        map (fun s -> Json.Str s) (string_size ~gen:char (int_range 0 12)) ]
+  in
+  let tree =
+    sized
+    @@ fix (fun self n ->
+           if n <= 0 then leaf
+           else
+             frequency
+               [ (2, leaf);
+                 ( 1,
+                   map (fun l -> Json.List l) (list_size (int_range 0 4) (self (n / 2))) );
+                 ( 1,
+                   map
+                     (fun kv -> Json.Obj kv)
+                     (list_size (int_range 0 4)
+                        (pair (string_size ~gen:char (int_range 0 8)) (self (n / 2)))) ) ])
+  in
+  QCheck.make ~print:(fun t -> Json.to_string t) tree
+
+let prop_json_roundtrip =
+  qtest "of_string (to_string t) = t, both indent modes" 1000 arb_json_tree (fun t ->
+      Json.of_string (Json.to_string ~indent:true t) = Ok t
+      && Json.of_string (Json.to_string ~indent:false t) = Ok t)
+
 let fuzz_case ~adversary ~adversary_name (name, proto, func, env, check_breach) =
   Alcotest.test_case (Printf.sprintf "%s vs %s" name adversary_name) `Slow (fun () ->
       for i = 0 to 59 do
@@ -176,6 +254,12 @@ let () =
   Alcotest.run "fair_fuzz"
     [ ( "wire-framing",
         [ prop_unframe_inverts_frame; prop_unframe_total; prop_unframe_refames ] );
+      ( "json-parser",
+        [ prop_json_total_on_bytes;
+          prop_json_total_on_jsonish;
+          Alcotest.test_case "depth guard: deep nesting is Error, not Stack_overflow" `Quick
+            json_depth_guard;
+          prop_json_roundtrip ] );
       ("raw-garbage", List.map (fuzz_case ~adversary:fuzzer ~adversary_name:"fuzzer") protocols);
       ( "garbage-behind-honest-play",
         List.map (fuzz_case ~adversary:hybrid_fuzzer ~adversary_name:"hybrid") protocols ) ]

@@ -1,0 +1,521 @@
+(* The certificate service, layer by layer: frame reassembly under
+   arbitrary splits, protocol decode totality, content addressing, the
+   two-tier cache, the fair scheduler, and the server's failure isolation.
+   The end-to-end system behaviour (cache-hit-without-pool, chaos
+   schedules against a live daemon) lives in bin/service_smoke.ml. *)
+
+module S = Fair_service
+module Frame = S.Frame
+module Proto = S.Proto
+module Failure = S.Failure
+module Cache = S.Cache
+module Sched = S.Sched
+module Json = Fairness.Json
+
+let qtest name count arb law =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb law)
+
+let arb_bytes = QCheck.string_gen_of_size QCheck.Gen.(int_range 0 64) QCheck.Gen.char
+
+(* --------------------------- framing -------------------------------- *)
+
+(* A frame as it travels: 4-byte big-endian length, then the payload. *)
+let encode_frame payload =
+  let n = String.length payload in
+  let b = Bytes.create (4 + n) in
+  Bytes.set_int32_be b 0 (Int32.of_int n);
+  Bytes.blit_string payload 0 b 4 n;
+  Bytes.to_string b
+
+let drain dec =
+  let rec go acc =
+    match Frame.Decoder.next dec with
+    | Ok (Some p) -> go (p :: acc)
+    | Ok None -> Ok (List.rev acc)
+    | Error e -> Error e
+  in
+  go []
+
+let payload_fixtures =
+  [ "alpha"; ""; "frame|with\\escapes\nand\000nul"; String.make 300 'x' ]
+
+let stream_of payloads = String.concat "" (List.map encode_frame payloads)
+
+(* Satellite check: the decoder must reassemble correctly no matter where
+   the byte stream is cut.  The "table of split points" is exhaustive —
+   every boundary of the 4-frame stream, header bytes included. *)
+let split_point_table () =
+  let stream = stream_of payload_fixtures in
+  let n = String.length stream in
+  for cut = 0 to n do
+    let dec = Frame.Decoder.create () in
+    Frame.Decoder.feed_string dec (String.sub stream 0 cut);
+    let early =
+      match drain dec with
+      | Ok ps -> ps
+      | Error e -> Alcotest.failf "cut %d: error on first half: %s" cut e
+    in
+    Frame.Decoder.feed_string dec (String.sub stream cut (n - cut));
+    let late =
+      match drain dec with
+      | Ok ps -> ps
+      | Error e -> Alcotest.failf "cut %d: error on second half: %s" cut e
+    in
+    if early @ late <> payload_fixtures then
+      Alcotest.failf "cut %d: reassembled %d frames, wrong content" cut
+        (List.length (early @ late));
+    if Frame.Decoder.buffered dec <> 0 then
+      Alcotest.failf "cut %d: %d bytes left buffered" cut (Frame.Decoder.buffered dec)
+  done
+
+let byte_at_a_time () =
+  let stream = stream_of payload_fixtures in
+  let dec = Frame.Decoder.create () in
+  let got = ref [] in
+  String.iter
+    (fun c ->
+      Frame.Decoder.feed_string dec (String.make 1 c);
+      match drain dec with
+      | Ok ps -> got := !got @ ps
+      | Error e -> Alcotest.failf "byte-at-a-time: %s" e)
+    stream;
+  Alcotest.(check (list string)) "all frames, in order" payload_fixtures !got
+
+(* Random payloads through random chunkings reassemble exactly. *)
+let prop_chunked_reassembly =
+  qtest "decoder: any chunking reassembles the payload sequence" 500
+    QCheck.(
+      pair
+        (list_of_size (Gen.int_range 0 6) arb_bytes)
+        (list_of_size (Gen.int_range 1 12) (int_range 1 17)))
+    (fun (payloads, chunk_sizes) ->
+      let stream = stream_of payloads in
+      let dec = Frame.Decoder.create () in
+      let got = ref [] in
+      let pos = ref 0 in
+      let i = ref 0 in
+      let sizes = Array.of_list chunk_sizes in
+      let ok = ref true in
+      while !pos < String.length stream do
+        let len = min sizes.(!i mod Array.length sizes) (String.length stream - !pos) in
+        Frame.Decoder.feed_string dec (String.sub stream !pos len);
+        pos := !pos + len;
+        incr i;
+        match drain dec with
+        | Ok ps -> got := !got @ ps
+        | Error _ -> ok := false; pos := String.length stream
+      done;
+      !ok && !got = payloads && Frame.Decoder.buffered dec = 0)
+
+let oversized_is_sticky () =
+  let dec = Frame.Decoder.create () in
+  (* a length prefix past max_frame *)
+  let b = Bytes.create 4 in
+  Bytes.set_int32_be b 0 (Int32.of_int (Frame.max_frame + 1));
+  Frame.Decoder.feed_string dec (Bytes.to_string b);
+  (match Frame.Decoder.next dec with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "oversized length accepted");
+  (* poisoned: even a perfectly good frame afterwards stays an error *)
+  Frame.Decoder.feed_string dec (encode_frame "fine");
+  match Frame.Decoder.next dec with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "decoder recovered from an unrecoverable stream"
+
+let write_read_roundtrip () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let writer =
+    Thread.create
+      (fun () ->
+        List.iter (Frame.write a) payload_fixtures;
+        Unix.close a)
+      ()
+  in
+  let dec = Frame.Decoder.create () in
+  let rec read_all acc =
+    match Frame.read b dec with
+    | Ok (Some p) -> read_all (p :: acc)
+    | Ok None -> List.rev acc
+    | Error e -> Alcotest.failf "read: %s" e
+  in
+  let got = read_all [] in
+  Thread.join writer;
+  Unix.close b;
+  Alcotest.(check (list string)) "frames across a real socket" payload_fixtures got
+
+let eof_mid_frame_is_error () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let partial = String.sub (encode_frame "truncated-on-the-wire") 0 7 in
+  let n = Unix.write_substring a partial 0 (String.length partial) in
+  Alcotest.(check int) "partial write went out" (String.length partial) n;
+  Unix.close a;
+  let dec = Frame.Decoder.create () in
+  (match Frame.read b dec with
+  | Error _ -> ()
+  | Ok None -> Alcotest.fail "EOF mid-frame reported as clean end-of-stream"
+  | Ok (Some _) -> Alcotest.fail "truncated frame produced a payload");
+  Unix.close b
+
+(* --------------------------- protocol ------------------------------- *)
+
+let sample_queries =
+  [ { Proto.q_kind = Proto.Search; q_experiment = "E1"; q_budget = 2000; q_seed = 42;
+      q_zoo = false; q_fresh = false };
+    { Proto.q_kind = Proto.Run; q_experiment = "e16"; q_budget = 1; q_seed = 0;
+      q_zoo = true; q_fresh = true } ]
+
+let sample_failures =
+  [ Failure.Malformed_frame { seq = 3; reason = "bad|frame \\ with <junk>" };
+    Failure.Unknown_query { reason = "unknown experiment \"E99\"" };
+    Failure.Overloaded { depth = 64; limit = 64 };
+    Failure.Query_failed { reason = "fault budget exceeded" };
+    Failure.Connection_lost { reason = "timed out" } ]
+
+let request_roundtrip () =
+  List.iter
+    (fun req ->
+      match Proto.decode_request (Proto.encode_request req) with
+      | Ok req' when req = req' -> ()
+      | Ok _ -> Alcotest.fail "request changed across the wire"
+      | Error e -> Alcotest.failf "request did not decode: %s" e)
+    (Proto.Stats :: Proto.Ping :: List.map (fun q -> Proto.Query q) sample_queries)
+
+let response_roundtrip () =
+  let responses =
+    [ Proto.Pong;
+      Proto.Progress { Proto.p_after = 128; p_batch = 64; p_mean = 0.78125; p_std_err = 0.0625 };
+      Proto.Result
+        { Proto.r_cached = true; r_key = String.make 64 'a'; r_ok = false;
+          r_body = "certificate|with\\pipes\nand\000nul bytes" };
+      Proto.Stats_reply (Json.Obj [ ("cache", Json.Obj [ ("hits", Json.num_int 3) ]) ]) ]
+    @ List.map (fun f -> Proto.Error f) sample_failures
+  in
+  List.iter
+    (fun resp ->
+      match Proto.decode_response (Proto.encode_response resp) with
+      | Ok resp' when resp = resp' -> ()
+      | Ok _ -> Alcotest.fail "response changed across the wire"
+      | Error e -> Alcotest.failf "response did not decode: %s" e)
+    responses
+
+let prop_decode_request_total =
+  qtest "decode_request: arbitrary bytes never raise" 2000 arb_bytes (fun s ->
+      match Proto.decode_request s with Ok _ | Error _ -> true | exception _ -> false)
+
+let prop_decode_response_total =
+  qtest "decode_response: arbitrary bytes never raise" 2000 arb_bytes (fun s ->
+      match Proto.decode_response s with Ok _ | Error _ -> true | exception _ -> false)
+
+let cache_key_semantics () =
+  let q = List.hd sample_queries in
+  let k = Proto.cache_key q in
+  Alcotest.(check int) "key is hex sha-256" 64 (String.length k);
+  Alcotest.(check string) "deterministic" k (Proto.cache_key q);
+  Alcotest.(check string) "case-insensitive experiment id" k
+    (Proto.cache_key { q with Proto.q_experiment = "e1" });
+  Alcotest.(check string) "q_fresh changes caching, not content" k
+    (Proto.cache_key { q with Proto.q_fresh = true });
+  let differs label q' =
+    if Proto.cache_key q' = k then Alcotest.failf "%s did not change the key" label
+  in
+  differs "kind" { q with Proto.q_kind = Proto.Run };
+  differs "experiment" { q with Proto.q_experiment = "E2" };
+  differs "budget" { q with Proto.q_budget = q.Proto.q_budget + 1 };
+  differs "seed" { q with Proto.q_seed = q.Proto.q_seed + 1 };
+  differs "zoo" { q with Proto.q_zoo = true }
+
+let failure_json_roundtrip () =
+  List.iter
+    (fun f ->
+      match Failure.of_json (Failure.to_json f) with
+      | Ok f' when f = f' -> ()
+      | Ok _ -> Alcotest.fail "failure changed across JSON"
+      | Error e -> Alcotest.failf "failure did not decode: %s" e)
+    sample_failures;
+  List.iter
+    (fun f ->
+      let expect = match f with Failure.Malformed_frame _ -> true | _ -> false in
+      Alcotest.(check bool)
+        (Printf.sprintf "closes_connection %s" (Failure.code f))
+        expect (Failure.closes_connection f))
+    sample_failures
+
+(* ---------------------------- cache --------------------------------- *)
+
+let tmp_counter = ref 0
+
+let fresh_dir () =
+  incr tmp_counter;
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "fair-cache-test-%d-%d" (Unix.getpid ()) !tmp_counter)
+
+let cache_memory_roundtrip () =
+  let c = Cache.create ~capacity:4 () in
+  Alcotest.(check (option string)) "miss before store" None (Cache.find c "k1");
+  Cache.store c ~key:"k1" "v1";
+  Alcotest.(check (option string)) "hit after store" (Some "v1") (Cache.find c "k1");
+  Cache.store c ~key:"k1" "v1'";
+  Alcotest.(check (option string)) "overwrite wins" (Some "v1'") (Cache.find c "k1");
+  let s = Cache.stats c in
+  Alcotest.(check int) "hits" 2 s.Cache.hits;
+  Alcotest.(check int) "misses" 1 s.Cache.misses;
+  Alcotest.(check int) "entries" 1 s.Cache.entries
+
+let cache_lru_eviction () =
+  let c = Cache.create ~capacity:2 () in
+  Cache.store c ~key:"a" "1";
+  Cache.store c ~key:"b" "2";
+  ignore (Cache.find c "a");  (* promote a: b is now least-recently-used *)
+  Cache.store c ~key:"c" "3";
+  Alcotest.(check (option string)) "b evicted" None (Cache.find c "b");
+  Alcotest.(check (option string)) "a survived (promoted)" (Some "1") (Cache.find c "a");
+  Alcotest.(check (option string)) "c present" (Some "3") (Cache.find c "c");
+  Alcotest.(check int) "one eviction" 1 (Cache.stats c).Cache.evictions
+
+let cache_disk_spill () =
+  let dir = fresh_dir () in
+  let c = Cache.create ~capacity:4 ~dir () in
+  Cache.store c ~key:"k" "spilled-value";
+  (* a different cache instance over the same directory starts warm *)
+  let c2 = Cache.create ~capacity:4 ~dir () in
+  Alcotest.(check (option string)) "found via disk" (Some "spilled-value") (Cache.find c2 "k");
+  Alcotest.(check int) "counted as disk hit" 1 (Cache.stats c2).Cache.disk_hits;
+  (* now in memory: the next hit is free *)
+  ignore (Cache.find c2 "k");
+  Alcotest.(check int) "promoted to memory" 1 (Cache.stats c2).Cache.disk_hits
+
+let cache_eviction_keeps_disk () =
+  let dir = fresh_dir () in
+  let c = Cache.create ~capacity:1 ~dir () in
+  Cache.store c ~key:"a" "va";
+  Cache.store c ~key:"b" "vb";  (* evicts a from memory; disk still has it *)
+  Alcotest.(check int) "a was evicted" 1 (Cache.stats c).Cache.evictions;
+  Alcotest.(check (option string)) "a still answerable" (Some "va") (Cache.find c "a");
+  Alcotest.(check int) "via the spill dir" 1 (Cache.stats c).Cache.disk_hits
+
+(* -------------------------- scheduler ------------------------------- *)
+
+type gate = { gm : Mutex.t; gc : Condition.t; mutable opened : bool }
+
+let gate () = { gm = Mutex.create (); gc = Condition.create (); opened = false }
+
+let gate_wait g =
+  Mutex.lock g.gm;
+  while not g.opened do
+    Condition.wait g.gc g.gm
+  done;
+  Mutex.unlock g.gm
+
+let gate_open g =
+  Mutex.lock g.gm;
+  g.opened <- true;
+  Condition.broadcast g.gc;
+  Mutex.unlock g.gm
+
+let wait_until ?(tries = 2500) msg f =
+  let rec go tries =
+    if f () then ()
+    else if tries = 0 then Alcotest.failf "timed out waiting for %s" msg
+    else begin
+      Thread.delay 0.002;
+      go (tries - 1)
+    end
+  in
+  go tries
+
+(* Records executions; the job named "block" parks the executor until the
+   resume gate opens, letting tests fill the queue deterministically. *)
+let recording_sched ~queue_limit =
+  let log = ref [] in
+  let log_m = Mutex.create () in
+  let started = gate () in
+  let resume = gate () in
+  let exec (job : string Sched.job) ~followers =
+    Mutex.lock log_m;
+    log := (job.Sched.j_payload, List.map (fun (j : string Sched.job) -> j.Sched.j_payload) followers) :: !log;
+    Mutex.unlock log_m;
+    if job.Sched.j_payload = "block" then begin
+      gate_open started;
+      gate_wait resume
+    end
+  in
+  let sched = Sched.create ~queue_limit ~exec () in
+  let executed () =
+    Mutex.lock log_m;
+    let l = List.rev !log in
+    Mutex.unlock log_m;
+    l
+  in
+  (sched, started, resume, executed)
+
+let job client key payload = { Sched.j_client = client; j_key = key; j_payload = payload }
+
+let park sched started =
+  match Sched.submit sched (job 99 "key-block" "block") with
+  | `Admitted -> gate_wait started
+  | `Rejected _ -> Alcotest.fail "blocking job rejected"
+
+let sched_round_robin () =
+  let sched, started, resume, executed = recording_sched ~queue_limit:16 in
+  park sched started;
+  (* client 1 floods, then client 2 asks once — the flood must not starve it *)
+  List.iter
+    (fun j -> match Sched.submit sched j with `Admitted -> () | `Rejected _ -> Alcotest.fail "rejected")
+    [ job 1 "ka2" "a2"; job 1 "ka3" "a3"; job 1 "ka4" "a4"; job 2 "kb1" "b1" ];
+  gate_open resume;
+  wait_until "queue drain" (fun () -> List.length (executed ()) = 5 && Sched.depth sched = 0);
+  Sched.stop sched;
+  let order = List.map fst (executed ()) in
+  Alcotest.(check (list string))
+    "round-robin: the late b1 overtakes the flood's tail"
+    [ "block"; "a2"; "b1"; "a3"; "a4" ] order
+
+let sched_backpressure () =
+  let sched, started, resume, executed = recording_sched ~queue_limit:2 in
+  park sched started;
+  (match Sched.submit sched (job 1 "k1" "j1") with `Admitted -> () | `Rejected _ -> Alcotest.fail "j1");
+  (match Sched.submit sched (job 1 "k2" "j2") with `Admitted -> () | `Rejected _ -> Alcotest.fail "j2");
+  (match Sched.submit sched (job 2 "k3" "j3") with
+  | `Rejected (depth, limit) ->
+      Alcotest.(check (pair int int)) "explicit refusal with context" (2, 2) (depth, limit)
+  | `Admitted -> Alcotest.fail "queue overran its limit");
+  gate_open resume;
+  wait_until "queue drain" (fun () -> List.length (executed ()) = 3 && Sched.depth sched = 0);
+  Sched.stop sched;
+  (* the refused job never ran: no silent drop, no ghost execution *)
+  Alcotest.(check bool) "j3 never executed" false
+    (List.exists (fun (p, _) -> p = "j3") (executed ()))
+
+let sched_coalescing () =
+  let sched, started, resume, executed = recording_sched ~queue_limit:16 in
+  park sched started;
+  List.iter
+    (fun j -> match Sched.submit sched j with `Admitted -> () | `Rejected _ -> Alcotest.fail "rejected")
+    [ job 1 "same-key" "s1"; job 2 "same-key" "s2"; job 1 "other-key" "d1" ];
+  gate_open resume;
+  wait_until "queue drain" (fun () -> Sched.depth sched = 0 && List.length (executed ()) = 3);
+  Sched.stop sched;
+  let log = executed () in
+  (match List.find_opt (fun (p, _) -> p = "s1") log with
+  | Some (_, followers) ->
+      Alcotest.(check (list string)) "s2 rode along as a follower" [ "s2" ] followers
+  | None -> Alcotest.fail "s1 never executed");
+  Alcotest.(check bool) "s2 was not executed separately" false
+    (List.exists (fun (p, _) -> p = "s2") log);
+  Alcotest.(check bool) "the different key ran on its own" true
+    (List.exists (fun (p, f) -> p = "d1" && f = []) log)
+
+let sched_drop_client () =
+  let sched, started, resume, executed = recording_sched ~queue_limit:16 in
+  park sched started;
+  List.iter
+    (fun j -> match Sched.submit sched j with `Admitted -> () | `Rejected _ -> Alcotest.fail "rejected")
+    [ job 1 "k1" "dead1"; job 1 "k2" "dead2"; job 2 "k3" "alive" ];
+  Sched.drop_client sched 1;
+  gate_open resume;
+  wait_until "queue drain" (fun () -> Sched.depth sched = 0 && List.length (executed ()) = 2);
+  Sched.stop sched;
+  let ran = List.map fst (executed ()) in
+  Alcotest.(check (list string)) "dead client's queue vanished" [ "block"; "alive" ] ran
+
+(* ------------------------ server isolation -------------------------- *)
+
+let with_server f =
+  let socket = Printf.sprintf "test-svc-%d.sock" (Unix.getpid ()) in
+  let server = S.Server.start ~socket ~jobs:1 () in
+  Fun.protect ~finally:(fun () -> S.Server.stop server) (fun () -> f socket)
+
+let connect socket =
+  match S.Client.connect ~socket ~timeout:30.0 () with
+  | Ok c -> c
+  | Error e -> Alcotest.failf "connect: %s" e
+
+let server_unknown_query_keeps_conn () =
+  with_server @@ fun socket ->
+  let c = connect socket in
+  let q = { (List.hd sample_queries) with Proto.q_experiment = "E99" } in
+  (match S.Client.query c q with
+  | Error (Failure.Unknown_query _) -> ()
+  | Error f -> Alcotest.failf "expected unknown-query, got %s" (Failure.to_string f)
+  | Ok _ -> Alcotest.fail "E99 answered");
+  (* a usage error must not cost the connection *)
+  (match S.Client.ping c with
+  | Ok () -> ()
+  | Error f -> Alcotest.failf "connection died after a usage error: %s" (Failure.to_string f));
+  S.Client.close c
+
+let server_malformed_frame_closes () =
+  with_server @@ fun socket ->
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX socket);
+  Frame.write fd "this is|not a\\valid|request";
+  let dec = Frame.Decoder.create () in
+  (match Frame.read fd dec with
+  | Ok (Some payload) -> (
+      match Proto.decode_response payload with
+      | Ok (Proto.Error (Failure.Malformed_frame { seq = 1; _ })) -> ()
+      | Ok r ->
+          Alcotest.failf "expected malformed-frame, got %s"
+            (match r with
+            | Proto.Error f -> Failure.to_string f
+            | _ -> "a non-error response")
+      | Error e -> Alcotest.failf "unreadable error reply: %s" e)
+  | Ok None -> Alcotest.fail "server closed without the structured error"
+  | Error e -> Alcotest.failf "read: %s" e);
+  (match Frame.read fd dec with
+  | Ok None -> ()  (* the connection is gone, as Failure.closes_connection says *)
+  | Ok (Some _) -> Alcotest.fail "server kept talking on a poisoned stream"
+  | Error e -> Alcotest.failf "expected clean close, got %s" e);
+  Unix.close fd
+
+let server_hostile_length_prefix () =
+  with_server @@ fun socket ->
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX socket);
+  (* a 4 GiB length announcement: the server must refuse, not allocate *)
+  ignore (Unix.write fd (Bytes.of_string "\xff\xff\xff\xff") 0 4);
+  let dec = Frame.Decoder.create () in
+  (match Frame.read fd dec with
+  | Ok (Some payload) -> (
+      match Proto.decode_response payload with
+      | Ok (Proto.Error (Failure.Malformed_frame _)) -> ()
+      | _ -> Alcotest.fail "expected a malformed-frame error")
+  | Ok None -> Alcotest.fail "server closed without the structured error"
+  | Error e -> Alcotest.failf "read: %s" e);
+  Unix.close fd
+
+let () =
+  Alcotest.run "fair_service"
+    [ ( "frame",
+        [ Alcotest.test_case "split-point table (every byte boundary)" `Quick split_point_table;
+          Alcotest.test_case "byte-at-a-time feed" `Quick byte_at_a_time;
+          prop_chunked_reassembly;
+          Alcotest.test_case "oversized length is a sticky error" `Quick oversized_is_sticky;
+          Alcotest.test_case "write/read round trip over a socketpair" `Quick write_read_roundtrip;
+          Alcotest.test_case "EOF mid-frame is an error, not a clean end" `Quick
+            eof_mid_frame_is_error ] );
+      ( "proto",
+        [ Alcotest.test_case "request round trip" `Quick request_roundtrip;
+          Alcotest.test_case "response round trip" `Quick response_roundtrip;
+          prop_decode_request_total;
+          prop_decode_response_total;
+          Alcotest.test_case "cache key semantics" `Quick cache_key_semantics;
+          Alcotest.test_case "failure taxonomy JSON round trip" `Quick failure_json_roundtrip ] );
+      ( "cache",
+        [ Alcotest.test_case "memory round trip and stats" `Quick cache_memory_roundtrip;
+          Alcotest.test_case "LRU eviction respects recency" `Quick cache_lru_eviction;
+          Alcotest.test_case "disk spill survives a restart" `Quick cache_disk_spill;
+          Alcotest.test_case "eviction keeps the disk copy answerable" `Quick
+            cache_eviction_keeps_disk ] );
+      ( "sched",
+        [ Alcotest.test_case "round-robin across clients (no starvation)" `Quick sched_round_robin;
+          Alcotest.test_case "bounded queue refuses explicitly" `Quick sched_backpressure;
+          Alcotest.test_case "same-key jobs coalesce into one computation" `Quick sched_coalescing;
+          Alcotest.test_case "drop_client forgets pending work" `Quick sched_drop_client ] );
+      ( "server",
+        [ Alcotest.test_case "unknown query: structured error, connection survives" `Quick
+            server_unknown_query_keeps_conn;
+          Alcotest.test_case "malformed frame: structured error, then close" `Quick
+            server_malformed_frame_closes;
+          Alcotest.test_case "hostile length prefix refused" `Quick server_hostile_length_prefix ] ) ]
