@@ -1,0 +1,109 @@
+(* Compare two BENCH_mc.json snapshots and fail loudly on regressions.
+
+     dune exec bench/diff.exe -- OLD.json NEW.json
+
+   For every Bechamel kernel present in both snapshots, and for the named
+   throughput fields (Monte-Carlo trials/s, service cached queries/s), a
+   change worse than 25% exits nonzero — slower for ns/op rows, lower for
+   throughput rows.  Fields that are missing from either side, or null
+   (e.g. the Monte-Carlo speedup on a degraded single-core host), are
+   skipped with a note rather than treated as regressions: snapshots from
+   different schema versions stay comparable on their common subset.
+
+   25% is deliberately loose: Bechamel rows on a busy host jitter by
+   ~5-10%, and the point of this gate is catching the 2x cliffs that
+   follow an accidental deopt, not litigating noise. *)
+
+module J = Fairness.Json
+
+let threshold = 0.25
+
+let die fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 2) fmt
+
+let load path =
+  let ic = try open_in_bin path with Sys_error e -> die "bench-diff: %s" e in
+  let raw =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match J.of_string raw with
+  | Ok j -> j
+  | Error e -> die "bench-diff: %s: parse error: %s" path e
+
+(* Descend a path of object members; None when any hop is missing or the
+   leaf is not a finite number (null speedup, absent section...). *)
+let num_at path j =
+  let rec go path j =
+    match path with
+    | [] -> ( match J.to_float j with Ok v when Float.is_finite v -> Some v | _ -> None)
+    | k :: rest -> ( match J.member k j with Ok j' -> go rest j' | Error _ -> None)
+  in
+  go path j
+
+let kernels j =
+  match Result.bind (J.member "kernels" j) J.to_list with
+  | Error _ -> []
+  | Ok rows ->
+      List.filter_map
+        (fun row ->
+          match
+            ( Result.bind (J.member "name" row) J.to_str,
+              Result.bind (J.member "ns_per_op" row) J.to_float )
+          with
+          | Ok name, Ok ns when Float.is_finite ns -> Some (name, ns)
+          | _ -> None)
+        rows
+
+let regressions = ref 0
+let compared = ref 0
+
+(* [dir] is the bad direction: [`Up] for latencies (bigger is worse),
+   [`Down] for throughputs. *)
+let check ~label ~dir old_v new_v =
+  incr compared;
+  let frac =
+    match dir with
+    | `Up -> (new_v -. old_v) /. old_v  (* fraction slower *)
+    | `Down -> (old_v -. new_v) /. old_v  (* fraction less throughput *)
+  in
+  if old_v > 0.0 && frac > threshold then begin
+    incr regressions;
+    Printf.printf "REGRESSION %-52s %14.4g -> %-14.4g (%+.0f%%)\n" label old_v new_v
+      (100.0 *. (new_v -. old_v) /. old_v)
+  end
+
+let skip label = Printf.printf "skip       %-52s (missing or null on one side)\n" label
+
+let throughput_fields =
+  [ [ "montecarlo"; "seq_trials_per_sec" ];
+    [ "montecarlo"; "par_trials_per_sec" ];
+    [ "montecarlo"; "speedup" ];
+    [ "service"; "cached_queries_per_sec" ];
+    [ "service"; "cached_queries_per_sec_4_clients" ] ]
+
+let () =
+  let old_path, new_path =
+    match Sys.argv with
+    | [| _; o; n |] -> (o, n)
+    | _ -> die "usage: %s OLD.json NEW.json" Sys.argv.(0)
+  in
+  let old_j = load old_path and new_j = load new_path in
+  Printf.printf "bench-diff: %s -> %s (threshold %.0f%%)\n\n" old_path new_path
+    (100.0 *. threshold);
+  let old_k = kernels old_j in
+  List.iter
+    (fun (name, new_ns) ->
+      match List.assoc_opt name old_k with
+      | Some old_ns -> check ~label:name ~dir:`Up old_ns new_ns
+      | None -> skip name)
+    (kernels new_j);
+  List.iter
+    (fun path ->
+      let label = String.concat "." path in
+      match (num_at path old_j, num_at path new_j) with
+      | Some o, Some n -> check ~label ~dir:`Down o n
+      | _ -> skip label)
+    throughput_fields;
+  Printf.printf "\n%d field(s) compared, %d regression(s)\n" !compared !regressions;
+  exit (if !regressions = 0 then 0 else 1)

@@ -167,6 +167,80 @@ let run_parallel_comparison () =
     stats_delta s_before (Pl.pool_stats ()) )
 
 (* ------------------------------------------------------------------ *)
+(* Part 1b': best-response search — paired vs unpaired racer            *)
+(* ------------------------------------------------------------------ *)
+
+(* The search kernel the service actually serves: a budgeted E2 race with
+   the zoo aboard.  The paired racer runs at HALF the unpaired budget —
+   the claim under test is that CRN-paired elimination reaches an
+   incumbent of the same utility with ≤ half the engine executions.  Run
+   inside the metrics window so the race.* counters finally appear in
+   BENCH_mc.json with real traffic behind them. *)
+type search_bench = {
+  sb_experiment : string;
+  sb_unpaired_budget : int;
+  sb_unpaired_spent : int;
+  sb_unpaired_seconds : float;
+  sb_unpaired_utility : float;
+  sb_unpaired_std_err : float;
+  sb_unpaired_best : string;
+  sb_paired_budget : int;
+  sb_paired_spent : int;
+  sb_paired_seconds : float;
+  sb_paired_utility : float;
+  sb_paired_std_err : float;
+  sb_paired_best : string;
+  sb_half_executions : bool;  (* paired spent ≤ ½ unpaired spent *)
+  sb_same_value : bool;  (* winners' utilities within 3σ of each other *)
+}
+
+let run_search_bench () =
+  let module C = Fair_search.Certificate in
+  print_endline "=== Best-response search: paired vs unpaired racer (E2) ===\n";
+  let spec = match E.find "E2" with Some s -> s | None -> assert false in
+  let jobs = Fairness.Parallel.default_jobs in
+  let wall f =
+    let t0 = Fair_obs.Clock.now_ns () in
+    let r = f () in
+    (r, Fair_obs.Clock.elapsed_s ~since_ns:t0)
+  in
+  let search mode budget =
+    match E.searched ~budget ~zoo:true ~mode ~seed:42 ~jobs spec with
+    | Some c -> c
+    | None -> assert false
+  in
+  let unpaired_budget = 6000 in
+  let paired_budget = unpaired_budget / 2 in
+  let u, t_u = wall (fun () -> search Fair_search.Racing.Unpaired unpaired_budget) in
+  let p, t_p = wall (fun () -> search Fair_search.Racing.Paired paired_budget) in
+  let half = 2 * p.C.spent <= u.C.spent in
+  let same_value =
+    Float.abs (p.C.utility -. u.C.utility) <= 3.0 *. (p.C.std_err +. u.C.std_err)
+  in
+  let line tag (c : C.t) t =
+    Printf.printf "  %-9s budget %5d  spent %5d  %6.2f s  best %-22s u = %.4f ±%.4f\n" tag
+      c.C.budget c.C.spent t c.C.best_arm c.C.utility c.C.std_err
+  in
+  line "unpaired" u t_u;
+  line "paired" p t_p;
+  Printf.printf "  half-executions: %b   same-value incumbent (3σ): %b\n\n" half same_value;
+  { sb_experiment = "E2";
+    sb_unpaired_budget = unpaired_budget;
+    sb_unpaired_spent = u.C.spent;
+    sb_unpaired_seconds = t_u;
+    sb_unpaired_utility = u.C.utility;
+    sb_unpaired_std_err = u.C.std_err;
+    sb_unpaired_best = u.C.best_arm;
+    sb_paired_budget = paired_budget;
+    sb_paired_spent = p.C.spent;
+    sb_paired_seconds = t_p;
+    sb_paired_utility = p.C.utility;
+    sb_paired_std_err = p.C.std_err;
+    sb_paired_best = p.C.best_arm;
+    sb_half_executions = half;
+    sb_same_value = same_value }
+
+(* ------------------------------------------------------------------ *)
 (* Part 1c: the certificate service — cold vs cached query latency     *)
 (* ------------------------------------------------------------------ *)
 
@@ -178,7 +252,12 @@ let run_parallel_comparison () =
    throughput is limited by framing and scheduling, not by compute. *)
 type service_bench = {
   svc_budget : int;
+  svc_workers : int;  (* executor-pool size the daemon ran with *)
   svc_cold_seconds : float;
+  svc_cold_4concurrent_seconds : float;
+      (* 4 clients, 4 *distinct* cold queries at once: the executor-pool
+         overlap number — ≈ 4 × cold on one core, shrinking toward 1 ×
+         cold as workers get real cores *)
   svc_cached_seconds : float;  (* one warm query, same connection *)
   svc_cached_per_s : float;  (* sustained warm queries/s, 1 client *)
   svc_qps_4clients : float;  (* sustained warm queries/s, 4 concurrent clients *)
@@ -191,7 +270,8 @@ let run_service_bench () =
     Filename.concat (Filename.get_temp_dir_name ())
       (Printf.sprintf "fair-bench-%d.sock" (Unix.getpid ()))
   in
-  let server = S.Server.start ~socket ~jobs:Fairness.Parallel.default_jobs () in
+  let workers = min 4 (max 1 Fairness.Parallel.default_jobs) in
+  let server = S.Server.start ~socket ~jobs:Fairness.Parallel.default_jobs ~workers () in
   let budget = 2000 in
   let q =
     { S.Proto.q_kind = S.Proto.Search; q_experiment = "E1"; q_budget = budget;
@@ -217,6 +297,28 @@ let run_service_bench () =
   assert (not r_cold.S.Proto.r_cached);
   let r_warm, t_warm = wall (fun () -> query c) in
   assert r_warm.S.Proto.r_cached;
+  (* Executor-pool overlap: 4 clients fire 4 *distinct* cold queries
+     (distinct seeds → distinct cache keys, so no coalescing) at once.
+     With one worker this is ≈ 4 × the single-cold time; with real cores
+     behind the pool it approaches 1 ×. *)
+  let (), t_cold4 =
+    wall (fun () ->
+        let threads =
+          List.init 4 (fun i ->
+              Thread.create
+                (fun () ->
+                  let c = connect () in
+                  let r =
+                    match S.Client.query c { q with S.Proto.q_seed = 101 + i } with
+                    | Ok r -> r
+                    | Error f -> failwith ("service bench: " ^ S.Failure.to_string f)
+                  in
+                  assert (not r.S.Proto.r_cached);
+                  S.Client.close c)
+                ())
+        in
+        List.iter Thread.join threads)
+  in
   let reps = 200 in
   let (), t_sustained = wall (fun () -> for _ = 1 to reps do ignore (query c) done) in
   S.Client.close c;
@@ -237,13 +339,17 @@ let run_service_bench () =
   S.Server.stop server;
   let cached_per_s = float_of_int reps /. t_sustained in
   let qps4 = float_of_int (clients * reps) /. t_conc in
-  Printf.printf "  cold  (E1 search, budget %d)   %8.3f s\n" budget t_cold;
+  Printf.printf "  cold  (E1 search, budget %d)   %8.3f s   (workers=%d)\n" budget t_cold
+    workers;
+  Printf.printf "  cold x4 concurrent, distinct    %8.3f s\n" t_cold4;
   Printf.printf "  cached                          %8.6f s   (%.0fx faster)\n" t_warm
     (t_cold /. t_warm);
   Printf.printf "  cached sustained, 1 client      %8.0f queries/s\n" cached_per_s;
   Printf.printf "  cached sustained, %d clients     %8.0f queries/s\n\n" clients qps4;
   { svc_budget = budget;
+    svc_workers = workers;
     svc_cold_seconds = t_cold;
+    svc_cold_4concurrent_seconds = t_cold4;
     svc_cached_seconds = t_warm;
     svc_cached_per_s = cached_per_s;
     svc_qps_4clients = qps4 }
@@ -506,7 +612,10 @@ let run_timings () =
    of the Monte-Carlo comparison run (with per-worker pool utilization)
    and the derived disabled-hook overhead of the obs/* kernels.  Schema 3
    adds the service section: cold- vs cached-query latency and sustained
-   cached throughput at 1 and 4 concurrent clients. *)
+   cached throughput at 1 and 4 concurrent clients.  Schema 4 adds the
+   search section (paired vs unpaired racer on E2), nulls the Monte-Carlo
+   speedup on degraded single-core hosts, and extends the service section
+   with the executor-pool numbers (workers, 4-way concurrent cold). *)
 let kernel_ns kernels suffix =
   List.find_map
     (fun (name, ns) ->
@@ -517,7 +626,7 @@ let kernel_ns kernels suffix =
       else None)
     kernels
 
-let write_json ~path mc ~svc ~obs_metrics ~obs_pool kernels =
+let write_json ~path mc ~sb ~svc ~obs_metrics ~obs_pool kernels =
   let module J = Fairness.Json in
   let overhead =
     match (kernel_ns kernels "crypto/sha256-256B", kernel_ns kernels "obs/sha256-256B-span-disabled") with
@@ -527,7 +636,7 @@ let write_json ~path mc ~svc ~obs_metrics ~obs_pool kernels =
   in
   let json =
     J.Obj
-      [ ("schema", J.Str "fairness-bench/3");
+      [ ("schema", J.Str "fairness-bench/4");
         ( "montecarlo",
           J.Obj
             [ ("kernel", J.Str "optn-n5-vs-greedy-t4");
@@ -538,16 +647,42 @@ let write_json ~path mc ~svc ~obs_metrics ~obs_pool kernels =
               ("par_seconds", J.Num mc.par_seconds);
               ("seq_trials_per_sec", J.Num mc.seq_trials_per_s);
               ("par_trials_per_sec", J.Num mc.par_trials_per_s);
-              ("speedup", J.Num mc.speedup);
+              (* A single-core "speedup" is the sequential path racing
+                 itself: pure noise.  Null it so snapshot diffing can never
+                 mistake it for a regression signal. *)
+              ("speedup", if mc.degraded then J.Null else J.Num mc.speedup);
               ("bit_identical", J.Bool mc.bit_identical);
               ("degraded", J.Bool mc.degraded);
               ("par_pooled_batches", J.num_int mc.par_pooled_batches);
               ("par_inline_batches", J.num_int mc.par_inline_batches) ] );
+        ( "search",
+          J.Obj
+            [ ("kernel", J.Str (sb.sb_experiment ^ "-best-response"));
+              ( "unpaired",
+                J.Obj
+                  [ ("budget", J.num_int sb.sb_unpaired_budget);
+                    ("spent", J.num_int sb.sb_unpaired_spent);
+                    ("seconds", J.Num sb.sb_unpaired_seconds);
+                    ("best_arm", J.Str sb.sb_unpaired_best);
+                    ("utility", J.Num sb.sb_unpaired_utility);
+                    ("std_err", J.Num sb.sb_unpaired_std_err) ] );
+              ( "paired",
+                J.Obj
+                  [ ("budget", J.num_int sb.sb_paired_budget);
+                    ("spent", J.num_int sb.sb_paired_spent);
+                    ("seconds", J.Num sb.sb_paired_seconds);
+                    ("best_arm", J.Str sb.sb_paired_best);
+                    ("utility", J.Num sb.sb_paired_utility);
+                    ("std_err", J.Num sb.sb_paired_std_err) ] );
+              ("half_executions", J.Bool sb.sb_half_executions);
+              ("same_value", J.Bool sb.sb_same_value) ] );
         ( "service",
           J.Obj
             [ ("kernel", J.Str "E1-search");
               ("budget", J.num_int svc.svc_budget);
+              ("workers", J.num_int svc.svc_workers);
               ("cold_query_seconds", J.Num svc.svc_cold_seconds);
+              ("cold_4concurrent_seconds", J.Num svc.svc_cold_4concurrent_seconds);
               ("cached_query_seconds", J.Num svc.svc_cached_seconds);
               ("cached_queries_per_sec", J.Num svc.svc_cached_per_s);
               ("cached_queries_per_sec_4_clients", J.Num svc.svc_qps_4clients) ] );
@@ -574,6 +709,8 @@ let () =
      disabled fast path, which is what ships by default. *)
   Fair_obs.Metrics.enable ();
   let mc, pool_delta = run_parallel_comparison () in
+  (* Inside the metrics window so the race.* counters carry real traffic. *)
+  let sb = run_search_bench () in
   let obs_metrics = Fairness.Obs_json.metrics (Fair_obs.Metrics.snapshot ()) in
   (* The pool section is the delta over the comparison run, not the
      cumulative since-process-start counters (the experiment registry also
@@ -582,4 +719,4 @@ let () =
   Fair_obs.Metrics.disable ();
   let svc = run_service_bench () in
   let kernels = run_timings () in
-  write_json ~path:"BENCH_mc.json" mc ~svc ~obs_metrics ~obs_pool kernels
+  write_json ~path:"BENCH_mc.json" mc ~sb ~svc ~obs_metrics ~obs_pool kernels

@@ -177,6 +177,13 @@ let search_cmd =
     in
     Arg.(value & flag & info [ "zoo" ] ~doc)
   in
+  let unpaired_arg =
+    let doc =
+      "Use the unpaired racer (independent per-arm trial streams, full-budget discipline) \
+       instead of the default CRN-paired fast path.  Certificates record the mode either way."
+    in
+    Arg.(value & flag & info [ "unpaired" ] ~doc)
+  in
   let out_arg =
     let doc = "Directory to write one certificate JSON per search (created if missing)." in
     Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"DIR" ~doc)
@@ -194,8 +201,9 @@ let search_cmd =
     Certificate.save ~path c;
     Printf.eprintf "wrote %s\n%!" path
   in
-  let run id budget grid zoo out seed jobs markdown trace metrics =
+  let run id budget grid zoo unpaired out seed jobs markdown trace metrics =
     with_obs ~trace ~metrics @@ fun () ->
+    let mode = if unpaired then Fair_search.Racing.Unpaired else Fair_search.Racing.Paired in
     match grid with
     | Some kind ->
         let table =
@@ -219,7 +227,7 @@ let search_cmd =
                 Printf.eprintf "unknown experiment %S; try `fairness list`\n" id;
                 exit 2
         in
-        let certs = List.filter_map (E.searched ~budget ~zoo ~seed ~jobs) specs in
+        let certs = List.filter_map (E.searched ~budget ~zoo ~mode ~seed ~jobs) specs in
         if certs = [] then begin
           Printf.eprintf
             "%s has no search target (its number is not a supremum over adversaries)\n" id;
@@ -237,8 +245,8 @@ let search_cmd =
           trial budget (successive halving) and certify the searched best response against the \
           paper bound.")
     Term.(
-      const run $ id_arg $ budget_arg $ grid_arg $ zoo_arg $ out_arg $ seed_arg $ jobs_arg
-      $ markdown_arg $ trace_arg $ metrics_arg)
+      const run $ id_arg $ budget_arg $ grid_arg $ zoo_arg $ unpaired_arg $ out_arg $ seed_arg
+      $ jobs_arg $ markdown_arg $ trace_arg $ metrics_arg)
 
 let chaos_cmd =
   let faults_arg =
@@ -372,18 +380,28 @@ let serve_cmd =
     in
     Arg.(value & opt int 64 & info [ "queue-limit" ] ~docv:"N" ~doc)
   in
-  let run socket cache_dir capacity queue_limit jobs =
+  let workers_arg =
+    let doc =
+      "Executor-pool size: up to $(docv) cold queries compute concurrently (per-key \
+       ordering and coalescing preserved).  Defaults to min(4, domain-pool jobs)."
+    in
+    Arg.(value & opt (some int) None & info [ "workers" ] ~docv:"N" ~doc)
+  in
+  let run socket cache_dir capacity queue_limit workers jobs =
     let cache = Fair_service.Cache.create ~capacity ?dir:cache_dir () in
     let server =
-      try Fair_service.Server.start ~socket ~cache ~queue_limit ~jobs ()
+      try Fair_service.Server.start ~socket ~cache ~queue_limit ~jobs ?workers ()
       with Unix.Unix_error (e, _, _) ->
         Printf.eprintf "cannot listen on %s: %s\n" socket (Unix.error_message e);
         exit 1
     in
-    Printf.eprintf "fairness service listening on %s (cache %d%s, queue %d, jobs %d)\n%!"
+    Printf.eprintf
+      "fairness service listening on %s (cache %d%s, queue %d, workers %s, jobs %d)\n%!"
       socket capacity
       (match cache_dir with Some d -> Printf.sprintf ", spill %s" d | None -> "")
-      queue_limit jobs;
+      queue_limit
+      (match workers with Some w -> string_of_int w | None -> "auto")
+      jobs;
     let stop = ref false in
     let on_signal _ = stop := true in
     Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
@@ -402,7 +420,9 @@ let serve_cmd =
           Unix-domain socket, with a content-addressed certificate cache and fair \
           (round-robin, coalescing) scheduling of cache misses onto the domain pool.  \
           Results are byte-identical to the CLI at the same seed.")
-    Term.(const run $ socket_arg $ cache_dir_arg $ capacity_arg $ queue_limit_arg $ jobs_arg)
+    Term.(
+      const run $ socket_arg $ cache_dir_arg $ capacity_arg $ queue_limit_arg $ workers_arg
+      $ jobs_arg)
 
 let query_cmd =
   let module S = Fair_service in

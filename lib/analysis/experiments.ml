@@ -1217,7 +1217,15 @@ let find id =
    Gordon–Katz target the zoo carries protocol-specific attacks the
    generic parameterization lacks, and racing them keeps the certificate
    honest about which family the best response came from.) *)
-let searched ?(budget = 20_000) ?(zoo = false) ~seed ~jobs (s : spec) =
+(* [mode] picks the racer: [Paired] (the default fast path) drives every
+   arm over one shared trial grid ([Mc.Trial.seed_prefix seed]) so
+   elimination can read CRN-paired differences and settle early;
+   [Unpaired] is the independent-streams fallback (per-arm seed
+   [seed + 7919·(i+1)], full-budget discipline) — byte-for-byte the
+   pre-paired behaviour.  Either way the zoo arms race in the same pool,
+   so "searched ≥ zoo" stays a max over a superset. *)
+let searched ?(budget = 20_000) ?(zoo = false) ?(mode = Racing.Paired) ~seed ~jobs (s : spec)
+    =
   match s.target with
   | None -> None
   | Some mk ->
@@ -1227,16 +1235,32 @@ let searched ?(budget = 20_000) ?(zoo = false) ~seed ~jobs (s : spec) =
       let np = Array.length pts in
       let adversary i = if i < np then Space.compile t.s_space pts.(i) else zoo_arms.(i - np) in
       let arm_name i = (adversary i).Adversary.name in
-      let pull i ~lo ~hi =
-        Mc.sample ~overrides:t.s_target.Racing.overrides ~jobs:1
-          ~protocol:t.s_target.Racing.protocol ~adversary:(adversary i)
-          ~func:t.s_target.Racing.func ~gamma:t.s_target.Racing.gamma
-          ~env:t.s_target.Racing.env
-          ~seed:(seed + (7919 * (i + 1)))
-          ~lo ~hi (Mc.Acc.create ())
-      in
       let arms = List.init (np + Array.length zoo_arms) Fun.id in
-      let outcome = Racing.race ~jobs ~arms ~pull ~budget () in
+      let outcome =
+        match mode with
+        | Racing.Unpaired ->
+            let pull i ~lo ~hi =
+              Mc.sample ~overrides:t.s_target.Racing.overrides ~jobs:1
+                ~protocol:t.s_target.Racing.protocol ~adversary:(adversary i)
+                ~func:t.s_target.Racing.func ~gamma:t.s_target.Racing.gamma
+                ~env:t.s_target.Racing.env
+                ~seed:(seed + (7919 * (i + 1)))
+                ~lo ~hi (Mc.Acc.create ())
+            in
+            Racing.race ~jobs ~arms ~pull ~budget ()
+        | Racing.Paired ->
+            (* One seed prefix for the whole race: trial [t] of every arm
+               shares its environment draws and per-trial randomness. *)
+            let prefix = Mc.Trial.seed_prefix seed in
+            let pull i ~lo ~hi =
+              Array.init (hi - lo) (fun d ->
+                  Mc.Trial.run ~overrides:t.s_target.Racing.overrides
+                    ~protocol:t.s_target.Racing.protocol ~adversary:(adversary i)
+                    ~func:t.s_target.Racing.func ~gamma:t.s_target.Racing.gamma
+                    ~env:t.s_target.Racing.env ~prefix (lo + d))
+            in
+            Racing.race_paired ~jobs ~arms ~pull ~budget ()
+      in
       let zoo_best =
         if not zoo then None
         else
@@ -1251,11 +1275,11 @@ let searched ?(budget = 20_000) ?(zoo = false) ~seed ~jobs (s : spec) =
             None outcome.Racing.standings
       in
       Some
-        (Certificate.make ~experiment:s.eid ~seed ~budget ?zoo_best ~bound:t.s_bound
-           ~bound_label:t.s_bound_label ~outcome ~arm_name ())
+        (Certificate.make ~experiment:s.eid ~seed ~budget ~mode:(Racing.mode_name mode)
+           ?zoo_best ~bound:t.s_bound ~bound_label:t.s_bound_label ~outcome ~arm_name ())
 
-let search_summary ?budget ?zoo ~seed ~jobs () =
-  List.filter_map (searched ?budget ?zoo ~seed ~jobs) registry
+let search_summary ?budget ?zoo ?mode ~seed ~jobs () =
+  List.filter_map (searched ?budget ?zoo ?mode ~seed ~jobs) registry
 
 let search_table ?(markdown = false) certs =
   Report.render ~markdown ~header:Certificate.header (List.map Certificate.row certs)

@@ -77,6 +77,7 @@ val find : string -> spec option
 val searched :
   ?budget:int ->
   ?zoo:bool ->
+  ?mode:Fair_search.Racing.mode ->
   seed:int ->
   jobs:int ->
   spec ->
@@ -88,11 +89,18 @@ val searched :
     zoo's best raced estimate — so the searched best is a max over a
     superset of the zoo arms and dominates it by construction.  [None]
     iff the spec has no target.  Deterministic in ([budget], [seed]) —
-    [jobs] never changes the numbers. *)
+    [jobs] never changes the numbers.
+
+    [mode] (default [Paired]) picks the racer: the CRN shared-grid racer
+    ({!Fair_search.Racing.race_paired}) reaches the same incumbent at a
+    fraction of the engine executions and may stop early once only exact
+    ties survive; [Unpaired] restores independent per-arm streams with
+    full-budget discipline — byte-for-byte the pre-paired certificates. *)
 
 val search_summary :
   ?budget:int ->
   ?zoo:bool ->
+  ?mode:Fair_search.Racing.mode ->
   seed:int ->
   jobs:int ->
   unit ->

@@ -104,6 +104,19 @@ let finalize c =
     trials = c.count;
     pair_faults = c.faulted }
 
+(* Exposed for callers that drive their own trial loops (the paired racer
+   in [Fair_search.Racing] feeds arm histories through this directly). *)
+module Bacc = struct
+  type t = bacc
+
+  let create = bacc_create
+  let observe = bacc_observe
+  let void c = c.faulted <- c.faulted + 1
+  let count c = c.count
+  let merge = bacc_merge
+  let finalize = finalize
+end
+
 type leg = { protocol : Protocol.t; adversary : Adversary.t; gamma : Payoff.t }
 
 let paired ?(overrides = Events.no_overrides) ?(jobs = Parallel.default_jobs) ?inject

@@ -51,6 +51,31 @@ type paired = {
   pair_faults : int;  (** pairs voided because either leg raised *)
 }
 
+(** The bivariate Welford/Chan accumulator behind {!paired}, exposed for
+    callers that drive their own trial loops — notably the paired racer in
+    [Fair_search.Racing], which replays per-arm payoff histories against
+    the incumbent's.  Observations must be fed (or accumulators merged) in
+    trial order for results to be deterministic. *)
+module Bacc : sig
+  type t
+
+  val create : unit -> t
+
+  val observe : t -> float -> float -> unit
+  (** [observe c xa xb] adds one pair (leg [a] payoff, leg [b] payoff). *)
+
+  val void : t -> unit
+  (** Void one pair (either leg faulted); counted in [pair_faults]. *)
+
+  val count : t -> int
+  (** Completed (non-void) pairs so far. *)
+
+  val merge : t -> t -> t
+  (** [merge x y] folds [y] into [x] (Chan et al.) and returns [x]. *)
+
+  val finalize : t -> paired
+end
+
 val paired :
   ?overrides:Events.overrides ->
   ?jobs:int ->

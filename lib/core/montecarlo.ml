@@ -184,6 +184,11 @@ let fire_progress p =
   | None -> ()
   | Some f -> ( try f p with e when not (fatal e) -> ())
 
+(* Public face of [fire_progress]: callers that drive their own trial
+   loops through {!Trial.run} (the paired racer) bypass [estimate]/[sample]
+   and so must feed the progress stream themselves. *)
+let notify_progress = fire_progress
+
 (* One classified trial, decoupled from any accumulator so paired designs
    ({!Crn}) can observe the same (seed, i) stream under several
    configurations.  Returns [None] when the trial raised (trial-level
@@ -356,6 +361,11 @@ module Acc = struct
      event bookkeeping stays at its E00 default. *)
   let observe a payoff =
     acc_observe a ~payoff ~event:Events.E00 ~n_corrupted:0 ~breach:false
+
+  (* Same bookkeeping [estimate]'s inner loop applies to a faulted trial:
+     callers that drive trials themselves (the paired racer) use this so
+     their finalized estimates carry honest [trial_faults]. *)
+  let record_fault a = a.faulted <- a.faulted + 1
 end
 
 let sample ?(overrides = Events.no_overrides) ?(jobs = Parallel.default_jobs) ?inject
@@ -386,6 +396,13 @@ module Trial = struct
   let run ?(overrides = Events.no_overrides) ?inject ~protocol ~adversary ~func ~gamma ~env
       ~prefix i =
     observe_trial ~overrides ~inject ~protocol ~adversary ~func ~gamma ~env ~prefix i
+
+  (* Fold one observation into an accumulator with the full event
+     bookkeeping [estimate]'s inner loop applies — so an accumulator grown
+     trial-by-trial finalizes to the same estimate a batched run yields. *)
+  let observe a (o : obs) =
+    acc_observe a ~payoff:o.t_payoff ~event:o.t_event ~n_corrupted:o.t_corrupted
+      ~breach:o.t_breach
 end
 
 let estimate_with_cost e ~cost =

@@ -124,6 +124,13 @@ val set_progress_hook : (convergence_point -> unit) option -> unit
     swallowed.  Used by the certificate service ({!Fair_service}) to stream
     progress frames; defaults to [None]. *)
 
+val notify_progress : convergence_point -> unit
+(** Fire the installed progress hook (no-op when none is installed).  For
+    callers that drive their own trial loops through {!Trial.run} — e.g.
+    the paired racer in [Fair_search.Racing] — and therefore bypass the
+    firing points inside {!estimate}/{!sample}.  Non-fatal hook exceptions
+    are swallowed, exactly as for the internal firing points. *)
+
 (** {2 Incremental accumulation}
 
     The best-response racing scheduler ({!Fair_search.Racing}) grows
@@ -151,6 +158,10 @@ module Acc : sig
   val observe : t -> float -> unit
   (** Record a bare payoff — for synthetic workloads (scheduler tests,
       generic bandit arms) that have no protocol execution behind them. *)
+
+  val record_fault : t -> unit
+  (** Count one faulted (excluded) trial, as {!estimate}'s inner loop does
+      — callers that drive trials themselves keep [trial_faults] honest. *)
 
   val finalize : t -> estimate
 end
@@ -208,6 +219,13 @@ module Trial : sig
   (** [None] when the trial raised (trial-level isolation; metric
       [mc.trial_faults] is bumped).  Callers own fault accounting and
       budgets. *)
+
+  val observe : Acc.t -> obs -> unit
+  (** Fold one observation into an accumulator with the full event
+      bookkeeping {!estimate}'s inner loop applies, so an accumulator grown
+      trial-by-trial finalizes to the same estimate a batched run yields
+      (observations must be fed, or accumulators merged, in trial order for
+      bit-identical results). *)
 end
 
 val estimate_with_cost : estimate -> cost:(int -> float) -> float

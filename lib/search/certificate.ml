@@ -8,6 +8,7 @@ type t = {
   budget : int;
   spent : int;
   rounds : int;
+  mode : string;
   arms_total : int;
   arms_surviving : int;
   best_arm : string;
@@ -21,7 +22,7 @@ type t = {
   within_bound : bool;
 }
 
-let make ~experiment ~seed ~budget ?zoo_best ~bound ~bound_label
+let make ~experiment ~seed ~budget ?(mode = "unpaired") ?zoo_best ~bound ~bound_label
     ~(outcome : 'a Racing.outcome) ~arm_name () =
   let e = outcome.Racing.best_estimate in
   let surviving =
@@ -33,6 +34,7 @@ let make ~experiment ~seed ~budget ?zoo_best ~bound ~bound_label
     budget;
     spent = outcome.Racing.spent;
     rounds = outcome.Racing.rounds;
+    mode;
     arms_total = List.length outcome.Racing.standings;
     arms_surviving = surviving;
     best_arm = arm_name outcome.Racing.best;
@@ -52,6 +54,7 @@ let to_json c =
       ("budget", Json.num_int c.budget);
       ("spent", Json.num_int c.spent);
       ("rounds", Json.num_int c.rounds);
+      ("mode", Json.Str c.mode);
       ("arms_total", Json.num_int c.arms_total);
       ("arms_surviving", Json.num_int c.arms_surviving);
       ("best_arm", Json.Str c.best_arm);
@@ -74,6 +77,11 @@ let of_json j =
   let* budget = Result.bind (member "budget" j) to_int in
   let* spent = Result.bind (member "spent" j) to_int in
   let* rounds = Result.bind (member "rounds" j) to_int in
+  (* Tolerant default: certificates written before the paired racer carry
+     no mode tag; they were all unpaired. *)
+  let mode =
+    match Result.bind (member "mode" j) to_str with Ok m -> m | Error _ -> "unpaired"
+  in
   let* arms_total = Result.bind (member "arms_total" j) to_int in
   let* arms_surviving = Result.bind (member "arms_surviving" j) to_int in
   let* best_arm = Result.bind (member "best_arm" j) to_str in
@@ -98,6 +106,7 @@ let of_json j =
       budget;
       spent;
       rounds;
+      mode;
       arms_total;
       arms_surviving;
       best_arm;
@@ -128,13 +137,14 @@ let load ~path =
       of_string s
 
 let header =
-  [ "id"; "arms"; "spent/budget"; "best arm (searched)"; "searched"; "zoo best"; "bound";
-    "margin"; "verdict" ]
+  [ "id"; "arms"; "spent/budget"; "mode"; "best arm (searched)"; "searched"; "zoo best";
+    "bound"; "margin"; "verdict" ]
 
 let row c =
   [ c.experiment;
     Printf.sprintf "%d→%d" c.arms_total c.arms_surviving;
     Printf.sprintf "%d/%d" c.spent c.budget;
+    c.mode;
     c.best_arm;
     Report.fmt_pm c.utility c.std_err;
     (match c.zoo_best with

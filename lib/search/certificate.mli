@@ -15,6 +15,10 @@ type t = {
   budget : int;  (** trial budget offered *)
   spent : int;  (** trials actually consumed (≤ budget) *)
   rounds : int;  (** racing rounds run *)
+  mode : string;
+      (** ["paired"] (CRN shared-grid racer) or ["unpaired"] (independent
+          per-arm streams); certificates predating the tag parse as
+          ["unpaired"] *)
   arms_total : int;
   arms_surviving : int;
   best_arm : string;  (** winning strategy's name *)
@@ -33,6 +37,7 @@ val make :
   experiment:string ->
   seed:int ->
   budget:int ->
+  ?mode:string ->
   ?zoo_best:string * float ->
   bound:float ->
   bound_label:string ->

@@ -24,7 +24,16 @@
     and elimination reads the merged accumulators — so the whole race (and
     any certificate derived from it) is bit-identical for every [jobs]
     value; parallelism only decides which domain evaluates which arm
-    ({!Fairness.Parallel.map_list}). *)
+    ({!Fairness.Parallel.map_list}).
+
+    {b Paired racing.} {!race_paired} is the fast path: all surviving arms
+    pull the {e same} trial indices of a shared seed grid, and elimination
+    reads the common-random-numbers paired difference against the incumbent
+    ({!Fairness.Crn}) instead of two independent intervals — correlated
+    arms get dramatically tighter gaps per trial, and the race can {e
+    settle} (stop early) once only exact ties of the incumbent survive.
+    {!race} remains the unpaired fallback with independent per-arm streams,
+    which is what makes "searched ≥ zoo" an exact structural comparison. *)
 
 module Mc = Fairness.Montecarlo
 
@@ -80,6 +89,60 @@ val race :
     boundaries chunk-aligned); [z] defaults to 3.
     @raise Invalid_argument on an empty arm list, [budget < 1], [batch0 < 1]
     or [z < 0]. *)
+
+(** {2 Paired racing} *)
+
+type mode = Paired | Unpaired
+
+val mode_name : mode -> string
+(** ["paired"] / ["unpaired"] — the tag certificates carry. *)
+
+val race_paired :
+  ?batch0:int ->
+  ?z:float ->
+  ?jobs:int ->
+  ?min_pulls:int ->
+  arms:'a list ->
+  pull:('a -> lo:int -> hi:int -> Mc.Trial.obs option array) ->
+  budget:int ->
+  unit ->
+  'a outcome
+(** Race on a {e shared} seed grid with CRN-paired elimination.
+
+    [pull arm ~lo ~hi] must return the observations of trials [\[lo, hi)]
+    of the {e shared} grid under [arm] ([None] = the trial faulted, as from
+    {!Mc.Trial.run}): trial [t] must derive its environment and per-trial
+    randomness from [t] alone — identical across arms — which is exactly
+    what driving {!Mc.Trial.run} with one [seed_prefix] for every arm
+    gives.  Ranges are contiguous and increasing; every survivor is asked
+    for the same range each round, so all live histories cover the same
+    grid prefix.
+
+    Scheduling: doubling batches from a first batch of
+    [min batch0 (max 16 (budget / 4k))] (shrunk so wide spaces get several
+    elimination rounds); the incumbent is the best {e marginal} lower bound
+    exactly as in {!race}.  A rival dies when its paired difference against
+    the incumbent is bounded below zero: [diff + z·diff_std_err < 0], with
+    [diff]/[diff_std_err] from the bivariate Welford/Chan accumulator over
+    the common trials ({!Fairness.Crn.Bacc}; pairs where either leg faulted
+    are voided; at least 2 completed pairs are required).  A rival whose
+    history is bitwise-identical to the incumbent's is an {e exact tie}
+    ([diff = 0] and [diff_std_err = 0], exactly — identical recurrences
+    cancel bitwise) and is never killed; it keeps pulling alongside the
+    incumbent so its marginal stays bitwise-equal.  Once every surviving
+    rival is an exact tie and the incumbent holds at least [min_pulls]
+    (default 256) trials, the race {e settles}: fresh shared trials can
+    never separate bitwise-equal histories, so it stops instead of
+    spending the rest of the budget (metric [race.settled]).
+
+    Determinism: batches are merged in arm order on the scheduling domain
+    and every decision reads merged accumulators/histories, so outcomes are
+    bit-identical at any [jobs] value.  Fires the {!Mc.set_progress_hook}
+    stream once per round with the incumbent's running marginal.
+
+    @raise Invalid_argument on an empty arm list, [budget < 1],
+    [batch0 < 1], [z < 0], [min_pulls < 1], or a [pull] returning a
+    wrong-sized batch. *)
 
 (** {2 Monte-Carlo-backed racing} *)
 

@@ -1,9 +1,11 @@
 module Metrics = Fair_obs.Metrics
+module Sha256 = Fair_crypto.Sha256
 
 let c_hits = Metrics.counter "service.cache.hits"
 let c_misses = Metrics.counter "service.cache.misses"
 let c_evictions = Metrics.counter "service.cache.evictions"
 let c_disk_hits = Metrics.counter "service.cache.disk_hits"
+let c_disk_corrupt = Metrics.counter "service.cache.disk_corrupt"
 
 (* Classic doubly-linked LRU: the table maps key -> node, the list is
    recency-ordered with [head] = most recent.  All mutation happens under
@@ -96,6 +98,28 @@ let insert t key value =
    certificate artifact. *)
 let spill_path dir key = Filename.concat dir (key ^ ".entry")
 
+(* Spilled entries are integrity-framed: a 64-hex SHA-256 of the value,
+   then the value.  The atomic tmp+rename publish protects against torn
+   writes from this process, but not against what the filesystem does to
+   the bytes afterwards (truncation, corruption, a stray editor) — and a
+   poisoned entry would otherwise be served verbatim, indistinguishable
+   from a genuine certificate.  A failed check deletes the file and reads
+   as a miss: recompute, re-spill. *)
+let digest_len = 64
+
+let envelope value = Sha256.hex_digest value ^ value
+
+let unseal entry =
+  if String.length entry < digest_len then None
+  else
+    let d = String.sub entry 0 digest_len in
+    let body = String.sub entry digest_len (String.length entry - digest_len) in
+    if String.equal (Sha256.hex_digest body) d then Some body else None
+
+(* Unique tmp names without consulting thread identity: workers may run on
+   bare domains, where the [Thread] library is not necessarily live. *)
+let tmp_seq = Atomic.make 0
+
 let disk_read t key =
   match t.sdir with
   | None -> None
@@ -103,12 +127,22 @@ let disk_read t key =
       let path = spill_path dir key in
       match open_in_bin path with
       | exception Sys_error _ -> None
-      | ic ->
-          Fun.protect
-            ~finally:(fun () -> close_in_noerr ic)
-            (fun () ->
-              let len = in_channel_length ic in
-              try Some (really_input_string ic len) with End_of_file -> None))
+      | ic -> (
+          let raw =
+            Fun.protect
+              ~finally:(fun () -> close_in_noerr ic)
+              (fun () ->
+                let len = in_channel_length ic in
+                try Some (really_input_string ic len) with End_of_file -> None)
+          in
+          match Option.map unseal raw with
+          | Some (Some body) -> Some body
+          | Some None ->
+              (* Corrupt on disk: drop it so the slot heals on re-spill. *)
+              Metrics.incr c_disk_corrupt;
+              (try Sys.remove path with Sys_error _ -> ());
+              None
+          | None -> None))
 
 let disk_write t key value =
   match t.sdir with
@@ -119,13 +153,14 @@ let disk_write t key value =
          writers racing on the same key both leave a complete one. *)
       let tmp =
         Filename.concat dir
-          (Printf.sprintf ".%s.%d.%d.tmp" key (Unix.getpid ()) (Thread.id (Thread.self ())))
+          (Printf.sprintf ".%s.%d.%d.tmp" key (Unix.getpid ())
+             (Atomic.fetch_and_add tmp_seq 1))
       in
       try
         let oc = open_out_bin tmp in
         Fun.protect
           ~finally:(fun () -> close_out_noerr oc)
-          (fun () -> output_string oc value);
+          (fun () -> output_string oc (envelope value));
         Sys.rename tmp (spill_path dir key)
       with Sys_error _ | Unix.Unix_error _ -> ( try Sys.remove tmp with Sys_error _ -> ()))
 

@@ -12,6 +12,14 @@
     to disk, so eviction is a pure memory drop and a server restart starts
     warm.  A disk hit is promoted back into memory.
 
+    Disk integrity.  Spilled entries are framed as a 64-hex SHA-256 of the
+    value followed by the value; a read that fails the check (truncated,
+    garbled, or otherwise tampered-with file) deletes the file, counts
+    under [service.cache.disk_corrupt], and reads as a {e miss} — the
+    caller recomputes and the re-spill heals the slot.  A corrupt spill
+    can therefore cost one recomputation but can never serve poisoned
+    bytes or wedge a connection.
+
     Thread-safe (all operations take the cache lock; values are immutable
     strings).  Counted under [service.cache.{hits,misses,evictions}] (plus
     [service.cache.disk_hits]) when metrics are enabled, mirrored in

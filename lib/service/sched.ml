@@ -1,19 +1,30 @@
 module Metrics = Fair_obs.Metrics
+module Clock = Fair_obs.Clock
 
 let c_admitted = Metrics.counter "service.sched.admitted"
 let c_rejected = Metrics.counter "service.sched.rejected"
 let c_coalesced = Metrics.counter "service.sched.coalesced"
 let c_exec_failures = Metrics.counter "service.sched.exec_failures"
 let g_depth = Metrics.gauge "service.sched.depth"
+let g_concurrency = Metrics.gauge "service.sched.concurrency"
+
+let h_queue_latency =
+  Metrics.histogram
+    ~buckets:[| 1e-4; 1e-3; 1e-2; 0.1; 1.0; 10.0 |]
+    "service.sched.queue_latency_s"
 
 type 'a job = { j_client : int; j_key : string; j_payload : 'a }
+
+(* Queue entries carry their admission timestamp so dispatch can observe
+   how long the job sat behind the executor pool. *)
+type 'a entry = { job : 'a job; t_submit : int }
 
 (* Per-client FIFO plus a [queued] flag keeping the invariant: a client id
    sits in [rotation] exactly once iff its flag is set.  Dispatch pops the
    rotation head, takes one job, and re-appends the id only if its queue
    still has work — textbook round-robin, so a flood from one client costs
    every other client at most one queue position per own request. *)
-type 'a client = { q : 'a job Queue.t; mutable queued : bool }
+type 'a client = { q : 'a entry Queue.t; mutable queued : bool }
 
 type 'a t = {
   limit : int;
@@ -22,9 +33,11 @@ type 'a t = {
   work : Condition.t;
   clients : (int, 'a client) Hashtbl.t;
   rotation : int Queue.t;
+  inflight : (string, unit) Hashtbl.t;  (** keys currently executing *)
   mutable pending : int;
+  mutable active : int;  (** leaders currently inside [exec] *)
   mutable stopped : bool;
-  mutable thread : Thread.t option;
+  mutable domains : unit Domain.t list;
 }
 
 let with_lock t f =
@@ -32,69 +45,111 @@ let with_lock t f =
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
 (* Fatal exceptions must still kill the process; everything else raised by
-   [exec] is contained so one poisoned query cannot take the executor (and
+   [exec] is contained so one poisoned query cannot take a worker (and
    with it every other client's service) down. *)
 let fatal = function Stack_overflow | Out_of_memory | Assert_failure _ -> true | _ -> false
 
-(* Caller holds the lock.  Pick the next leader round-robin, then sweep
-   every client queue for jobs sharing its content address: they ride the
-   leader's computation instead of re-running it (single-flight batching
-   onto the domain pool). *)
-let rec take_next t =
-  match Queue.take_opt t.rotation with
-  | None -> None
-  | Some cid -> (
-      match Hashtbl.find_opt t.clients cid with
-      | None -> take_next t (* client dropped while queued *)
-      | Some c -> (
-          c.queued <- false;
-          match Queue.take_opt c.q with
-          | None -> take_next t
-          | Some leader ->
-              t.pending <- t.pending - 1;
-              if not (Queue.is_empty c.q) then begin
-                c.queued <- true;
-                Queue.add cid t.rotation
-              end;
-              let followers = ref [] in
-              let sweep _cid (c : 'a client) =
-                let keep = Queue.create () in
-                Queue.iter
-                  (fun j ->
-                    if j.j_key = leader.j_key then begin
-                      followers := j :: !followers;
-                      t.pending <- t.pending - 1;
-                      Metrics.incr c_coalesced
-                    end
-                    else Queue.add j keep)
-                  c.q;
-                Queue.clear c.q;
-                Queue.transfer keep c.q
-              in
-              Hashtbl.iter sweep t.clients;
-              Metrics.set_gauge g_depth (float_of_int t.pending);
-              Some (leader, List.rev !followers)))
+(* Caller holds the lock.  Pick the next dispatchable leader round-robin,
+   then sweep every client queue for jobs sharing its content address: they
+   ride the leader's computation instead of re-running it (single-flight
+   batching onto the domain pool).
 
-let executor t () =
+   Per-key ordering with several workers: a client whose {e head} job
+   carries a key that is already executing is skipped (re-appended to the
+   rotation) rather than dispatched — head-of-line blocking on purpose, so
+   two jobs with the same key can never run concurrently, and same-key jobs
+   from one client complete in submission order.  [scanned] bounds the scan
+   to one rotation lap: when every queued head is inflight-blocked the
+   caller gets [None] and waits for a completion broadcast. *)
+let take_next t =
+  let lap = Queue.length t.rotation in
+  let rec go scanned =
+    if scanned >= lap then None
+    else
+      match Queue.take_opt t.rotation with
+      | None -> None
+      | Some cid -> (
+          match Hashtbl.find_opt t.clients cid with
+          | None -> go scanned (* client dropped while queued *)
+          | Some c -> (
+              match Queue.peek_opt c.q with
+              | None ->
+                  c.queued <- false;
+                  go scanned
+              | Some head when Hashtbl.mem t.inflight head.job.j_key ->
+                  Queue.add cid t.rotation;
+                  go (scanned + 1)
+              | Some _ ->
+                  let leader = Queue.take c.q in
+                  t.pending <- t.pending - 1;
+                  if not (Queue.is_empty c.q) then Queue.add cid t.rotation
+                  else c.queued <- false;
+                  let followers = ref [] in
+                  let sweep _cid (c : 'a client) =
+                    let keep = Queue.create () in
+                    Queue.iter
+                      (fun e ->
+                        if e.job.j_key = leader.job.j_key then begin
+                          followers := e :: !followers;
+                          t.pending <- t.pending - 1;
+                          Metrics.incr c_coalesced
+                        end
+                        else Queue.add e keep)
+                      c.q;
+                    Queue.clear c.q;
+                    Queue.transfer keep c.q
+                  in
+                  Hashtbl.iter sweep t.clients;
+                  Metrics.set_gauge g_depth (float_of_int t.pending);
+                  Hashtbl.replace t.inflight leader.job.j_key ();
+                  t.active <- t.active + 1;
+                  Metrics.set_gauge g_concurrency (float_of_int t.active);
+                  let observe e =
+                    Metrics.observe h_queue_latency (Clock.elapsed_s ~since_ns:e.t_submit)
+                  in
+                  observe leader;
+                  List.iter observe !followers;
+                  Some (leader.job, List.rev_map (fun e -> e.job) !followers)))
+  in
+  go 0
+
+let worker t () =
   let rec loop () =
     let next =
       with_lock t (fun () ->
-          while (not t.stopped) && t.pending = 0 do
-            Condition.wait t.work t.lock
-          done;
-          if t.stopped then None else take_next t)
+          let rec await () =
+            if t.stopped then None
+            else
+              match take_next t with
+              | Some x -> Some x
+              | None ->
+                  (* Nothing dispatchable: queue empty, or every head is
+                     blocked behind an inflight key.  Both states change
+                     only under a broadcast. *)
+                  Condition.wait t.work t.lock;
+                  await ()
+          in
+          await ())
     in
     match next with
     | None -> ()
     | Some (leader, followers) ->
         (try t.exec leader ~followers
          with e when not (fatal e) -> Metrics.incr c_exec_failures);
+        with_lock t (fun () ->
+            Hashtbl.remove t.inflight leader.j_key;
+            t.active <- t.active - 1;
+            Metrics.set_gauge g_concurrency (float_of_int t.active);
+            (* A completed key may unblock several waiting heads, and new
+               work may have queued while we computed: wake everyone. *)
+            Condition.broadcast t.work);
         loop ()
   in
   loop ()
 
-let create ~queue_limit ~exec () =
+let create ~queue_limit ?(workers = 1) ~exec () =
   if queue_limit < 0 then invalid_arg "Sched.create: queue_limit < 0";
+  if workers < 1 then invalid_arg "Sched.create: workers < 1";
   let t =
     { limit = queue_limit;
       exec;
@@ -102,11 +157,16 @@ let create ~queue_limit ~exec () =
       work = Condition.create ();
       clients = Hashtbl.create 16;
       rotation = Queue.create ();
+      inflight = Hashtbl.create 16;
       pending = 0;
+      active = 0;
       stopped = false;
-      thread = None }
+      domains = [] }
   in
-  t.thread <- Some (Thread.create (executor t) ());
+  (* Workers are domains, not threads: the point of the pool is that
+     independent cold queries overlap on multi-core hosts, and OCaml
+     threads within one domain never run in parallel. *)
+  t.domains <- List.init workers (fun _ -> Domain.spawn (worker t));
   t
 
 let submit t job =
@@ -122,7 +182,7 @@ let submit t job =
                 Hashtbl.replace t.clients job.j_client c;
                 c
           in
-          Queue.add job c.q;
+          Queue.add { job; t_submit = Clock.now_ns () } c.q;
           if not c.queued then begin
             c.queued <- true;
             Queue.add job.j_client t.rotation
@@ -149,13 +209,15 @@ let drop_client t cid =
 
 let depth t = with_lock t (fun () -> t.pending)
 
+let concurrency t = with_lock t (fun () -> t.active)
+
 let stop t =
-  let th =
+  let ds =
     with_lock t (fun () ->
         t.stopped <- true;
         Condition.broadcast t.work;
-        let th = t.thread in
-        t.thread <- None;
-        th)
+        let ds = t.domains in
+        t.domains <- [];
+        ds)
   in
-  Option.iter Thread.join th
+  List.iter Domain.join ds

@@ -12,11 +12,25 @@
     joins it as a follower and is answered by the leader's single
     computation on the domain pool).
 
-    One executor thread owns all computation, calling [exec] outside the
-    scheduler lock.  Admission ({!submit}) is called from connection
-    threads and only ever touches the queue under the lock, so a slow
-    computation can never block admission — the queue simply fills and
-    refusals become immediate. *)
+    {b Executor pool.}  Computation runs on a small pool of worker
+    {e domains} ([workers], default 1), so independent cold queries overlap
+    on multi-core hosts.  Per-key ordering survives the pool: a key is
+    marked {e inflight} while a leader executes, and a client whose head
+    job carries an inflight key is skipped at dispatch (head-of-line
+    blocking by design) — two jobs with the same content address never run
+    concurrently, and same-key jobs complete in submission order.
+    Coalescing is unchanged: the sweep happens at dispatch under the lock,
+    and later same-key arrivals wait for the inflight run to finish before
+    becoming a fresh leader (by then the answer is in cache).  Admission
+    ({!submit}) only ever touches the queue under the lock, so slow
+    computations can never block admission — the queue simply fills and
+    refusals become immediate.
+
+    Telemetry: [service.sched.admitted]/[rejected]/[coalesced]/
+    [exec_failures] counters, [service.sched.depth] and
+    [service.sched.concurrency] gauges (queued jobs / leaders currently
+    executing), and the [service.sched.queue_latency_s] histogram
+    (admission → dispatch, observed for leaders and followers alike). *)
 
 type 'a job = {
   j_client : int;  (** connection id, the unit of fairness *)
@@ -26,16 +40,22 @@ type 'a job = {
 
 type 'a t
 
-val create : queue_limit:int -> exec:('a job -> followers:'a job list -> unit) -> unit -> 'a t
-(** Starts the executor thread.  [exec] runs on it, outside the lock; an
-    exception escaping [exec] is contained (counted under
-    [service.sched.exec_failures]) and never kills the executor.
-    @raise Invalid_argument if [queue_limit < 0]. *)
+val create :
+  queue_limit:int ->
+  ?workers:int ->
+  exec:('a job -> followers:'a job list -> unit) ->
+  unit ->
+  'a t
+(** Starts [workers] (default 1) executor domains.  [exec] runs on a
+    worker, outside the lock; an exception escaping [exec] is contained
+    (counted under [service.sched.exec_failures]) and never kills the
+    worker.
+    @raise Invalid_argument if [queue_limit < 0] or [workers < 1]. *)
 
 val submit : 'a t -> 'a job -> [ `Admitted | `Rejected of int * int ]
 (** [`Rejected (depth, limit)] when the queue already holds [depth ≥ limit]
     jobs (backpressure) or the scheduler is stopped.  Never blocks on the
-    executor. *)
+    executors. *)
 
 val drop_client : 'a t -> int -> unit
 (** Forget every pending job of a dead connection (jobs already dispatched
@@ -44,6 +64,9 @@ val drop_client : 'a t -> int -> unit
 val depth : 'a t -> int
 (** Jobs admitted and not yet dispatched. *)
 
+val concurrency : 'a t -> int
+(** Leaders currently inside [exec] (≤ [workers]). *)
+
 val stop : 'a t -> unit
-(** Refuse new work, let the in-flight [exec] finish, discard the rest of
-    the queue, and join the executor thread.  Idempotent. *)
+(** Refuse new work, let in-flight [exec]s finish, discard the rest of
+    the queue, and join every worker domain.  Idempotent. *)

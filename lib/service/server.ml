@@ -29,6 +29,7 @@ type t = {
   cch : Cache.t;
   jobs : int;
   queue_limit : int;
+  workers : int;
   sched : (Proto.query * conn) Sched.t;
   lock : Mutex.t;  (* conns + stopped *)
   mutable conns : conn list;
@@ -59,6 +60,8 @@ let stats_json t =
           [
             ("depth", Json.num_int (Sched.depth t.sched));
             ("limit", Json.num_int t.queue_limit);
+            ("workers", Json.num_int t.workers);
+            ("active", Json.num_int (Sched.concurrency t.sched));
           ] );
       ("pool", Fairness.Obs_json.pool (Fairness.Parallel.pool_stats ()));
     ]
@@ -86,6 +89,15 @@ let teardown t conn =
   Sched.drop_client t.sched conn.cid;
   (try Unix.shutdown conn.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
   try Unix.close conn.fd with Unix.Unix_error _ -> ()
+
+(* The Monte-Carlo progress hook is process-wide state, but the executor
+   pool can run several cold queries at once.  A boolean lease arbitrates:
+   the first worker to claim it streams progress frames to its recipients
+   and clears the hook when done; the others compute silently (their
+   clients still get the final Result).  Losing frames is strictly a
+   telemetry concession — never letting worker B clobber (or clear) worker
+   A's installed hook is what keeps frames correctly routed. *)
+let progress_lease = Atomic.make false
 
 (* The executor: computes one coalesced batch and answers everyone in it.
    [recipients] are dead-skipped at each step, so a client that vanished
@@ -120,27 +132,35 @@ let exec t (leader : (Proto.query * conn) Sched.job) ~followers =
       | None -> false
   in
   if not already then begin
-    Fairness.Montecarlo.set_progress_hook
-      (Some
-         (fun (p : Fairness.Montecarlo.convergence_point) ->
-           let pr =
-             Proto.Progress
-               {
-                 Proto.p_after = p.Fairness.Montecarlo.after;
-                 p_batch = p.Fairness.Montecarlo.batch;
-                 p_mean = p.Fairness.Montecarlo.running_mean;
-                 p_std_err = p.Fairness.Montecarlo.running_std_err;
-               }
-           in
-           deliver pr));
+    let leased = Atomic.compare_and_set progress_lease false true in
+    let release () =
+      if leased then begin
+        Fairness.Montecarlo.set_progress_hook None;
+        Atomic.set progress_lease false
+      end
+    in
+    if leased then
+      Fairness.Montecarlo.set_progress_hook
+        (Some
+           (fun (p : Fairness.Montecarlo.convergence_point) ->
+             let pr =
+               Proto.Progress
+                 {
+                   Proto.p_after = p.Fairness.Montecarlo.after;
+                   p_batch = p.Fairness.Montecarlo.batch;
+                   p_mean = p.Fairness.Montecarlo.running_mean;
+                   p_std_err = p.Fairness.Montecarlo.running_std_err;
+                 }
+             in
+             deliver pr));
     let answer =
       match Handlers.answer ~jobs:t.jobs q with
       | r -> r
       | exception e ->
-          Fairness.Montecarlo.set_progress_hook None;
+          release ();
           raise e
     in
-    Fairness.Montecarlo.set_progress_hook None;
+    release ();
     match answer with
     | Ok (body, ok) ->
         Cache.store t.cch ~key (entry_encode ~ok body);
@@ -240,9 +260,14 @@ let accept_loop t =
   in
   go ()
 
-let start ~socket ?cache ?(queue_limit = 64) ?jobs () =
+let start ~socket ?cache ?(queue_limit = 64) ?jobs ?workers () =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let jobs = match jobs with Some j -> j | None -> Fairness.Parallel.default_jobs in
+  let workers =
+    match workers with
+    | Some w -> w
+    | None -> min 4 (max 1 Fairness.Parallel.default_jobs)
+  in
   let cch = match cache with Some c -> c | None -> Cache.create () in
   (try Unix.unlink socket with Unix.Unix_error _ -> ());
   let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
@@ -256,7 +281,7 @@ let start ~socket ?cache ?(queue_limit = 64) ?jobs () =
      knot through a ref (no job can be submitted before [start] returns). *)
   let t_ref = ref None in
   let sched =
-    Sched.create ~queue_limit
+    Sched.create ~queue_limit ~workers
       ~exec:(fun leader ~followers ->
         match !t_ref with None -> () | Some t -> exec t leader ~followers)
       ()
@@ -268,6 +293,7 @@ let start ~socket ?cache ?(queue_limit = 64) ?jobs () =
       cch;
       jobs;
       queue_limit;
+      workers;
       sched;
       lock = Mutex.create ();
       conns = [];

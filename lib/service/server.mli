@@ -6,11 +6,15 @@
     ({!Frame}/{!Proto}), answer cache hits {e inline} (a hit never touches
     the scheduler or the domain pool — that is the O(1) path repeated
     queries take), and submit misses to the fair scheduler ({!Sched});
-    the scheduler's single executor thread computes answers through
-    {!Handlers} on the persistent domain pool, streaming Monte-Carlo
-    progress frames to every connection waiting on that computation
-    (coalesced same-key requests share one compute), stores the bytes in
-    the content-addressed cache ({!Cache}) and delivers the result.
+    the scheduler's executor pool ([workers] domains) computes answers
+    through {!Handlers} on the persistent domain pool — independent cold
+    queries overlap on multi-core hosts, while per-key ordering and
+    single-flight coalescing are preserved by the scheduler — streaming
+    Monte-Carlo progress frames to every connection waiting on that
+    computation (coalesced same-key requests share one compute; with
+    several computations in flight a lease routes the process-wide
+    progress stream to exactly one of them), stores the bytes in the
+    content-addressed cache ({!Cache}) and delivers the result.
 
     Failure isolation: anything that goes wrong on one connection — gibberish
     frames, a mid-stream crash, a peer that dies while its query runs —
@@ -26,6 +30,7 @@ val start :
   ?cache:Cache.t ->
   ?queue_limit:int ->
   ?jobs:int ->
+  ?workers:int ->
   unit ->
   t
 (** Bind [socket] (an existing socket file is replaced), start the accept,
@@ -33,8 +38,10 @@ val start :
     memory-only cache ({!Cache.create} [~capacity:256]); [queue_limit]
     (default 64) bounds admission; [jobs] (default
     {!Fairness.Parallel.default_jobs}) bounds the domain pool per query —
-    it never changes any served byte.  [SIGPIPE] is ignored process-wide (a
-    dying client must not kill the server).
+    it never changes any served byte; [workers] (default
+    [min 4 (max 1 default_jobs)]) sizes the executor pool — like [jobs] it
+    only affects wall clock, never bytes.  [SIGPIPE] is ignored
+    process-wide (a dying client must not kill the server).
     @raise Unix.Unix_error if the socket cannot be bound. *)
 
 val stop : t -> unit

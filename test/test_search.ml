@@ -67,6 +67,110 @@ let test_eliminated_never_argmax () =
         (winner_trials > s.Racing.estimate.Mc.trials))
     eliminated
 
+(* ------------------------ paired racing ------------------------------ *)
+
+(* Noise shared across arms (a function of the trial index only), exactly
+   what a CRN seed grid produces: paired differences have zero variance, so
+   the paired racer can kill every dominated rival in the first round and
+   settle, while the unpaired racer must spend its whole budget shrinking
+   marginal error bars. *)
+let shared_noise i = (float_of_int (Hashtbl.hash ("crn", i) land 0xFFFF) /. 65535.0) -. 0.5
+
+let paired_pull ~means arm ~lo ~hi =
+  Array.init (hi - lo) (fun d ->
+      let i = lo + d in
+      Some
+        { Mc.Trial.t_payoff = means.(arm) +. (0.3 *. shared_noise i);
+          t_event = Fairness.Events.E11;
+          t_corrupted = 1;
+          t_breach = false })
+
+let test_paired_same_incumbent_half_budget () =
+  (* Unique argmax, gaps many paired-σ wide. *)
+  let means = [| 0.8; 0.5; 0.2 |] in
+  let budget = 10_000 in
+  let ou =
+    Racing.race ~jobs:1 ~arms:[ 0; 1; 2 ]
+      ~pull:(fun a ~lo ~hi -> synthetic_pull ~mean:means.(a) ~amp:0.3 a ~lo ~hi)
+      ~budget ()
+  in
+  let op =
+    Racing.race_paired ~jobs:1 ~arms:[ 0; 1; 2 ] ~pull:(paired_pull ~means) ~budget ()
+  in
+  Alcotest.(check int) "same incumbent as unpaired" ou.Racing.best op.Racing.best;
+  Alcotest.(check int) "paired finds the true argmax" 0 op.Racing.best;
+  (* The unpaired race keeps pulling the sole survivor to the end of the
+     budget; the paired race settles once every rival is dead and the
+     incumbent has its floor of pulls. *)
+  Alcotest.(check bool) "paired used <= half the executions" true
+    (2 * op.Racing.spent <= ou.Racing.spent);
+  Alcotest.(check bool) "paired eliminated both rivals" true
+    (List.length
+       (List.filter
+          (fun (s : int Racing.standing) -> s.Racing.eliminated_in <> None)
+          op.Racing.standings)
+    = 2)
+
+let test_paired_budget_never_exceeded () =
+  List.iter
+    (fun budget ->
+      let total = Atomic.make 0 in
+      let pull a ~lo ~hi =
+        ignore (Atomic.fetch_and_add total (hi - lo));
+        paired_pull ~means:[| 0.7; 0.55; 0.4; 0.25; 0.1 |] a ~lo ~hi
+      in
+      let o = Racing.race_paired ~jobs:1 ~arms:[ 0; 1; 2; 3; 4 ] ~pull ~budget () in
+      if o.Racing.spent > budget then
+        Alcotest.failf "budget %d exceeded: spent %d" budget o.Racing.spent;
+      Alcotest.(check int) "spent = trials actually pulled" (Atomic.get total) o.Racing.spent;
+      Alcotest.(check bool) "some budget used" true (o.Racing.spent > 0))
+    [ 5; 64; 300; 1000; 12345 ]
+
+(* Exact ties (bitwise-identical observation streams) are never eliminated:
+   they ride along and settle, so downstream `searched >= zoo` comparisons
+   stay exact when the zoo arm *is* the searched arm. *)
+let test_paired_exact_ties_survive () =
+  let pull _arm ~lo ~hi = paired_pull ~means:[| 0.6; 0.6; 0.6 |] 0 ~lo ~hi in
+  let o = Racing.race_paired ~jobs:1 ~arms:[ 0; 1; 2 ] ~pull ~budget:50_000 () in
+  List.iter
+    (fun (s : int Racing.standing) ->
+      if s.Racing.eliminated_in <> None then
+        Alcotest.failf "exact tie (arm %d) was eliminated" s.Racing.arm)
+    o.Racing.standings;
+  Alcotest.(check bool) "settled well under budget" true (o.Racing.spent < 25_000)
+
+(* End-to-end on the registry: the paired racer at HALF the unpaired
+   budget reaches an incumbent of the same utility (the E2/E6 optima are
+   plateaus of equally-optimal strategies, so arm *names* may differ —
+   value equality at 3 sigma is the meaningful contract), stays within the
+   paper bound, and still dominates the zoo. *)
+let paired_halves_executions id ~unpaired_budget ~paired_budget () =
+  match E.find id with
+  | None -> Alcotest.failf "experiment %s missing" id
+  | Some spec -> (
+      let run mode budget = E.searched ~budget ~zoo:true ~mode ~seed:42 ~jobs:2 spec in
+      match (run Racing.Unpaired unpaired_budget, run Racing.Paired paired_budget) with
+      | Some u, Some p ->
+          Alcotest.(check string) "mode recorded in certificate" "paired" p.Certificate.mode;
+          Alcotest.(check string) "mode recorded in certificate" "unpaired" u.Certificate.mode;
+          Alcotest.(check bool) "paired within paper bound" true p.Certificate.within_bound;
+          if 2 * p.Certificate.spent > u.Certificate.spent then
+            Alcotest.failf "paired spent %d > half of unpaired %d" p.Certificate.spent
+              u.Certificate.spent;
+          let gap = Float.abs (p.Certificate.utility -. u.Certificate.utility) in
+          let tol = 3.0 *. (p.Certificate.std_err +. u.Certificate.std_err) in
+          if gap > tol then
+            Alcotest.failf "incumbent values disagree: paired %.4f (%s) vs unpaired %.4f (%s)"
+              p.Certificate.utility p.Certificate.best_arm u.Certificate.utility
+              u.Certificate.best_arm;
+          (match p.Certificate.zoo_best with
+          | None -> Alcotest.fail "zoo comparison missing"
+          | Some (zoo_arm, zoo_u) ->
+              if p.Certificate.utility < zoo_u then
+                Alcotest.failf "paired %.4f below zoo best %.4f (%s)" p.Certificate.utility
+                  zoo_u zoo_arm)
+      | _ -> Alcotest.failf "%s search produced no certificate" id)
+
 (* ------------------- (a) searched beats the zoo ---------------------- *)
 
 let searched_beats_zoo id () =
@@ -184,6 +288,15 @@ let () =
         [ Alcotest.test_case "budget never exceeded" `Quick test_budget_never_exceeded;
           Alcotest.test_case "eliminated arms never the argmax" `Quick test_eliminated_never_argmax;
           Alcotest.test_case "incremental sampling law" `Quick test_incremental_sampling_agrees ] );
+      ( "paired",
+        [ Alcotest.test_case "paired budget never exceeded" `Quick test_paired_budget_never_exceeded;
+          Alcotest.test_case "same incumbent at <= half budget" `Quick
+            test_paired_same_incumbent_half_budget;
+          Alcotest.test_case "exact ties survive and settle" `Quick test_paired_exact_ties_survive;
+          Alcotest.test_case "E2: paired halves executions" `Quick
+            (paired_halves_executions "E2" ~unpaired_budget:6000 ~paired_budget:2800);
+          Alcotest.test_case "E6: paired halves executions" `Slow
+            (paired_halves_executions "E6" ~unpaired_budget:8000 ~paired_budget:3900) ] );
       ( "registry",
         [ Alcotest.test_case "E2: searched beats zoo" `Quick (searched_beats_zoo "E2");
           Alcotest.test_case "E6: searched beats zoo" `Slow (searched_beats_zoo "E6");

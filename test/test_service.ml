@@ -294,6 +294,57 @@ let cache_eviction_keeps_disk () =
   Alcotest.(check (option string)) "a still answerable" (Some "va") (Cache.find c "a");
   Alcotest.(check int) "via the spill dir" 1 (Cache.stats c).Cache.disk_hits
 
+(* What the filesystem does to a spilled entry after we wrote it is not
+   ours to control: a corrupted file must read as a miss (recompute), be
+   deleted, and heal on the re-spill — never be served verbatim. *)
+let entry_path dir key = Filename.concat dir (key ^ ".entry")
+
+let cache_corruption_heals corrupt () =
+  let dir = fresh_dir () in
+  let c = Cache.create ~capacity:4 ~dir () in
+  Cache.store c ~key:"k" "precious-value";
+  let path = entry_path dir "k" in
+  Alcotest.(check bool) "entry spilled" true (Sys.file_exists path);
+  corrupt path;
+  (* A fresh instance over the same dir: memory tier empty, the poisoned
+     spill is the only copy left. *)
+  let c2 = Cache.create ~capacity:4 ~dir () in
+  Alcotest.(check (option string)) "corrupt entry reads as a miss" None (Cache.find c2 "k");
+  Alcotest.(check bool) "poisoned file deleted" false (Sys.file_exists path);
+  (* the caller recomputes and stores: the slot heals on disk *)
+  Cache.store c2 ~key:"k" "precious-value";
+  let c3 = Cache.create ~capacity:4 ~dir () in
+  Alcotest.(check (option string)) "re-spill heals the slot" (Some "precious-value")
+    (Cache.find c3 "k")
+
+let rewrite path s = Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s)
+
+let cache_disk_truncated () =
+  cache_corruption_heals
+    (fun path ->
+      let raw = In_channel.with_open_bin path In_channel.input_all in
+      (* keep the digest header but lose the tail of the value *)
+      rewrite path (String.sub raw 0 (String.length raw - 3)))
+    ()
+
+let cache_disk_truncated_below_header () =
+  cache_corruption_heals
+    (fun path ->
+      let raw = In_channel.with_open_bin path In_channel.input_all in
+      rewrite path (String.sub raw 0 17))
+    ()
+
+let cache_disk_garbled () =
+  cache_corruption_heals
+    (fun path ->
+      let raw = In_channel.with_open_bin path In_channel.input_all in
+      let b = Bytes.of_string raw in
+      (* flip one bit of the value body: length and shape stay plausible *)
+      let i = String.length raw - 1 in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 1));
+      rewrite path (Bytes.to_string b))
+    ()
+
 (* -------------------------- scheduler ------------------------------- *)
 
 type gate = { gm : Mutex.t; gc : Condition.t; mutable opened : bool }
@@ -419,6 +470,95 @@ let sched_drop_client () =
   let ran = List.map fst (executed ()) in
   Alcotest.(check (list string)) "dead client's queue vanished" [ "block"; "alive" ] ran
 
+(* ------------------------ executor pool ----------------------------- *)
+
+(* A scheduler with [workers] domains behind it.  Jobs whose payload starts
+   with "block" park on the shared [resume] gate; [running]/[peak] track
+   true execution overlap from inside [exec]. *)
+let pool_sched ~workers ~queue_limit =
+  let log = ref [] in
+  let log_m = Mutex.create () in
+  let resume = gate () in
+  let running = Atomic.make 0 in
+  let peak = Atomic.make 0 in
+  let exec (j : string Sched.job) ~followers =
+    Mutex.lock log_m;
+    log := (j.Sched.j_payload, List.map (fun (f : string Sched.job) -> f.Sched.j_payload) followers) :: !log;
+    Mutex.unlock log_m;
+    let r = 1 + Atomic.fetch_and_add running 1 in
+    let rec bump () =
+      let p = Atomic.get peak in
+      if r > p && not (Atomic.compare_and_set peak p r) then bump ()
+    in
+    bump ();
+    if String.length j.Sched.j_payload >= 5 && String.sub j.Sched.j_payload 0 5 = "block" then
+      gate_wait resume;
+    ignore (Atomic.fetch_and_add running (-1))
+  in
+  let sched = Sched.create ~queue_limit ~workers ~exec () in
+  let executed () =
+    Mutex.lock log_m;
+    let l = List.rev !log in
+    Mutex.unlock log_m;
+    l
+  in
+  (sched, resume, executed, running, peak)
+
+let pool_submit sched j =
+  match Sched.submit sched j with
+  | `Admitted -> ()
+  | `Rejected _ -> Alcotest.fail "pool job rejected"
+
+let sched_pool_overlap () =
+  let sched, resume, executed, running, peak = pool_sched ~workers:2 ~queue_limit:16 in
+  pool_submit sched (job 1 "ka" "block-a");
+  pool_submit sched (job 2 "kb" "block-b");
+  wait_until "both workers busy" (fun () -> Atomic.get running = 2);
+  Alcotest.(check int) "concurrency gauge sees both" 2 (Sched.concurrency sched);
+  gate_open resume;
+  wait_until "drain" (fun () ->
+      Sched.depth sched = 0 && Atomic.get running = 0 && List.length (executed ()) = 2);
+  Sched.stop sched;
+  Alcotest.(check int) "distinct keys truly overlapped" 2 (Atomic.get peak)
+
+let sched_pool_per_key_serialized () =
+  let sched, resume, executed, running, peak = pool_sched ~workers:2 ~queue_limit:16 in
+  pool_submit sched (job 1 "shared" "block-first");
+  wait_until "leader in flight" (fun () -> Atomic.get running = 1);
+  (* Same key arrives after the leader was dispatched: too late to coalesce,
+     so it must wait for the key to leave flight — even with an idle worker
+     sitting right there. *)
+  pool_submit sched (job 2 "shared" "second");
+  Thread.delay 0.05;
+  Alcotest.(check int) "held back while its key is in flight" 1 (List.length (executed ()));
+  gate_open resume;
+  wait_until "drain" (fun () ->
+      Sched.depth sched = 0 && Atomic.get running = 0 && List.length (executed ()) = 2);
+  Sched.stop sched;
+  Alcotest.(check (list string)) "per-key FIFO preserved" [ "block-first"; "second" ]
+    (List.map fst (executed ()));
+  Alcotest.(check int) "same key never overlapped" 1 (Atomic.get peak)
+
+let sched_pool_coalescing () =
+  let sched, resume, executed, running, _peak = pool_sched ~workers:2 ~queue_limit:16 in
+  (* park both workers so the same-key pair is queued, not dispatched *)
+  pool_submit sched (job 1 "ka" "block-a");
+  pool_submit sched (job 2 "kb" "block-b");
+  wait_until "both workers busy" (fun () -> Atomic.get running = 2);
+  pool_submit sched (job 3 "kc" "c1");
+  pool_submit sched (job 4 "kc" "c2");
+  gate_open resume;
+  wait_until "drain" (fun () ->
+      Sched.depth sched = 0 && Atomic.get running = 0 && List.length (executed ()) = 3);
+  Sched.stop sched;
+  let log = executed () in
+  (match List.find_opt (fun (p, _) -> p = "c1") log with
+  | Some (_, followers) ->
+      Alcotest.(check (list string)) "c2 rode along as a follower" [ "c2" ] followers
+  | None -> Alcotest.fail "c1 never executed");
+  Alcotest.(check bool) "c2 was not executed separately" false
+    (List.exists (fun (p, _) -> p = "c2") log)
+
 (* ------------------------ server isolation -------------------------- *)
 
 let with_server f =
@@ -507,12 +647,21 @@ let () =
           Alcotest.test_case "LRU eviction respects recency" `Quick cache_lru_eviction;
           Alcotest.test_case "disk spill survives a restart" `Quick cache_disk_spill;
           Alcotest.test_case "eviction keeps the disk copy answerable" `Quick
-            cache_eviction_keeps_disk ] );
+            cache_eviction_keeps_disk;
+          Alcotest.test_case "truncated spill: miss, delete, heal" `Quick cache_disk_truncated;
+          Alcotest.test_case "spill shorter than the digest header" `Quick
+            cache_disk_truncated_below_header;
+          Alcotest.test_case "bit-flipped spill: miss, delete, heal" `Quick cache_disk_garbled ] );
       ( "sched",
         [ Alcotest.test_case "round-robin across clients (no starvation)" `Quick sched_round_robin;
           Alcotest.test_case "bounded queue refuses explicitly" `Quick sched_backpressure;
           Alcotest.test_case "same-key jobs coalesce into one computation" `Quick sched_coalescing;
-          Alcotest.test_case "drop_client forgets pending work" `Quick sched_drop_client ] );
+          Alcotest.test_case "drop_client forgets pending work" `Quick sched_drop_client;
+          Alcotest.test_case "pool: distinct keys overlap across workers" `Quick sched_pool_overlap;
+          Alcotest.test_case "pool: same key never overlaps (FIFO)" `Quick
+            sched_pool_per_key_serialized;
+          Alcotest.test_case "pool: coalescing unchanged with workers > 1" `Quick
+            sched_pool_coalescing ] );
       ( "server",
         [ Alcotest.test_case "unknown query: structured error, connection survives" `Quick
             server_unknown_query_keeps_conn;
