@@ -275,7 +275,7 @@ let run_service_bench () =
   let budget = 2000 in
   let q =
     { S.Proto.q_kind = S.Proto.Search; q_experiment = "E1"; q_budget = budget;
-      q_seed = 42; q_zoo = false; q_fresh = false }
+      q_seed = 42; q_zoo = false; q_fresh = false; q_trace_id = ""; q_span_id = "" }
   in
   let connect () =
     match S.Client.connect ~socket ~timeout:300.0 () with
@@ -615,7 +615,26 @@ let run_timings () =
    cached throughput at 1 and 4 concurrent clients.  Schema 4 adds the
    search section (paired vs unpaired racer on E2), nulls the Monte-Carlo
    speedup on degraded single-core hosts, and extends the service section
-   with the executor-pool numbers (workers, 4-way concurrent cold). *)
+   with the executor-pool numbers (workers, 4-way concurrent cold).
+   Schema 5 fixes the service counters: the service bench used to run
+   after [Metrics.disable], so every service.* counter the snapshot
+   reported was a zero that looked like data — the bench now keeps the
+   registry on through the service run and embeds the window's counter
+   {e deltas} in the service section, mirroring how the pool section
+   reports the Monte-Carlo window. *)
+
+(* Counter deltas over one bench window, filtered to [prefix] — what the
+   service section embeds, so the reported traffic is the bench's own and
+   not everything since process start. *)
+let counters_delta ~prefix (a : Fair_obs.Metrics.snapshot) (b : Fair_obs.Metrics.snapshot) =
+  let before = Hashtbl.create 32 in
+  List.iter (fun (n, v) -> Hashtbl.replace before n v) a.Fair_obs.Metrics.counters;
+  List.filter_map
+    (fun (n, v) ->
+      if String.starts_with ~prefix n then
+        Some (n, v - Option.value ~default:0 (Hashtbl.find_opt before n))
+      else None)
+    b.Fair_obs.Metrics.counters
 let kernel_ns kernels suffix =
   List.find_map
     (fun (name, ns) ->
@@ -626,7 +645,7 @@ let kernel_ns kernels suffix =
       else None)
     kernels
 
-let write_json ~path mc ~sb ~svc ~obs_metrics ~obs_pool kernels =
+let write_json ~path mc ~sb ~svc ~svc_counters ~obs_metrics ~obs_pool kernels =
   let module J = Fairness.Json in
   let overhead =
     match (kernel_ns kernels "crypto/sha256-256B", kernel_ns kernels "obs/sha256-256B-span-disabled") with
@@ -636,7 +655,7 @@ let write_json ~path mc ~sb ~svc ~obs_metrics ~obs_pool kernels =
   in
   let json =
     J.Obj
-      [ ("schema", J.Str "fairness-bench/4");
+      [ ("schema", J.Str "fairness-bench/5");
         ( "montecarlo",
           J.Obj
             [ ("kernel", J.Str "optn-n5-vs-greedy-t4");
@@ -685,7 +704,9 @@ let write_json ~path mc ~sb ~svc ~obs_metrics ~obs_pool kernels =
               ("cold_4concurrent_seconds", J.Num svc.svc_cold_4concurrent_seconds);
               ("cached_query_seconds", J.Num svc.svc_cached_seconds);
               ("cached_queries_per_sec", J.Num svc.svc_cached_per_s);
-              ("cached_queries_per_sec_4_clients", J.Num svc.svc_qps_4clients) ] );
+              ("cached_queries_per_sec_4_clients", J.Num svc.svc_qps_4clients);
+              ( "counters",
+                J.Obj (List.map (fun (n, v) -> (n, J.num_int v)) svc_counters) ) ] );
         ("metrics", obs_metrics);
         ("pool", obs_pool);
         ( "kernels",
@@ -702,11 +723,31 @@ let write_json ~path mc ~sb ~svc ~obs_metrics ~obs_pool kernels =
   close_out oc;
   Printf.printf "\nwrote %s (%d kernels)\n" path (List.length kernels)
 
+let usage = "usage: main.exe [-o PATH] [--skip-experiments]"
+
 let () =
-  run_experiments ();
-  (* Metrics cover the Monte-Carlo comparison only: they are switched off
-     again before the Bechamel kernels so the obs/* rows measure the
-     disabled fast path, which is what ships by default. *)
+  let out = ref "BENCH_mc.json" in
+  let skip_experiments = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "-o" :: path :: rest ->
+        out := path;
+        parse rest
+    | "--skip-experiments" :: rest ->
+        skip_experiments := true;
+        parse rest
+    | arg :: _ ->
+        Printf.eprintf "bench: unknown argument %S\n%s\n" arg usage;
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  if !skip_experiments then
+    print_endline "(paper-table reproduction skipped: --skip-experiments)\n"
+  else run_experiments ();
+  (* Metrics cover the Monte-Carlo comparison, the search bench and the
+     service bench; they are switched off again before the Bechamel kernels
+     so the obs/* rows measure the disabled fast path, which is what ships
+     by default. *)
   Fair_obs.Metrics.enable ();
   let mc, pool_delta = run_parallel_comparison () in
   (* Inside the metrics window so the race.* counters carry real traffic. *)
@@ -716,7 +757,14 @@ let () =
      cumulative since-process-start counters (the experiment registry also
      exercises the pool and would drown the numbers of interest). *)
   let obs_pool = Fairness.Obs_json.pool pool_delta in
-  Fair_obs.Metrics.disable ();
+  (* The service bench must also run inside the metrics window — it used to
+     run after [disable], which reported every service.* counter as zero.
+     Its section embeds the window's own deltas. *)
+  let svc_before = Fair_obs.Metrics.snapshot () in
   let svc = run_service_bench () in
+  let svc_counters =
+    counters_delta ~prefix:"service." svc_before (Fair_obs.Metrics.snapshot ())
+  in
+  Fair_obs.Metrics.disable ();
   let kernels = run_timings () in
-  write_json ~path:"BENCH_mc.json" mc ~sb ~svc ~obs_metrics ~obs_pool kernels
+  write_json ~path:!out mc ~sb ~svc ~svc_counters ~obs_metrics ~obs_pool kernels

@@ -362,6 +362,24 @@ let socket_arg =
   Arg.(value & opt string "fairness.sock" & info [ "socket" ] ~docv:"PATH" ~doc)
 
 let serve_cmd =
+  let qlog_arg =
+    let doc =
+      "Append one JSON line per completed request to $(docv) (the wide query log): trace \
+       id, kind, experiment, cache tier (mem|disk|cold|coalesced), queue latency, worker \
+       id, trials spent, engine counter deltas, outcome, wall time.  Flushed per line, so \
+       the file can be tailed live.  Observation-only: served bytes are identical with or \
+       without it."
+    in
+    Arg.(value & opt (some string) None & info [ "qlog" ] ~docv:"FILE" ~doc)
+  in
+  let flight_arg =
+    let doc =
+      "Keep a flight recorder and dump it to $(docv) (atomically, last-writer-wins) on \
+       failed queries, malformed frames, SIGUSR1 and clean shutdown: the recent query-log \
+       window, recent trace spans, and a metrics snapshot with latency percentiles."
+    in
+    Arg.(value & opt (some string) None & info [ "flight" ] ~docv:"FILE" ~doc)
+  in
   let cache_dir_arg =
     let doc =
       "Spill cache entries to $(docv) (created if missing): entries evicted from memory \
@@ -387,30 +405,101 @@ let serve_cmd =
     in
     Arg.(value & opt (some int) None & info [ "workers" ] ~docv:"N" ~doc)
   in
-  let run socket cache_dir capacity queue_limit workers jobs =
+  let run socket cache_dir capacity queue_limit workers jobs trace qlog flight =
+    let module Json = Fairness.Json in
+    (* Metrics stay on for the daemon's whole life: the Stats reply's
+       counters and latency percentiles read from them, and qlog events
+       embed per-request counter deltas.  They aggregate integers outside
+       every RNG and scheduling decision, so the served bytes are the same
+       either way (asserted by the obs byte-identity tests). *)
+    Fair_obs.Metrics.enable ();
+    if trace <> None then Fair_obs.Trace.enable ();
+    let qlog_oc =
+      match qlog with
+      | None -> None
+      | Some path -> (
+          match open_out path with
+          | oc ->
+              Fair_obs.Qlog.enable ();
+              Fair_obs.Qlog.set_sink (Some oc);
+              Some oc
+          | exception Sys_error m ->
+              Printf.eprintf "cannot open qlog file: %s\n" m;
+              exit 1)
+    in
+    let recorder =
+      match flight with
+      | None -> None
+      | Some path ->
+          (* The recorder feeds on the qlog ring: keep it recording even
+             when no JSONL sink was asked for. *)
+          Fair_obs.Qlog.enable ();
+          Some (Fair_service.Recorder.create ~path ())
+    in
     let cache = Fair_service.Cache.create ~capacity ?dir:cache_dir () in
     let server =
-      try Fair_service.Server.start ~socket ~cache ~queue_limit ~jobs ?workers ()
+      try Fair_service.Server.start ~socket ~cache ~queue_limit ~jobs ?workers ?recorder ()
       with Unix.Unix_error (e, _, _) ->
         Printf.eprintf "cannot listen on %s: %s\n" socket (Unix.error_message e);
         exit 1
     in
-    Printf.eprintf
-      "fairness service listening on %s (cache %d%s, queue %d, workers %s, jobs %d)\n%!"
-      socket capacity
-      (match cache_dir with Some d -> Printf.sprintf ", spill %s" d | None -> "")
-      queue_limit
-      (match workers with Some w -> string_of_int w | None -> "auto")
-      jobs;
+    (* One structured startup line: everything an operator (or a log
+       pipeline) needs to identify this server instance, greppable as
+       JSON rather than scraped from prose. *)
+    let opt_str = function Some s -> Json.Str s | None -> Json.Null in
+    Printf.eprintf "%s\n%!"
+      (Json.to_string ~indent:false
+         (Json.Obj
+            [
+              ("event", Json.Str "serve.start");
+              ("version", Json.Str Fair_service.Version.code_version);
+              ("socket", Json.Str socket);
+              ("cache_capacity", Json.num_int capacity);
+              ("cache_dir", opt_str cache_dir);
+              ("queue_limit", Json.num_int queue_limit);
+              ( "workers",
+                match workers with Some w -> Json.num_int w | None -> Json.Str "auto" );
+              ("jobs", Json.num_int jobs);
+              ("trace", opt_str trace);
+              ("qlog", opt_str qlog);
+              ("flight", opt_str flight);
+              ("pid", Json.num_int (Unix.getpid ()));
+            ]));
     let stop = ref false in
-    let on_signal _ = stop := true in
-    Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
-    Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+    let dump_requested = ref false in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> stop := true));
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> stop := true));
+    (* The handler only raises a flag; the dump itself (locks, file IO)
+       runs on the main loop, where it cannot deadlock against whatever
+       the interrupted thread was holding. *)
+    Sys.set_signal Sys.sigusr1 (Sys.Signal_handle (fun _ -> dump_requested := true));
     while not !stop do
-      Thread.delay 0.2
+      Thread.delay 0.2;
+      if !dump_requested then begin
+        dump_requested := false;
+        match recorder with
+        | Some r ->
+            Fair_service.Recorder.dump r ~reason:"sigusr1";
+            Printf.eprintf "flight recorder dumped to %s\n%!"
+              (Fair_service.Recorder.path r)
+        | None -> ()
+      end
     done;
     prerr_endline "shutting down";
+    (* [stop] drains every reader and worker, then dumps the recorder with
+       reason "shutdown"; the qlog sink was flushed per line, so detaching
+       and closing it afterwards loses nothing. *)
     Fair_service.Server.stop server;
+    Option.iter
+      (fun path ->
+        Fairness.Obs_json.write_trace_file ~path;
+        Printf.eprintf "wrote %s\n%!" path)
+      trace;
+    (match qlog_oc with
+    | Some oc ->
+        Fair_obs.Qlog.set_sink None;
+        close_out_noerr oc
+    | None -> ());
     0
   in
   Cmd.v
@@ -419,10 +508,11 @@ let serve_cmd =
          "Run the fairness certificate server: a daemon answering search/run queries over a \
           Unix-domain socket, with a content-addressed certificate cache and fair \
           (round-robin, coalescing) scheduling of cache misses onto the domain pool.  \
-          Results are byte-identical to the CLI at the same seed.")
+          Results are byte-identical to the CLI at the same seed — and to themselves with \
+          --trace/--qlog/--flight on or off.")
     Term.(
       const run $ socket_arg $ cache_dir_arg $ capacity_arg $ queue_limit_arg $ workers_arg
-      $ jobs_arg)
+      $ jobs_arg $ trace_arg $ qlog_arg $ flight_arg)
 
 let query_cmd =
   let module S = Fair_service in
@@ -473,7 +563,16 @@ let query_cmd =
     | S.Failure.Malformed_frame _ ->
         1
   in
-  let run id kind budget zoo fresh no_daemon progress timeout socket seed jobs =
+  let trace_id_arg =
+    let doc =
+      "Echo the query's generated trace id (and the server's echo of it) to stderr — the \
+       handle that stitches this request's spans out of the server's --trace export."
+    in
+    Arg.(value & flag & info [ "trace-id" ] ~doc)
+  in
+  let run id kind budget zoo fresh no_daemon progress timeout socket seed jobs echo_tid
+      trace metrics =
+    with_obs ~trace ~metrics @@ fun () ->
     let q =
       {
         S.Proto.q_kind = kind;
@@ -482,6 +581,8 @@ let query_cmd =
         q_seed = seed;
         q_zoo = zoo;
         q_fresh = fresh;
+        q_trace_id = "";
+        q_span_id = "";
       }
     in
     if no_daemon then begin
@@ -501,6 +602,11 @@ let query_cmd =
           prerr_endline msg;
           1
       | Ok client ->
+          (* Every daemon query carries a fresh trace context: generation
+             is RNG-free and the fields are ignored by untraced servers,
+             so there is no mode where sending them costs anything. *)
+          let q = S.Client.with_trace q in
+          if echo_tid then Printf.eprintf "trace-id: %s\n%!" q.S.Proto.q_trace_id;
           let on_progress (p : S.Proto.progress) =
             if progress then
               Printf.eprintf "progress: %d trials (+%d) mean %.4f ±%.4f\n%!"
@@ -512,6 +618,10 @@ let query_cmd =
           | Ok res ->
               if progress && res.S.Proto.r_cached then
                 Printf.eprintf "cache hit (key %s)\n%!" res.S.Proto.r_key;
+              if echo_tid then
+                Printf.eprintf "trace-id echoed by server: %s\n%!"
+                  (if res.S.Proto.r_trace_id = "" then "(none — pre-trace server)"
+                   else res.S.Proto.r_trace_id);
               print_string res.S.Proto.r_body;
               if res.S.Proto.r_ok then 0 else 1
           | Error f ->
@@ -527,7 +637,138 @@ let query_cmd =
           cache; --fresh forces recomputation; --no-daemon computes inline without a server.")
     Term.(
       const run $ id_arg $ kind_arg $ budget_arg $ zoo_arg $ fresh_arg $ no_daemon_arg
-      $ progress_arg $ timeout_arg $ socket_arg $ seed_arg $ jobs_arg)
+      $ progress_arg $ timeout_arg $ socket_arg $ seed_arg $ jobs_arg $ trace_id_arg
+      $ trace_arg $ metrics_arg)
+
+let stat_cmd =
+  let module S = Fair_service in
+  let module Json = Fairness.Json in
+  let watch_arg =
+    let doc =
+      "Refresh every $(docv) seconds (default 2 when given without a value), clearing the \
+       screen each time, until interrupted."
+    in
+    Arg.(value & opt ~vopt:(Some 2.0) (some float) None & info [ "watch" ] ~docv:"SECONDS" ~doc)
+  in
+  let json_arg =
+    let doc = "Print the raw stats JSON instead of the pretty summary." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let timeout_arg =
+    let doc = "Give up on the server after $(docv) seconds of silence." in
+    Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  (* Tolerant readers: a field the server does not send (an older daemon)
+     renders as a placeholder, never a crash — the stats screen must work
+     against any server version. *)
+  let get path j =
+    List.fold_left
+      (fun acc k -> match acc with Ok v -> Json.member k v | e -> e)
+      (Ok j) path
+  in
+  let geti path j =
+    match get path j with
+    | Ok v -> ( match Json.to_int v with Ok n -> n | Error _ -> 0)
+    | Error _ -> 0
+  in
+  let gets path j =
+    match get path j with
+    | Ok v -> ( match Json.to_str v with Ok s -> s | Error _ -> "?")
+    | Error _ -> "?"
+  in
+  let getb path j = match get path j with Ok (Json.Bool b) -> b | _ -> false in
+  let render socket j =
+    let b = Buffer.create 1024 in
+    Printf.bprintf b "fairness service @ %s — %s\n" socket (gets [ "version" ] j);
+    Printf.bprintf b "cache   %d hits (%d from disk), %d misses, %d evictions, %d entries\n"
+      (geti [ "cache"; "hits" ] j)
+      (geti [ "cache"; "disk_hits" ] j)
+      (geti [ "cache"; "misses" ] j)
+      (geti [ "cache"; "evictions" ] j)
+      (geti [ "cache"; "entries" ] j);
+    Printf.bprintf b "queue   depth %d/%d, active %d, workers %d\n"
+      (geti [ "queue"; "depth" ] j)
+      (geti [ "queue"; "limit" ] j)
+      (geti [ "queue"; "active" ] j)
+      (geti [ "queue"; "workers" ] j);
+    Printf.bprintf b "obs     tracing %s (%d spans dropped), qlog %s (%d events), flight %s\n"
+      (if getb [ "observability"; "tracing" ] j then "on" else "off")
+      (geti [ "observability"; "trace_dropped" ] j)
+      (if getb [ "observability"; "qlog" ] j then "on" else "off")
+      (geti [ "observability"; "qlog_recorded" ] j)
+      (match get [ "observability"; "flight_recorder" ] j with
+      | Ok (Json.Str p) -> p
+      | _ -> "-");
+    (match get [ "percentiles" ] j with
+    | Ok (Json.Obj fields) when fields <> [] ->
+        Printf.bprintf b "latency  (p50 / p90 / p99, histogram upper bounds)\n";
+        List.iter
+          (fun (name, v) ->
+            let p k =
+              match Json.member k v with
+              | Ok (Json.Num x) -> Printf.sprintf "%.4g" x
+              | _ -> "-"
+            in
+            Printf.bprintf b "  %-38s %8s %8s %8s\n" name (p "p50") (p "p90") (p "p99"))
+          fields
+    | _ -> ());
+    (match get [ "metrics"; "counters" ] j with
+    | Ok (Json.Obj fields) ->
+        let live =
+          List.filter (fun (_, v) -> match v with Json.Num x -> x <> 0.0 | _ -> false) fields
+        in
+        if live <> [] then begin
+          Printf.bprintf b "counters (non-zero)\n";
+          List.iter
+            (fun (name, v) ->
+              Printf.bprintf b "  %-38s %d\n" name
+                (match Json.to_int v with Ok n -> n | Error _ -> 0))
+            live
+        end
+    | _ -> ());
+    Buffer.contents b
+  in
+  let fetch socket timeout =
+    match S.Client.connect ~socket ?timeout () with
+    | Error msg -> Error msg
+    | Ok client ->
+        let r = S.Client.stats client in
+        S.Client.close client;
+        (match r with Ok j -> Ok j | Error f -> Error (S.Failure.to_string f))
+  in
+  let run socket timeout watch as_json =
+    match watch with
+    | None -> (
+        match fetch socket timeout with
+        | Error msg ->
+            prerr_endline msg;
+            1
+        | Ok j ->
+            if as_json then print_endline (Json.to_string j)
+            else print_string (render socket j);
+            0)
+    | Some interval ->
+        let interval = if interval <= 0.0 then 2.0 else interval in
+        (* Reconnect per refresh so a server restart heals into the next
+           frame instead of wedging the watch. *)
+        let rec loop () =
+          (match fetch socket timeout with
+          | Error msg -> Printf.printf "\027[2J\027[H%s\n(unreachable: %s)\n%!" socket msg
+          | Ok j ->
+              if as_json then Printf.printf "%s\n%!" (Json.to_string ~indent:false j)
+              else Printf.printf "\027[2J\027[H%s%!" (render socket j));
+          Thread.delay interval;
+          loop ()
+        in
+        loop ()
+  in
+  Cmd.v
+    (Cmd.info "stat"
+       ~doc:
+         "Show the certificate server's live introspection: cache and queue state, the full \
+          metrics snapshot, and p50/p90/p99 latency estimates derived from its histograms.  \
+          --watch turns it into a refreshing dashboard.")
+    Term.(const run $ socket_arg $ timeout_arg $ watch_arg $ json_arg)
 
 let main =
   let doc = "Reproduction harness for 'How Fair is Your Protocol?' (PODC 2015)" in
@@ -545,7 +786,7 @@ let main =
   Cmd.group (Cmd.info "fairness" ~version:"1.0.0" ~doc ~man)
     [
       list_cmd; run_cmd; all_cmd; search_cmd; chaos_cmd; demo_cmd; demos_cmd; sweep_cmd;
-      serve_cmd; query_cmd;
+      serve_cmd; query_cmd; stat_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

@@ -1,6 +1,8 @@
 (* @service-smoke — the certificate server end to end, in-process:
 
      1. cold query  → computed (not cached), progress frames streamed;
+        the query carries a client-stamped trace context which the result
+        frame echoes back;
      2. warm query  → cache hit, byte-identical, answered without the
         scheduler or the domain pool moving (asserted on the server's own
         stats: cache.hits +1, pool counters frozen);
@@ -10,7 +12,15 @@
      4. chaos isolation → a connection feeding the server a truncated
         frame gets a structured `malformed-frame` error while a
         concurrent clean connection's cold query completes correctly, and
-        a scripted client crash mid-stream leaves the server serving.
+        a scripted client crash mid-stream leaves the server serving;
+     5. observability acceptance → the whole run happens with tracing,
+        metrics and the query log switched ON; afterwards the exported
+        Chrome trace must contain client.query, service.queue and
+        service.exec spans all tagged with the cold query's trace id (one
+        lane set per query in Perfetto), the qlog JSONL must hold a "cold"
+        line with queue latency and engine counter deltas plus a "mem"
+        line for the warm hit, and a final obs-OFF inline recompute must
+        reproduce the served bytes exactly (zero perturbation).
 
    Exit 0 only if every assertion holds. *)
 
@@ -44,6 +54,8 @@ let query =
     q_seed = 42;
     q_zoo = false;
     q_fresh = false;
+    q_trace_id = "";
+    q_span_id = "";
   }
 
 let connect ~socket () =
@@ -61,19 +73,34 @@ let () =
     Filename.concat (Filename.get_temp_dir_name ())
       (Printf.sprintf "fair-svc-%d.sock" (Unix.getpid ()))
   in
+  (* Observability ON for the whole run — the acceptance bar is that every
+     assertion below still holds, and section 5 then checks the artifacts
+     and the zero-perturbation pairing. *)
+  let qlog_path = "svc-qlog.jsonl" in
+  let trace_path = "svc-trace.json" in
+  Fair_obs.Trace.enable ();
+  Fair_obs.Metrics.enable ();
+  Fair_obs.Qlog.enable ();
+  let qlog_oc = open_out qlog_path in
+  Fair_obs.Qlog.set_sink (Some qlog_oc);
   let cache = S.Cache.create ~capacity:8 ~dir:"svc-cache" () in
   let server = S.Server.start ~socket ~cache ~queue_limit:8 ~jobs:2 () in
 
-  (* 1 — cold query: computed, progress streamed. *)
+  (* 1 — cold query: computed, progress streamed, trace context echoed. *)
   let c1 = connect ~socket () in
+  let traced = S.Client.with_trace query in
+  let tid = traced.S.Proto.q_trace_id in
   let progress = ref 0 in
   let r1 =
-    match S.Client.query c1 ~on_progress:(fun _ -> incr progress) query with
+    match S.Client.query c1 ~on_progress:(fun _ -> incr progress) traced with
     | Ok r -> r
     | Result.Error f -> fail "cold query: %s" (S.Failure.to_string f)
   in
   if r1.S.Proto.r_cached then fail "cold query claimed to be a cache hit";
   if !progress = 0 then fail "no progress frames streamed during the cold query";
+  if r1.S.Proto.r_trace_id <> tid then
+    fail "result frame did not echo the query's trace id (sent %s, got %s)" tid
+      r1.S.Proto.r_trace_id;
 
   (* 2 — warm query: a hit, byte-identical, pool and scheduler untouched. *)
   let stats_before =
@@ -157,8 +184,80 @@ let () =
 
   S.Client.close c1;
   S.Server.stop server;
+
+  (* 5 — observability acceptance: artifacts + zero perturbation. *)
+  Fair_obs.Qlog.set_sink None;
+  close_out qlog_oc;
+  Fair_obs.Trace.disable ();
+  Fair_obs.Metrics.disable ();
+  Fair_obs.Qlog.disable ();
+
+  (* 5a — one trace file, one lane set per query: the client round trip,
+     the queue wait and the executor compute all carry the cold query's
+     trace id. *)
+  Fairness.Obs_json.write ~path:trace_path (Fairness.Obs_json.trace_document ());
+  let events = Fair_obs.Trace.export () in
+  let tagged name =
+    List.exists
+      (fun (e : Fair_obs.Trace.event) ->
+        e.Fair_obs.Trace.name = name
+        && List.assoc_opt "trace_id" e.Fair_obs.Trace.args = Some tid)
+      events
+  in
+  List.iter
+    (fun name ->
+      if not (tagged name) then
+        fail "trace export has no %S span carrying trace id %s" name tid)
+    [ "client.query"; "service.queue"; "service.exec" ];
+  (match Fairness.Json.of_string (In_channel.with_open_bin trace_path In_channel.input_all) with
+  | Ok _ -> ()
+  | Result.Error e -> fail "written trace file does not parse: %s" e);
+
+  (* 5b — the wide query log: a "cold" line for the computed query with
+     queue latency and engine counter deltas, a "mem" line for the warm
+     hit. *)
+  let qlog_lines =
+    In_channel.with_open_bin qlog_path In_channel.input_all
+    |> String.split_on_char '\n'
+    |> List.filter (fun l -> l <> "")
+    |> List.map (fun l ->
+           match Json.of_string l with
+           | Ok j -> j
+           | Result.Error e -> fail "qlog line does not parse: %s: %s" e l)
+  in
+  let str k j = match Json.to_str (member k j) with Ok s -> s | Result.Error e -> fail "qlog %S: %s" k e in
+  let tiers = List.map (fun j -> str "tier" j) qlog_lines in
+  let cold_line =
+    match List.find_opt (fun j -> str "tier" j = "cold" && str "trace_id" j = tid) qlog_lines with
+    | Some j -> j
+    | None -> fail "qlog has no cold-tier line for trace id %s (tiers seen: %s)" tid
+                (String.concat "," tiers)
+  in
+  (match member "queue_s" cold_line with
+  | Json.Num q when q >= 0.0 -> ()
+  | _ -> fail "cold qlog line has no numeric queue latency");
+  (match member "counters" cold_line with
+  | Json.Obj kv
+    when List.exists
+           (fun (k, _) ->
+             List.exists
+               (fun p -> String.length k > String.length p && String.sub k 0 (String.length p) = p)
+               [ "engine."; "mc."; "race." ])
+           kv -> ()
+  | _ -> fail "cold qlog line carries no engine counter deltas");
+  if str "outcome" cold_line <> "ok" then
+    fail "cold query's qlog outcome is %S, expected ok" (str "outcome" cold_line);
+  if not (List.mem "mem" tiers) then fail "warm hit left no mem-tier qlog line";
+
+  (* 5c — paired obs-OFF recompute: the exact bytes the instrumented
+     server served. *)
+  if inline 2 <> r1.S.Proto.r_body then
+    fail "inline recompute with observability off differs from the served bytes";
+
   Printf.printf
     "service-smoke: OK — cold compute streamed %d progress frames; warm query was a cache hit \
      (+%d hits, pool frozen) with byte-identical certificate; inline bytes match at -j 1 and \
-     -j 2; truncated frame and client crash stayed isolated to their connections\n"
-    !progress hits_delta
+     -j 2; truncated frame and client crash stayed isolated to their connections; trace %s \
+     carries client/queue/exec lanes for trace id %s; qlog %s has cold+mem lines with queue \
+     latency and counter deltas; obs-off recompute byte-identical\n"
+    !progress hits_delta trace_path tid qlog_path

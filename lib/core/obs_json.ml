@@ -82,6 +82,73 @@ let trace_events evs =
     [ ("traceEvents", Json.List (List.map thread_meta tids @ List.map event evs));
       ("displayTimeUnit", Json.Str "ns") ]
 
+(* ---------------------------- percentiles ---------------------------- *)
+
+(* Bucket-upper-bound estimation: a fixed-bucket histogram only knows how
+   many observations fell at or below each bound, so the tightest honest
+   answer for "the q-th percentile" is the smallest bound whose cumulative
+   count reaches rank = ceil(q * total).  That over-estimates by at most
+   one bucket width — a conservative bias, which is the right direction
+   for a latency report.  No estimate exists when the histogram is empty
+   or the rank lands in the unbounded overflow slot (all we know is "above
+   the last bound"), and a non-finite q is a caller bug treated the same
+   way: all three cases answer [None], which the JSON rendering turns into
+   [null] rather than inventing a number. *)
+let percentile (h : Metrics.hist_snapshot) q =
+  if h.Metrics.total <= 0 || not (Float.is_finite q) || q <= 0.0 || q > 1.0 then None
+  else
+    let rank =
+      let r = int_of_float (Float.ceil (q *. float_of_int h.Metrics.total)) in
+      max 1 r
+    in
+    let rec walk cum = function
+      | [] -> None (* rank falls in overflow: no finite upper bound *)
+      | (bound, count) :: tl ->
+          let cum = cum + count in
+          if cum >= rank then Some bound else walk cum tl
+    in
+    walk 0 h.Metrics.hbuckets
+
+let quantile_points = [ ("p50", 0.5); ("p90", 0.9); ("p99", 0.99) ]
+
+let percentiles (s : Metrics.snapshot) =
+  Json.Obj
+    (List.map
+       (fun (n, h) ->
+         ( n,
+           Json.Obj
+             (List.map
+                (fun (label, q) ->
+                  ( label,
+                    match percentile h q with Some v -> Json.Num v | None -> Json.Null ))
+                quantile_points) ))
+       s.Metrics.histograms)
+
+(* ---------------------------- qlog events ----------------------------- *)
+
+(* The structured (non-JSONL) rendering of a wide query-log event, used by
+   the flight recorder's postmortem documents.  Field names match
+   {!Fair_obs.Qlog.to_json_line} exactly so both renderings answer the
+   same jq queries. *)
+let qlog_event (e : Fair_obs.Qlog.event) =
+  let module Q = Fair_obs.Qlog in
+  let num_or_null v = if Float.is_finite v then Json.Num v else Json.Null in
+  Json.Obj
+    [ ("ts_ns", Json.num_int e.Q.ts_ns);
+      ("trace_id", Json.Str e.Q.trace_id);
+      ("span_id", Json.Str e.Q.span_id);
+      ("kind", Json.Str e.Q.kind);
+      ("experiment", Json.Str e.Q.experiment);
+      ("key", Json.Str e.Q.key);
+      ("tier", Json.Str e.Q.tier);
+      ("client", Json.num_int e.Q.client);
+      ("worker", Json.num_int e.Q.worker);
+      ("queue_s", num_or_null e.Q.queue_s);
+      ("wall_s", num_or_null e.Q.wall_s);
+      ("trials", Json.num_int e.Q.trials);
+      ("outcome", Json.Str e.Q.outcome);
+      ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.num_int v)) e.Q.counters)) ]
+
 let metrics_document () =
   Json.Obj
     [ ("schema", Json.Str "fairness-metrics/1");

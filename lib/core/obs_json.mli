@@ -21,6 +21,23 @@ val pool : Parallel.stats -> Json.t
 (** Pool accounting; each participant carries a derived [utilization]
     (busy / (busy + idle), when that denominator is positive). *)
 
+val percentile : Fair_obs.Metrics.hist_snapshot -> float -> float option
+(** Bucket-upper-bound percentile estimation: the smallest bucket bound
+    whose cumulative count reaches [ceil (q * total)] — conservative by at
+    most one bucket width.  [None] when the histogram is empty, [q] is
+    outside [(0, 1]] or non-finite, or the rank falls in the unbounded
+    overflow slot (the honest answer is then "above the last bound", not a
+    number). *)
+
+val percentiles : Fair_obs.Metrics.snapshot -> Json.t
+(** Per-histogram [{"p50": _, "p90": _, "p99": _}] objects (name-sorted,
+    as in the snapshot); inestimable points are [null], never [NaN]. *)
+
+val qlog_event : Fair_obs.Qlog.event -> Json.t
+(** One wide query-log event as a JSON object — same field names as
+    {!Fair_obs.Qlog.to_json_line}, for the flight recorder's postmortem
+    documents. *)
+
 val trace_events : Fair_obs.Trace.event list -> Json.t
 (** The full Chrome trace document for the given events: thread-name
     metadata first, then one record per event, timestamps in microseconds. *)

@@ -1,0 +1,46 @@
+(* Request-scoped identifiers for cross-process trace stitching.
+
+   Ids must be (a) unique enough that two queries never collide in one
+   trace file, and (b) generated without touching any RNG stream the
+   estimation stack owns — the whole observability layer promises zero
+   perturbation, and `Fair_crypto.Rng` seeds are part of the certified
+   computation.  So ids come from a splitmix64 finalizer over inputs that
+   are free to read: the monotonic clock, the pid, and a process-wide
+   atomic counter.  Collisions would need two generations in the same
+   nanosecond of the same process at the same counter value — impossible
+   by construction (the counter strictly increases). *)
+
+external pid : unit -> int = "fair_obs_pid" [@@noalloc]
+
+let seq = Atomic.make 0
+
+(* splitmix64's finalization mix: a fast, well-distributed bijection on
+   64-bit words (Steele et al., "Fast splittable pseudorandom number
+   generators", OOPSLA 2014). *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let hex64 v = Printf.sprintf "%016Lx" v
+
+let word salt =
+  let n = Atomic.fetch_and_add seq 1 in
+  let basis =
+    Int64.logxor
+      (Int64.of_int (Clock.now_ns ()))
+      (Int64.logxor
+         (Int64.shift_left (Int64.of_int (pid ())) 40)
+         (Int64.add (Int64.of_int n) salt))
+  in
+  mix64 basis
+
+(* 16 bytes as 32 lowercase hex chars — the W3C trace-context width. *)
+let trace_id () = hex64 (word 0x1fb87e5d2c9a4f31L) ^ hex64 (word 0x6a09e667f3bcc908L)
+
+(* 8 bytes as 16 hex chars. *)
+let span_id () = hex64 (word 0x9e3779b97f4a7c15L)
+
+let is_hex s = String.for_all (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false) s
+let valid_trace_id s = String.length s = 32 && is_hex s
+let valid_span_id s = String.length s = 16 && is_hex s

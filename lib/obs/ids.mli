@@ -1,0 +1,26 @@
+(** Trace- and span-id generation for request-scoped observability.
+
+    A {e trace id} (16 bytes, 32 lowercase hex chars — the W3C
+    trace-context width) names one end-to-end request; a {e span id}
+    (8 bytes, 16 hex chars) names one timed segment of it.  The client
+    generates both and sends them with the query; every server-side span
+    recorded for that request carries the same trace id, so a Chrome-trace
+    export can be filtered to one request across client, queue and worker
+    lanes.
+
+    {b Zero perturbation.}  Ids are derived from the monotonic clock, the
+    pid and a process-wide atomic counter through a splitmix64 finalizer —
+    never from {!Fair_crypto.Rng} or any seed that feeds an estimate, so
+    generating an id cannot move a certified number. *)
+
+val trace_id : unit -> string
+(** Fresh 32-hex-char trace id; never repeats within a process. *)
+
+val span_id : unit -> string
+(** Fresh 16-hex-char span id. *)
+
+val valid_trace_id : string -> bool
+(** Exactly 32 lowercase hex chars — what the wire decoder accepts. *)
+
+val valid_span_id : string -> bool
+(** Exactly 16 lowercase hex chars. *)

@@ -7,6 +7,7 @@
  */
 
 #include <time.h>
+#include <unistd.h>
 #include <caml/mlvalues.h>
 
 CAMLprim value fair_obs_monotonic_ns(value unit)
@@ -14,4 +15,11 @@ CAMLprim value fair_obs_monotonic_ns(value unit)
   struct timespec ts;
   clock_gettime(CLOCK_MONOTONIC, &ts);
   return Val_long((intnat)ts.tv_sec * 1000000000 + (intnat)ts.tv_nsec);
+}
+
+/* Pid for Fair_obs.Ids: fair_obs deliberately depends on nothing (not even
+ * the unix library), so trace-id generation binds getpid(2) directly. */
+CAMLprim value fair_obs_pid(value unit)
+{
+  return Val_long((intnat)getpid());
 }

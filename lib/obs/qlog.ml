@@ -1,0 +1,186 @@
+(* The wide query log: one structured event per completed service request.
+
+   Metrics aggregate and spans time, but neither answers "what happened to
+   THIS query" — which cache tier served it, how long it queued, which
+   worker ran it, how many trials it burned, why it failed.  A qlog event
+   is that answer: a single flat record wide enough to debug a request
+   from alone, kept in a bounded in-memory ring (the flight recorder's
+   feed) and optionally mirrored to a JSONL sink (`serve --qlog`).
+
+   Zero perturbation: events are recorded after the response is delivered,
+   touch no RNG and no scheduling decision, and the disabled path is one
+   atomic load. *)
+
+type event = {
+  ts_ns : int;  (* completion time, monotonic *)
+  trace_id : string;
+  span_id : string;
+  kind : string;
+  experiment : string;
+  key : string;  (* content address; "" when the request never got one *)
+  tier : string;  (* "mem" | "disk" | "cold" | "coalesced" | "" *)
+  client : int;
+  worker : int;  (* executor domain id; -1 = answered on the reader thread *)
+  queue_s : float;  (* admission -> dispatch; 0 for direct answers *)
+  wall_s : float;  (* request receipt -> response delivered *)
+  trials : int;  (* mc.trials delta over the compute window *)
+  counters : (string * int) list;  (* engine.*/mc.*/race.* deltas *)
+  outcome : string;  (* "ok" | "bound-violation" | a Failure code *)
+}
+
+let on = Atomic.make false
+let enabled () = Atomic.get on
+
+(* Ring + sink share one lock: events arrive from reader systhreads and
+   executor domains alike, and JSONL lines must never interleave. *)
+let lock = Mutex.create ()
+let ring : event option array ref = ref (Array.make 512 None)
+let next = ref 0  (* total events ever recorded; ring slot = next mod cap *)
+let sink : out_channel option ref = ref None
+
+let enable ?capacity () =
+  (* Validate before taking the lock: raising while holding it would
+     poison every later locker with "deadlock avoided". *)
+  (match capacity with
+  | Some c when c < 1 -> invalid_arg "Qlog.enable: capacity < 1"
+  | _ -> ());
+  Mutex.lock lock;
+  (match capacity with
+  | Some c when c <> Array.length !ring ->
+      ring := Array.make c None;
+      next := 0
+  | _ -> ());
+  Mutex.unlock lock;
+  Atomic.set on true
+
+let disable () = Atomic.set on false
+
+let set_sink oc =
+  Mutex.lock lock;
+  sink := oc;
+  Mutex.unlock lock
+
+let clear () =
+  Mutex.lock lock;
+  Array.fill !ring 0 (Array.length !ring) None;
+  next := 0;
+  Mutex.unlock lock
+
+let recorded () =
+  Mutex.lock lock;
+  let n = !next in
+  Mutex.unlock lock;
+  n
+
+(* ------------------------- JSONL rendering --------------------------- *)
+
+(* A hand-rolled emitter: fair_obs sits below Fairness.Json by design (the
+   core library depends on this one), and a qlog line is a single flat
+   object — small enough that the own-emitter cost is a few lines.  The
+   escaping matches Fairness.Json's reader: quote, backslash and control
+   bytes become escapes, everything else passes through, so every line parses
+   back through the shared parser (round-trip-tested in test_obs.ml). *)
+let escape_into b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let field_str b k v =
+  Buffer.add_char b '"';
+  Buffer.add_string b k;
+  Buffer.add_string b "\":\"";
+  escape_into b v;
+  Buffer.add_char b '"'
+
+let field_int b k v =
+  Buffer.add_char b '"';
+  Buffer.add_string b k;
+  Buffer.add_string b "\":";
+  Buffer.add_string b (string_of_int v)
+
+let field_float b k v =
+  Buffer.add_char b '"';
+  Buffer.add_string b k;
+  Buffer.add_string b "\":";
+  (* %.17g round-trips doubles exactly; normalize non-finite to null (a
+     JSON file with a bare `nan` token is not JSON). *)
+  if Float.is_finite v then Buffer.add_string b (Printf.sprintf "%.17g" v)
+  else Buffer.add_string b "null"
+
+let to_json_line e =
+  let b = Buffer.create 256 in
+  Buffer.add_char b '{';
+  field_int b "ts_ns" e.ts_ns;
+  Buffer.add_char b ',';
+  field_str b "trace_id" e.trace_id;
+  Buffer.add_char b ',';
+  field_str b "span_id" e.span_id;
+  Buffer.add_char b ',';
+  field_str b "kind" e.kind;
+  Buffer.add_char b ',';
+  field_str b "experiment" e.experiment;
+  Buffer.add_char b ',';
+  field_str b "key" e.key;
+  Buffer.add_char b ',';
+  field_str b "tier" e.tier;
+  Buffer.add_char b ',';
+  field_int b "client" e.client;
+  Buffer.add_char b ',';
+  field_int b "worker" e.worker;
+  Buffer.add_char b ',';
+  field_float b "queue_s" e.queue_s;
+  Buffer.add_char b ',';
+  field_float b "wall_s" e.wall_s;
+  Buffer.add_char b ',';
+  field_int b "trials" e.trials;
+  Buffer.add_char b ',';
+  field_str b "outcome" e.outcome;
+  Buffer.add_string b ",\"counters\":{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      field_int b k v)
+    e.counters;
+  Buffer.add_string b "}}";
+  Buffer.contents b
+
+let record e =
+  if Atomic.get on then begin
+    Mutex.lock lock;
+    let r = !ring in
+    r.(!next mod Array.length r) <- Some e;
+    next := !next + 1;
+    (match !sink with
+    | Some oc -> (
+        (* Line-buffered on purpose: a flight log you cannot tail is not a
+           flight log.  A dead sink (ENOSPC, closed fd) must never take a
+           request down with it — drop the line, keep the ring. *)
+        try
+          output_string oc (to_json_line e);
+          output_char oc '\n';
+          flush oc
+        with Sys_error _ -> ())
+    | None -> ());
+    Mutex.unlock lock
+  end
+
+let recent () =
+  Mutex.lock lock;
+  let r = !ring in
+  let cap = Array.length r in
+  let n = !next in
+  let first = if n > cap then n - cap else 0 in
+  let out = ref [] in
+  for i = n - 1 downto first do
+    match r.(i mod cap) with Some e -> out := e :: !out | None -> ()
+  done;
+  Mutex.unlock lock;
+  !out

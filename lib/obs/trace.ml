@@ -17,9 +17,16 @@ let on = Atomic.make false
 let enabled () = Atomic.get on
 
 (* Per-domain buffer: a reversed cons list (append = one alloc, no
-   resizing), bounded so a traced long run truncates instead of OOMing. *)
+   resizing), bounded so a traced long run truncates instead of OOMing.
+   [b_lock] exists because the certificate service records spans from
+   systhreads, and every systhread of a domain shares that domain's
+   buffer: without it two reader threads could race the cons and lose
+   events.  The lock is only ever touched while tracing is enabled — the
+   disabled fast path (an atomic load and a branch) is unchanged — and is
+   per-buffer, so domains never contend with each other. *)
 type buf = {
   b_domain : int;
+  b_lock : Mutex.t;
   mutable b_events : event list;
   mutable b_len : int;
   mutable b_dropped : int;
@@ -31,7 +38,13 @@ let max_events = Atomic.make 4_000_000
 
 let buf_key =
   Dls.new_key (fun () ->
-      let b = { b_domain = Domain_id.get (); b_events = []; b_len = 0; b_dropped = 0 } in
+      let b =
+        { b_domain = Domain_id.get ();
+          b_lock = Mutex.create ();
+          b_events = [];
+          b_len = 0;
+          b_dropped = 0 }
+      in
       Mutex.lock lock;
       bufs := b :: !bufs;
       Mutex.unlock lock;
@@ -49,19 +62,39 @@ let clear () =
   Mutex.lock lock;
   List.iter
     (fun b ->
+      Mutex.lock b.b_lock;
       b.b_events <- [];
       b.b_len <- 0;
-      b.b_dropped <- 0)
+      b.b_dropped <- 0;
+      Mutex.unlock b.b_lock)
     !bufs;
   Mutex.unlock lock
 
+(* Ambient args: extra key/value pairs attached to every event the calling
+   domain records while [with_ambient] is active — how a request's trace
+   id reaches spans recorded deep inside the engine without threading an
+   argument through every layer.  Per-domain (DLS), so a service executor
+   worker tags only its own request's spans; restored on exit even when
+   the wrapped function raises. *)
+let ambient_key = Dls.new_key (fun () -> ref [])
+
+let with_ambient args fn =
+  let cell = Dls.get ambient_key in
+  let saved = !cell in
+  cell := args @ saved;
+  Fun.protect ~finally:(fun () -> cell := saved) fn
+
 let record e =
   let b = Dls.get buf_key in
+  let ambient = !(Dls.get ambient_key) in
+  let e = if ambient = [] then e else { e with args = e.args @ ambient } in
+  Mutex.lock b.b_lock;
   if b.b_len >= Atomic.get max_events then b.b_dropped <- b.b_dropped + 1
   else begin
     b.b_events <- e :: b.b_events;
     b.b_len <- b.b_len + 1
-  end
+  end;
+  Mutex.unlock b.b_lock
 
 let emit_span ?(cat = "app") ?(args = []) name ~ts_ns ~dur_ns =
   if Atomic.get on then
@@ -86,12 +119,33 @@ let instant ?(cat = "app") ?(args = []) name =
   if Atomic.get on then
     record { name; cat; tid = Domain_id.get (); ph = Instant; ts_ns = Clock.now_ns (); args }
 
-let export () =
+(* Under [lock]; each buffer additionally under its own lock so a snapshot
+   concurrent with writers sees consistent (len, events) pairs. *)
+let collect per_buf =
   Mutex.lock lock;
   let bs = List.sort (fun a b -> compare a.b_domain b.b_domain) !bufs in
-  let evs = List.concat_map (fun b -> List.rev b.b_events) bs in
+  let evs =
+    List.concat_map
+      (fun b ->
+        Mutex.lock b.b_lock;
+        let r = per_buf b in
+        Mutex.unlock b.b_lock;
+        r)
+      bs
+  in
   Mutex.unlock lock;
   evs
+
+let export () = collect (fun b -> List.rev b.b_events)
+
+let rec take n = function x :: tl when n > 0 -> x :: take (n - 1) tl | _ -> []
+
+let recent ~limit () =
+  if limit <= 0 then []
+  else
+    (* [b_events] is most-recent-first, so the last [limit] events of a
+       domain are its first [limit] cons cells — no full-buffer walk. *)
+    collect (fun b -> List.rev (take limit b.b_events))
 
 let dropped () =
   Mutex.lock lock;

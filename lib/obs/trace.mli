@@ -17,7 +17,12 @@
 
     Buffers are bounded ([max_events_per_domain], default 4M): beyond the
     bound events are counted in {!dropped} instead of stored, so a
-    long-running traced process degrades to truncation, not OOM. *)
+    long-running traced process degrades to truncation, not OOM.
+
+    Buffers are additionally safe against {e systhreads}: every thread of a
+    domain shares that domain's buffer, so recording takes a per-buffer
+    mutex — only while tracing is enabled (the disabled path is still an
+    atomic load and a branch), and per-buffer, so domains never contend. *)
 
 type phase =
   | Span of int  (** complete span; payload = duration in ns *)
@@ -56,9 +61,23 @@ val emit_span : ?cat:string -> ?args:(string * string) list -> string -> ts_ns:i
 val instant : ?cat:string -> ?args:(string * string) list -> string -> unit
 (** A zero-duration marker. *)
 
+val with_ambient : (string * string) list -> (unit -> 'a) -> 'a
+(** Attach [args] to every event the {e calling domain} records while the
+    function runs (appended after the event's own args) — how a request's
+    trace id reaches spans recorded deep inside the engine or Monte-Carlo
+    stack without threading a parameter through every layer.  Nests
+    (inner contexts prepend); restored on exit even on exception.  Note
+    the per-domain scope: work fanned out to {e other} pool domains does
+    not inherit the ambient args. *)
+
 val export : unit -> event list
 (** All buffered events, buffers merged in domain-index order (within one
     domain, in recording order). *)
+
+val recent : limit:int -> unit -> event list
+(** The last [limit] events of {e each} domain (merged in domain-index
+    order, chronological within a domain) — the flight-recorder view.
+    Cost is O(limit × domains) regardless of buffer population. *)
 
 val dropped : unit -> int
 (** Events discarded because a domain's buffer hit its bound. *)

@@ -166,7 +166,7 @@ let disk_write t key value =
 
 (* ------------------------------ public ------------------------------- *)
 
-let find t key =
+let find_tagged t key =
   with_lock t (fun () ->
       match Hashtbl.find_opt t.tbl key with
       | Some n ->
@@ -174,7 +174,7 @@ let find t key =
           push_front t n;
           t.s_hits <- t.s_hits + 1;
           Metrics.incr c_hits;
-          Some n.nvalue
+          Some (n.nvalue, `Mem)
       | None -> (
           match disk_read t key with
           | Some value ->
@@ -183,11 +183,13 @@ let find t key =
               t.s_disk_hits <- t.s_disk_hits + 1;
               Metrics.incr c_hits;
               Metrics.incr c_disk_hits;
-              Some value
+              Some (value, `Disk)
           | None ->
               t.s_misses <- t.s_misses + 1;
               Metrics.incr c_misses;
               None))
+
+let find t key = Option.map fst (find_tagged t key)
 
 let store t ~key value =
   with_lock t (fun () ->

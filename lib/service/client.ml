@@ -73,22 +73,42 @@ let read_response t =
         | Ok r -> Ok r
         | Result.Error e -> lost (Printf.sprintf "undecodable response: %s" e))
 
+(* Stamp a fresh trace context on a query — the client half of end-to-end
+   tracing.  Id generation never touches an RNG stream (Fair_obs.Ids), so
+   stamping cannot move a certified number. *)
+let with_trace (q : Proto.query) =
+  {
+    q with
+    Proto.q_trace_id = Fair_obs.Ids.trace_id ();
+    q_span_id = Fair_obs.Ids.span_id ();
+  }
+
 let query t ?on_progress q =
-  match send_request t (Proto.Query q) with
-  | Result.Error _ as e -> e
-  | Ok () ->
-      let rec pump () =
-        match read_response t with
-        | Result.Error _ as e -> e
-        | Ok (Proto.Progress p) ->
-            (match on_progress with Some f -> f p | None -> ());
-            pump ()
-        | Ok (Proto.Result r) -> Ok r
-        | Ok (Proto.Error f) -> Result.Error f
-        | Ok (Proto.Pong | Proto.Stats_reply _) ->
-            lost "protocol confusion: unexpected frame while awaiting result"
-      in
-      pump ()
+  let span_args =
+    if q.Proto.q_trace_id = "" then []
+    else
+      ("trace_id", q.Proto.q_trace_id)
+      :: (if q.Proto.q_span_id = "" then [] else [ ("span_id", q.Proto.q_span_id) ])
+  in
+  (* The client's root span covers the whole round trip — send, queue,
+     compute, receive — so a traced request's server-side lanes all nest
+     (in wall-clock terms) under this one. *)
+  Fair_obs.Trace.with_span ~cat:"client" ~args:span_args "client.query" (fun () ->
+      match send_request t (Proto.Query q) with
+      | Result.Error _ as e -> e
+      | Ok () ->
+          let rec pump () =
+            match read_response t with
+            | Result.Error _ as e -> e
+            | Ok (Proto.Progress p) ->
+                (match on_progress with Some f -> f p | None -> ());
+                pump ()
+            | Ok (Proto.Result r) -> Ok r
+            | Ok (Proto.Error f) -> Result.Error f
+            | Ok (Proto.Pong | Proto.Stats_reply _) ->
+                lost "protocol confusion: unexpected frame while awaiting result"
+          in
+          pump ())
 
 let ping t =
   match send_request t Proto.Ping with

@@ -30,6 +30,12 @@ val read_response : t -> (Proto.response, Failure.t) Stdlib.result
     [read_response] returns [Error Connection_lost] on EOF, timeout, or an
     undecodable reply. *)
 
+val with_trace : Proto.query -> Proto.query
+(** The query with a fresh trace context stamped on it
+    ({!Fair_obs.Ids.trace_id}/{!Fair_obs.Ids.span_id}) — what [fairness
+    query] sends so one [--trace] export stitches client, queue and worker
+    spans into one lane set.  Generation never touches an RNG stream. *)
+
 val query :
   t ->
   ?on_progress:(Proto.progress -> unit) ->
@@ -37,7 +43,9 @@ val query :
   (Proto.result, Failure.t) Stdlib.result
 (** Send one query and pump the stream: progress frames go to
     [on_progress], the final certificate frame is returned.  Any in-band
-    server failure ([Overloaded], [Unknown_query], ...) is the [Error]. *)
+    server failure ([Overloaded], [Unknown_query], ...) is the [Error].
+    When tracing is enabled the round trip is recorded as a
+    [client.query] span carrying the query's trace id (if any). *)
 
 val ping : t -> (unit, Failure.t) Stdlib.result
 val stats : t -> (Fairness.Json.t, Failure.t) Stdlib.result

@@ -11,13 +11,21 @@ type query = {
   q_seed : int;
   q_zoo : bool;
   q_fresh : bool;
+  q_trace_id : string;
+  q_span_id : string;
 }
 
 type request = Query of query | Stats | Ping
 
 type progress = { p_after : int; p_batch : int; p_mean : float; p_std_err : float }
 
-type result = { r_cached : bool; r_key : string; r_ok : bool; r_body : string }
+type result = {
+  r_cached : bool;
+  r_key : string;
+  r_ok : bool;
+  r_body : string;
+  r_trace_id : string;
+}
 
 type response =
   | Progress of progress
@@ -53,17 +61,26 @@ let compact j = Json.to_string ~indent:false j
 
 let msg tag body = Wire.frame [ tag; compact body ]
 
+(* Trace-context fields ride the wire only when set: a query without them
+   encodes byte-identically to what a pre-trace client sends, which is the
+   forward half of the compatibility story (the backward half is the
+   tolerant decode below). *)
+let trace_fields tid sid =
+  (if tid = "" then [] else [ ("trace_id", Json.Str tid) ])
+  @ if sid = "" then [] else [ ("span_id", Json.Str sid) ]
+
 let encode_request = function
   | Query q ->
       msg "query"
         (Json.Obj
-           [ ("v", Json.Str Version.wire_version);
-             ("kind", Json.Str (kind_to_string q.q_kind));
-             ("experiment", Json.Str q.q_experiment);
-             ("budget", Json.num_int q.q_budget);
-             ("seed", Json.num_int q.q_seed);
-             ("zoo", Json.Bool q.q_zoo);
-             ("fresh", Json.Bool q.q_fresh) ])
+           ([ ("v", Json.Str Version.wire_version);
+              ("kind", Json.Str (kind_to_string q.q_kind));
+              ("experiment", Json.Str q.q_experiment);
+              ("budget", Json.num_int q.q_budget);
+              ("seed", Json.num_int q.q_seed);
+              ("zoo", Json.Bool q.q_zoo);
+              ("fresh", Json.Bool q.q_fresh) ]
+           @ trace_fields q.q_trace_id q.q_span_id))
   | Stats -> msg "stats" (Json.Obj [ ("v", Json.Str Version.wire_version) ])
   | Ping -> msg "ping" (Json.Obj [ ("v", Json.Str Version.wire_version) ])
 
@@ -78,10 +95,11 @@ let encode_response = function
   | Result r ->
       msg "result"
         (Json.Obj
-           [ ("cached", Json.Bool r.r_cached);
-             ("key", Json.Str r.r_key);
-             ("ok", Json.Bool r.r_ok);
-             ("body", Json.Str r.r_body) ])
+           ([ ("cached", Json.Bool r.r_cached);
+              ("key", Json.Str r.r_key);
+              ("ok", Json.Bool r.r_ok);
+              ("body", Json.Str r.r_body) ]
+           @ trace_fields r.r_trace_id ""))
   | Error f -> msg "error" (Failure.to_json f)
   | Stats_reply j -> msg "stats" j
   | Pong -> msg "pong" (Json.Obj [])
@@ -100,6 +118,21 @@ let split payload =
 
 let parse_body body =
   match Json.of_string body with Ok j -> Ok j | Result.Error e -> Result.Error e
+
+(* Trace context decodes tolerantly in both directions: a frame without the
+   fields (an old client or server) reads as "no trace", and a malformed or
+   wrong-width id reads the same way — observability metadata must never be
+   able to fail a request that is otherwise well-formed. *)
+let trace_of ~valid key j =
+  match Json.member key j with
+  | Result.Error _ -> ""
+  | Ok v -> (
+      match Json.to_str v with
+      | Ok s when valid s -> s
+      | Ok _ | Result.Error _ -> "")
+
+let trace_id_of j = trace_of ~valid:Fair_obs.Ids.valid_trace_id "trace_id" j
+let span_id_of j = trace_of ~valid:Fair_obs.Ids.valid_span_id "span_id" j
 
 let decode_request payload =
   let open Json in
@@ -131,7 +164,9 @@ let decode_request payload =
                q_budget = budget;
                q_seed = seed;
                q_zoo = zoo;
-               q_fresh = fresh })
+               q_fresh = fresh;
+               q_trace_id = trace_id_of j;
+               q_span_id = span_id_of j })
   | other -> Result.Error (Printf.sprintf "unknown request tag %S" other)
 
 let decode_response payload =
@@ -163,7 +198,13 @@ let decode_response payload =
       let* ok = to_bool ok in
       let* bbody = member "body" j in
       let* bbody = to_str bbody in
-      Ok (Result { r_cached = cached; r_key = key; r_ok = ok; r_body = bbody })
+      Ok
+        (Result
+           { r_cached = cached;
+             r_key = key;
+             r_ok = ok;
+             r_body = bbody;
+             r_trace_id = trace_id_of j })
   | "error" ->
       let* j = parse_body body in
       let* f = Failure.of_json j in

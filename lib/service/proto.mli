@@ -26,6 +26,14 @@ type query = {
   q_seed : int;
   q_zoo : bool;  (** [Search] only: race the fixed zoo as extra arms *)
   q_fresh : bool;  (** bypass the cache (compute and overwrite) *)
+  q_trace_id : string;
+      (** request trace context ({!Fair_obs.Ids}), [""] = none.  Pure
+          observability: excluded from {!cache_key}, never inspected by a
+          handler.  Encoded on the wire only when set, and the decoder
+          treats an absent, malformed or wrong-width id as [""] — so old
+          and new peers interoperate in both directions ({e tolerant
+          decode}). *)
+  q_span_id : string;  (** client's root span id, [""] = none; same rules *)
 }
 
 type request = Query of query | Stats | Ping
@@ -39,6 +47,10 @@ type result = {
   r_key : string;  (** the content address (hex SHA-256) *)
   r_ok : bool;  (** certificate verdict: within bound / all checks pass *)
   r_body : string;  (** the certificate bytes, byte-identical to a CLI run *)
+  r_trace_id : string;
+      (** echo of the query's trace id ([""] when the query carried none) —
+          lets a client assert end-to-end propagation without parsing a
+          trace file.  Same wire tolerance as {!query.q_trace_id}. *)
 }
 
 type response =
@@ -53,7 +65,9 @@ val cache_key : query -> string
     (key-schema tag, {!Version.code_version}, kind, uppercased experiment
     id, budget, seed, zoo).  [q_fresh] is excluded (it changes caching, not
     content); [jobs] is excluded by design — parallelism never changes the
-    numbers, so it must not change the address. *)
+    numbers, so it must not change the address; the trace-context fields
+    are excluded because two requests asking the same question must share
+    an answer no matter who asked or how it was traced. *)
 
 val kind_to_string : kind -> string
 val kind_of_string : string -> (kind, string) Stdlib.result

@@ -1,0 +1,61 @@
+module Json = Fairness.Json
+module Obs_json = Fairness.Obs_json
+module Qlog = Fair_obs.Qlog
+module Trace = Fair_obs.Trace
+module Clock = Fair_obs.Clock
+module Metrics = Fair_obs.Metrics
+
+(* The flight recorder: when something goes wrong, the question is always
+   "what was the server doing just before?" — and by the time anyone asks,
+   the evidence is gone unless it was already being kept.  So the server
+   keeps it continuously (the qlog ring and the trace buffers cost nothing
+   while empty of incident) and this module is only the dump path: gather
+   the recent window, render one self-contained JSON document, publish it
+   atomically.
+
+   One file, last-writer-wins: a crash loop must not fill the disk with a
+   dump per failure, and the dump nearest the final failure is the one a
+   postmortem wants anyway.  The [seq] and [reason] fields inside the
+   document say how many dumps happened and why the surviving one was
+   written. *)
+
+type t = { path : string; span_limit : int; seq : int Atomic.t }
+
+let create ~path ?(span_limit = 256) () =
+  if span_limit < 0 then invalid_arg "Recorder.create: span_limit < 0";
+  { path; span_limit; seq = Atomic.make 0 }
+
+let path t = t.path
+
+let document t ~reason ~seq =
+  let snap = Metrics.snapshot () in
+  let spans = Trace.recent ~limit:t.span_limit () in
+  Json.Obj
+    [ ("schema", Json.Str "fairness-flight/1");
+      ("version", Json.Str Version.code_version);
+      ("reason", Json.Str reason);
+      ("seq", Json.num_int seq);
+      ("ts_ns", Json.num_int (Clock.now_ns ()));
+      ("qlog_recorded", Json.num_int (Qlog.recorded ()));
+      ("qlog", Json.List (List.map Obs_json.qlog_event (Qlog.recent ())));
+      ("spans", Obs_json.trace_events spans);
+      ("spans_dropped", Json.num_int (Trace.dropped ()));
+      ("metrics", Obs_json.metrics snap);
+      ("percentiles", Obs_json.percentiles snap) ]
+
+let dump t ~reason =
+  let seq = Atomic.fetch_and_add t.seq 1 in
+  let doc = document t ~reason ~seq in
+  (* Atomic publish (tmp + rename), and failures are swallowed: the dump
+     path runs off failure paths and shutdown, where raising would replace
+     one incident with two. *)
+  let tmp = Printf.sprintf "%s.%d.tmp" t.path seq in
+  try
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc (Json.to_string doc);
+        output_char oc '\n');
+    Sys.rename tmp t.path
+  with Sys_error _ -> ( try Sys.remove tmp with Sys_error _ -> ())

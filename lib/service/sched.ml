@@ -1,5 +1,6 @@
 module Metrics = Fair_obs.Metrics
 module Clock = Fair_obs.Clock
+module Trace = Fair_obs.Trace
 
 let c_admitted = Metrics.counter "service.sched.admitted"
 let c_rejected = Metrics.counter "service.sched.rejected"
@@ -13,7 +14,13 @@ let h_queue_latency =
     ~buckets:[| 1e-4; 1e-3; 1e-2; 0.1; 1.0; 10.0 |]
     "service.sched.queue_latency_s"
 
-type 'a job = { j_client : int; j_key : string; j_payload : 'a }
+type 'a job = {
+  j_client : int;
+  j_key : string;
+  j_attrs : (string * string) list;
+  mutable j_queue_ns : int;
+  j_payload : 'a;
+}
 
 (* Queue entries carry their admission timestamp so dispatch can observe
    how long the job sat behind the executor pool. *)
@@ -104,11 +111,22 @@ let take_next t =
                   Hashtbl.replace t.inflight leader.job.j_key ();
                   t.active <- t.active + 1;
                   Metrics.set_gauge g_concurrency (float_of_int t.active);
-                  let observe e =
-                    Metrics.observe h_queue_latency (Clock.elapsed_s ~since_ns:e.t_submit)
+                  (* Dispatch is where a job's queue wait becomes known:
+                     stamp it on the job (the executor's query log reads
+                     it), feed the histogram, and emit the wait as a span —
+                     externally timed, [t_submit → now], so a traced
+                     request shows its time behind the pool as a real lane
+                     segment rather than a gap. *)
+                  let observe role e =
+                    let wait_ns = Clock.now_ns () - e.t_submit in
+                    e.job.j_queue_ns <- max 0 wait_ns;
+                    Metrics.observe h_queue_latency (Clock.elapsed_s ~since_ns:e.t_submit);
+                    Trace.emit_span ~cat:"service"
+                      ~args:(("role", role) :: e.job.j_attrs)
+                      "service.queue" ~ts_ns:e.t_submit ~dur_ns:(max 0 wait_ns)
                   in
-                  observe leader;
-                  List.iter observe !followers;
+                  observe "leader" leader;
+                  List.iter (observe "follower") !followers;
                   Some (leader.job, List.rev_map (fun e -> e.job) !followers)))
   in
   go 0

@@ -30,11 +30,22 @@
     [exec_failures] counters, [service.sched.depth] and
     [service.sched.concurrency] gauges (queued jobs / leaders currently
     executing), and the [service.sched.queue_latency_s] histogram
-    (admission → dispatch, observed for leaders and followers alike). *)
+    (admission → dispatch, observed for leaders and followers alike).
+    When tracing is on, every dispatch additionally emits a
+    [service.queue] span per job ([t_submit → now], tagged with the job's
+    [j_attrs] and its leader/follower role) and stamps the measured wait
+    on [j_queue_ns]. *)
 
 type 'a job = {
   j_client : int;  (** connection id, the unit of fairness *)
   j_key : string;  (** content address, the unit of coalescing *)
+  j_attrs : (string * string) list;
+      (** span args (trace context) attached to the job's queue-wait span;
+          [[]] = untraced.  Never inspected by scheduling decisions. *)
+  mutable j_queue_ns : int;
+      (** admission → dispatch wait, stamped by the scheduler at dispatch
+          (0 until then) — how the executor learns the job's queue latency
+          without a second clock read. *)
   j_payload : 'a;
 }
 

@@ -1,5 +1,9 @@
 module Json = Fairness.Json
+module Obs_json = Fairness.Obs_json
 module Metrics = Fair_obs.Metrics
+module Clock = Fair_obs.Clock
+module Trace = Fair_obs.Trace
+module Qlog = Fair_obs.Qlog
 
 let c_accepted = Metrics.counter "service.conns.accepted"
 
@@ -23,6 +27,11 @@ type conn = {
   mutable alive : bool;
 }
 
+(* What a queued query carries besides the query itself: its connection and
+   its receipt timestamp, so the executor can report end-to-end wall time
+   per request (receipt on the reader thread → response delivered). *)
+type pending = { pq : Proto.query; pconn : conn; p_recv_ns : int }
+
 type t = {
   sock_path : string;
   listen_fd : Unix.file_descr;
@@ -30,7 +39,8 @@ type t = {
   jobs : int;
   queue_limit : int;
   workers : int;
-  sched : (Proto.query * conn) Sched.t;
+  recorder : Recorder.t option;
+  sched : pending Sched.t;
   lock : Mutex.t;  (* conns + stopped *)
   mutable conns : conn list;
   mutable readers : Thread.t list;
@@ -43,6 +53,7 @@ let cache t = t.cch
 
 let stats_json t =
   let cs = Cache.stats t.cch in
+  let snap = Metrics.snapshot () in
   Json.Obj
     [
       ("version", Json.Str Version.code_version);
@@ -63,7 +74,24 @@ let stats_json t =
             ("workers", Json.num_int t.workers);
             ("active", Json.num_int (Sched.concurrency t.sched));
           ] );
-      ("pool", Fairness.Obs_json.pool (Fairness.Parallel.pool_stats ()));
+      ("pool", Obs_json.pool (Fairness.Parallel.pool_stats ()));
+      (* Live introspection: the full registry snapshot plus derived
+         latency percentiles, so `fairness stat --watch` needs no second
+         endpoint and no file on disk. *)
+      ("metrics", Obs_json.metrics snap);
+      ("percentiles", Obs_json.percentiles snap);
+      ( "observability",
+        Json.Obj
+          [
+            ("tracing", Json.Bool (Trace.enabled ()));
+            ("trace_dropped", Json.num_int (Trace.dropped ()));
+            ("qlog", Json.Bool (Qlog.enabled ()));
+            ("qlog_recorded", Json.num_int (Qlog.recorded ()));
+            ( "flight_recorder",
+              match t.recorder with
+              | Some r -> Json.Str (Recorder.path r)
+              | None -> Json.Null );
+          ] );
     ]
 
 (* A write failure means the peer is gone: mark the connection dead so the
@@ -90,6 +118,93 @@ let teardown t conn =
   (try Unix.shutdown conn.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
   try Unix.close conn.fd with Unix.Unix_error _ -> ()
 
+(* ------------------------ request observability ----------------------- *)
+
+(* Span args carrying a request's trace context.  Every server-side span
+   for a traced request carries the same ["trace_id"] arg, which is what
+   lets one Perfetto query pull the request's client, queue and worker
+   segments out of a multi-tenant trace. *)
+let trace_args (q : Proto.query) =
+  if q.Proto.q_trace_id = "" then []
+  else
+    ("trace_id", q.Proto.q_trace_id)
+    :: (if q.Proto.q_span_id = "" then [] else [ ("parent_span", q.Proto.q_span_id) ])
+
+let tier_name = function `Mem -> "mem" | `Disk -> "disk"
+
+let dump_on t reason =
+  match t.recorder with Some r -> Recorder.dump r ~reason | None -> ()
+
+(* One wide query-log event.  [worker = -1] marks the reader-thread fast
+   path; [queue_ns]/[trials]/[counters] are zero/empty wherever the request
+   never reached the scheduler or the engine. *)
+let log_event ~(q : Proto.query) ~key ~tier ~client ~worker ~queue_ns ~recv_ns ~trials
+    ~counters ~outcome =
+  if Qlog.enabled () then
+    Qlog.record
+      {
+        Qlog.ts_ns = Clock.now_ns ();
+        trace_id = q.Proto.q_trace_id;
+        span_id = q.Proto.q_span_id;
+        kind = Proto.kind_to_string q.Proto.q_kind;
+        experiment = q.Proto.q_experiment;
+        key;
+        tier;
+        client;
+        worker;
+        queue_s = float_of_int queue_ns /. 1e9;
+        wall_s = float_of_int (Clock.now_ns () - recv_ns) /. 1e9;
+        trials;
+        counters;
+        outcome;
+      }
+
+let log_malformed conn ~recv_ns =
+  if Qlog.enabled () then
+    Qlog.record
+      {
+        Qlog.ts_ns = Clock.now_ns ();
+        trace_id = "";
+        span_id = "";
+        kind = "malformed";
+        experiment = "";
+        key = "";
+        tier = "";
+        client = conn.cid;
+        worker = -1;
+        queue_s = 0.;
+        wall_s = float_of_int (Clock.now_ns () - recv_ns) /. 1e9;
+        trials = 0;
+        counters = [];
+        outcome = "malformed-frame";
+      }
+
+(* Engine-side counter deltas attributed to one compute window.  Both
+   snapshots are name-sorted and registration only ever grows, so a single
+   pass over [after] with a lookup into [before] is exact.  Attribution is
+   process-wide: two cold queries computing concurrently each see the sum
+   of both computations — documented honestly rather than papered over,
+   because per-domain attribution would have to thread request identity
+   through the engine, which the zero-perturbation rule forbids. *)
+let counter_prefixes = [ "engine."; "mc."; "race." ]
+
+let interesting name =
+  List.exists
+    (fun p ->
+      String.length name >= String.length p && String.sub name 0 (String.length p) = p)
+    counter_prefixes
+
+let counter_deltas (before : Metrics.snapshot) (after : Metrics.snapshot) =
+  let base = Hashtbl.create 32 in
+  List.iter (fun (n, v) -> Hashtbl.replace base n v) before.Metrics.counters;
+  List.filter_map
+    (fun (n, v) ->
+      if not (interesting n) then None
+      else
+        let b = Option.value ~default:0 (Hashtbl.find_opt base n) in
+        if v > b then Some (n, v - b) else None)
+    after.Metrics.counters
+
 (* The Monte-Carlo progress hook is process-wide state, but the executor
    pool can run several cold queries at once.  A boolean lease arbitrates:
    the first worker to claim it streams progress frames to its recipients
@@ -100,25 +215,65 @@ let teardown t conn =
 let progress_lease = Atomic.make false
 
 (* The executor: computes one coalesced batch and answers everyone in it.
-   [recipients] are dead-skipped at each step, so a client that vanished
+   Recipients are dead-skipped at each step, so a client that vanished
    mid-computation costs nothing and poisons nobody. *)
-let exec t (leader : (Proto.query * conn) Sched.job) ~followers =
+let exec t (leader : pending Sched.job) ~followers =
   let jobs = leader :: followers in
-  let recipients () =
-    List.filter_map
-      (fun (j : (Proto.query * conn) Sched.job) ->
-        let _, conn = j.Sched.j_payload in
-        if conn.alive then Some conn else None)
+  let q = leader.Sched.j_payload.pq in
+  let key = leader.Sched.j_key in
+  let worker_id = Fair_obs.Domain_id.get () in
+  let targs = trace_args q in
+  let deliver resp =
+    List.iter
+      (fun (j : pending Sched.job) ->
+        let conn = j.Sched.j_payload.pconn in
+        if conn.alive then ignore (send_response conn resp))
       jobs
   in
-  let q, _ = leader.Sched.j_payload in
-  let key = leader.Sched.j_key in
-  let deliver resp = List.iter (fun c -> ignore (send_response c resp)) (recipients ()) in
-  let serve_entry ~cached entry =
+  (* Results echo each requester's own trace id, so responses are built
+     per recipient; progress frames (no trace field) stay broadcast. *)
+  let deliver_result ~cached ~ok ~body =
+    List.iter
+      (fun (j : pending Sched.job) ->
+        let p = j.Sched.j_payload in
+        if p.pconn.alive then
+          ignore
+            (send_response p.pconn
+               (Proto.Result
+                  {
+                    Proto.r_cached = cached;
+                    r_key = key;
+                    r_ok = ok;
+                    r_body = body;
+                    r_trace_id = p.pq.Proto.q_trace_id;
+                  })))
+      jobs
+  in
+  (* Single-flight handoff markers: a traced follower's id shows up in the
+     worker lane even though the leader's computation answers it. *)
+  List.iter
+    (fun (j : pending Sched.job) ->
+      let fq = j.Sched.j_payload.pq in
+      if fq.Proto.q_trace_id <> "" then
+        Trace.instant ~cat:"service"
+          ~args:(trace_args fq @ [ ("leader_trace", q.Proto.q_trace_id) ])
+          "service.coalesced")
+    followers;
+  let log_all ~tier ?(trials = 0) ?(counters = []) outcome =
+    List.iteri
+      (fun i (j : pending Sched.job) ->
+        let p = j.Sched.j_payload in
+        log_event ~q:p.pq ~key
+          ~tier:(if i = 0 then tier else "coalesced")
+          ~client:j.Sched.j_client ~worker:worker_id ~queue_ns:j.Sched.j_queue_ns
+          ~recv_ns:p.p_recv_ns ~trials ~counters ~outcome)
+      jobs
+  in
+  let serve_entry ~tier entry =
     match entry_decode entry with
     | Some (ok, body) ->
-        deliver
-          (Proto.Result { Proto.r_cached = cached; r_key = key; r_ok = ok; r_body = body });
+        deliver_result ~cached:true ~ok ~body;
+        log_all ~tier (if ok then "ok" else "bound-violation");
         true
     | None -> false
   in
@@ -127,48 +282,82 @@ let exec t (leader : (Proto.query * conn) Sched.job) ~followers =
   let already =
     if q.Proto.q_fresh then false
     else
-      match Cache.find t.cch key with
-      | Some entry -> serve_entry ~cached:true entry
+      match
+        Trace.with_span ~cat:"service" ~args:targs "service.cache.probe" (fun () ->
+            Cache.find_tagged t.cch key)
+      with
+      | Some (entry, tier) -> serve_entry ~tier:(tier_name tier) entry
       | None -> false
   in
-  if not already then begin
-    let leased = Atomic.compare_and_set progress_lease false true in
-    let release () =
-      if leased then begin
-        Fairness.Montecarlo.set_progress_hook None;
-        Atomic.set progress_lease false
-      end
-    in
-    if leased then
-      Fairness.Montecarlo.set_progress_hook
-        (Some
-           (fun (p : Fairness.Montecarlo.convergence_point) ->
-             let pr =
-               Proto.Progress
-                 {
-                   Proto.p_after = p.Fairness.Montecarlo.after;
-                   p_batch = p.Fairness.Montecarlo.batch;
-                   p_mean = p.Fairness.Montecarlo.running_mean;
-                   p_std_err = p.Fairness.Montecarlo.running_std_err;
-                 }
-             in
-             deliver pr));
-    let answer =
-      match Handlers.answer ~jobs:t.jobs q with
-      | r -> r
-      | exception e ->
-          release ();
-          raise e
-    in
-    release ();
-    match answer with
-    | Ok (body, ok) ->
-        Cache.store t.cch ~key (entry_encode ~ok body);
-        deliver (Proto.Result { Proto.r_cached = false; r_key = key; r_ok = ok; r_body = body })
-    | Error f -> deliver (Proto.Error f)
-  end
+  if not already then
+    (* Ambient trace context: every span the engine or Monte-Carlo stack
+       records on this domain during the computation inherits the
+       request's trace id without any parameter threading. *)
+    Trace.with_ambient targs (fun () ->
+        Trace.with_span ~cat:"service"
+          ~args:
+            [
+              ("kind", Proto.kind_to_string q.Proto.q_kind);
+              ("experiment", q.Proto.q_experiment);
+            ]
+          "service.exec"
+          (fun () ->
+            let leased = Atomic.compare_and_set progress_lease false true in
+            let release () =
+              if leased then begin
+                Fairness.Montecarlo.set_progress_hook None;
+                Atomic.set progress_lease false
+              end
+            in
+            if leased then
+              Fairness.Montecarlo.set_progress_hook
+                (Some
+                   (fun (p : Fairness.Montecarlo.convergence_point) ->
+                     let pr =
+                       Proto.Progress
+                         {
+                           Proto.p_after = p.Fairness.Montecarlo.after;
+                           p_batch = p.Fairness.Montecarlo.batch;
+                           p_mean = p.Fairness.Montecarlo.running_mean;
+                           p_std_err = p.Fairness.Montecarlo.running_std_err;
+                         }
+                     in
+                     deliver pr));
+            (* Engine counter deltas cost a registry snapshot on each side
+               of the compute — taken only when a query log is actually
+               listening (and the registry is on at all). *)
+            let want_counters = Qlog.enabled () && Metrics.enabled () in
+            let before = if want_counters then Some (Metrics.snapshot ()) else None in
+            let answer =
+              match Handlers.answer ~jobs:t.jobs q with
+              | r -> r
+              | exception e ->
+                  release ();
+                  raise e
+            in
+            release ();
+            let counters =
+              match before with
+              | Some b -> counter_deltas b (Metrics.snapshot ())
+              | None -> []
+            in
+            let trials = Option.value ~default:0 (List.assoc_opt "mc.trials" counters) in
+            match answer with
+            | Ok (body, ok) ->
+                Cache.store t.cch ~key (entry_encode ~ok body);
+                deliver_result ~cached:false ~ok ~body;
+                log_all ~tier:"cold" ~trials ~counters
+                  (if ok then "ok" else "bound-violation")
+            | Error f ->
+                deliver (Proto.Error f);
+                log_all ~tier:"cold" ~trials ~counters (Failure.code f);
+                (match f with
+                | Failure.Query_failed { reason } ->
+                    dump_on t ("query-failed: " ^ reason)
+                | _ -> ())))
 
-let handle_query t conn (q : Proto.query) =
+let handle_query t conn ~recv_ns (q : Proto.query) =
+  let targs = trace_args q in
   match Fair_analysis.Experiments.find q.Proto.q_experiment with
   | None ->
       (* Bad ids answer immediately and never occupy a queue slot. *)
@@ -180,32 +369,55 @@ let handle_query t conn (q : Proto.query) =
                    reason =
                      Printf.sprintf "unknown experiment %S; try `fairness list`"
                        q.Proto.q_experiment;
-                 })))
+                 })));
+      log_event ~q ~key:"" ~tier:"" ~client:conn.cid ~worker:(-1) ~queue_ns:0 ~recv_ns
+        ~trials:0 ~counters:[] ~outcome:"unknown-query"
   | Some _ -> (
       let key = Proto.cache_key q in
+      let submit () =
+        match
+          Sched.submit t.sched
+            {
+              Sched.j_client = conn.cid;
+              j_key = key;
+              j_attrs = targs;
+              j_queue_ns = 0;
+              j_payload = { pq = q; pconn = conn; p_recv_ns = recv_ns };
+            }
+        with
+        | `Admitted -> ()
+        | `Rejected (depth, limit) ->
+            ignore (send_response conn (Proto.Error (Failure.Overloaded { depth; limit })));
+            log_event ~q ~key ~tier:"" ~client:conn.cid ~worker:(-1) ~queue_ns:0 ~recv_ns
+              ~trials:0 ~counters:[] ~outcome:"overloaded"
+      in
       let hit =
         if q.Proto.q_fresh then None
         else
-          match Cache.find t.cch key with
-          | Some entry -> entry_decode entry
-          | None -> None
+          Trace.with_span ~cat:"service" ~args:targs "service.cache.probe" (fun () ->
+              Cache.find_tagged t.cch key)
       in
       match hit with
-      | Some (ok, body) ->
-          (* The fast path: answered right here in the reader thread — the
-             scheduler and the domain pool never hear about it. *)
-          ignore
-            (send_response conn
-               (Proto.Result { Proto.r_cached = true; r_key = key; r_ok = ok; r_body = body }))
-      | None -> (
-          match
-            Sched.submit t.sched
-              { Sched.j_client = conn.cid; j_key = key; j_payload = (q, conn) }
-          with
-          | `Admitted -> ()
-          | `Rejected (depth, limit) ->
+      | Some (entry, tier) -> (
+          match entry_decode entry with
+          | Some (ok, body) ->
+              (* The fast path: answered right here in the reader thread —
+                 the scheduler and the domain pool never hear about it. *)
               ignore
-                (send_response conn (Proto.Error (Failure.Overloaded { depth; limit })))))
+                (send_response conn
+                   (Proto.Result
+                      {
+                        Proto.r_cached = true;
+                        r_key = key;
+                        r_ok = ok;
+                        r_body = body;
+                        r_trace_id = q.Proto.q_trace_id;
+                      }));
+              log_event ~q ~key ~tier:(tier_name tier) ~client:conn.cid ~worker:(-1)
+                ~queue_ns:0 ~recv_ns ~trials:0 ~counters:[]
+                ~outcome:(if ok then "ok" else "bound-violation")
+          | None -> submit () (* undecodable entry: recompute heals it *))
+      | None -> submit ())
 
 let serve_conn t conn =
   let dec = Frame.Decoder.create () in
@@ -217,14 +429,19 @@ let serve_conn t conn =
            decoder is poisoned, so closing is the only honest option. *)
         ignore
           (send_response conn
-             (Proto.Error (Failure.Malformed_frame { seq = seq + 1; reason })))
+             (Proto.Error (Failure.Malformed_frame { seq = seq + 1; reason })));
+        log_malformed conn ~recv_ns:(Clock.now_ns ());
+        dump_on t ("malformed-frame: " ^ reason)
     | Ok (Some payload) -> (
+        let recv_ns = Clock.now_ns () in
         let seq = seq + 1 in
         match Proto.decode_request payload with
         | Result.Error reason ->
             ignore
               (send_response conn
-                 (Proto.Error (Failure.Malformed_frame { seq; reason })))
+                 (Proto.Error (Failure.Malformed_frame { seq; reason })));
+            log_malformed conn ~recv_ns;
+            dump_on t ("malformed-frame: " ^ reason)
         | Ok Proto.Ping ->
             ignore (send_response conn Proto.Pong);
             loop seq
@@ -232,7 +449,7 @@ let serve_conn t conn =
             ignore (send_response conn (Proto.Stats_reply (stats_json t)));
             loop seq
         | Ok (Proto.Query q) ->
-            handle_query t conn q;
+            handle_query t conn ~recv_ns q;
             loop seq)
   in
   (try loop 0 with _ -> ());
@@ -260,7 +477,7 @@ let accept_loop t =
   in
   go ()
 
-let start ~socket ?cache ?(queue_limit = 64) ?jobs ?workers () =
+let start ~socket ?cache ?(queue_limit = 64) ?jobs ?workers ?recorder () =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let jobs = match jobs with Some j -> j | None -> Fairness.Parallel.default_jobs in
   let workers =
@@ -294,6 +511,7 @@ let start ~socket ?cache ?(queue_limit = 64) ?jobs ?workers () =
       jobs;
       queue_limit;
       workers;
+      recorder;
       sched;
       lock = Mutex.create ();
       conns = [];
@@ -322,5 +540,8 @@ let stop t =
     (try Thread.join t.accept_thread with _ -> ());
     List.iter (fun th -> try Thread.join th with _ -> ()) readers;
     Sched.stop t.sched;
+    (* Every reader and worker has drained: the shutdown dump captures the
+       complete final state of the qlog ring and trace buffers. *)
+    dump_on t "shutdown";
     try Unix.unlink t.sock_path with Unix.Unix_error _ -> ()
   end

@@ -31,6 +31,7 @@ val start :
   ?queue_limit:int ->
   ?jobs:int ->
   ?workers:int ->
+  ?recorder:Recorder.t ->
   unit ->
   t
 (** Bind [socket] (an existing socket file is replaced), start the accept,
@@ -40,8 +41,22 @@ val start :
     {!Fairness.Parallel.default_jobs}) bounds the domain pool per query —
     it never changes any served byte; [workers] (default
     [min 4 (max 1 default_jobs)]) sizes the executor pool — like [jobs] it
-    only affects wall clock, never bytes.  [SIGPIPE] is ignored
-    process-wide (a dying client must not kill the server).
+    only affects wall clock, never bytes.  [recorder] attaches a flight
+    recorder ({!Recorder}): the server dumps it on [Query_failed] answers,
+    on [Malformed_frame] teardowns and on clean {!stop}.  [SIGPIPE] is
+    ignored process-wide (a dying client must not kill the server).
+
+    {b Request observability} (all off by default, none of it touches an
+    RNG or a scheduling decision): when {!Fair_obs.Trace} is enabled the
+    server records [service.cache.probe] spans on reader threads,
+    [service.queue] spans at dispatch, [service.exec] spans (plus
+    [service.coalesced] handoff instants) on executor workers — each
+    tagged with the query's trace id, and the executor additionally sets
+    the trace id as {e ambient} so engine/Monte-Carlo spans inherit it;
+    when {!Fair_obs.Qlog} is enabled every completed request logs one wide
+    event (cache tier, queue latency, worker id, engine counter deltas,
+    outcome).  Certificates are bit-identical with everything on or off
+    (enforced by [test/test_service.ml]).
     @raise Unix.Unix_error if the socket cannot be bound. *)
 
 val stop : t -> unit
@@ -55,4 +70,7 @@ val cache : t -> Cache.t
 val stats_json : t -> Fairness.Json.t
 (** The [stats] answer: cache counters, queue depth/limit, domain-pool
     stats — what [@service-smoke] reads to assert "second query was a hit
-    and the pool never moved". *)
+    and the pool never moved" — plus live introspection: the full metrics
+    snapshot, per-histogram p50/p90/p99 ({!Fairness.Obs_json.percentiles})
+    and the observability switchboard (tracing/qlog state, flight-recorder
+    path) that [fairness stat --watch] renders. *)

@@ -169,6 +169,185 @@ let test_trace_buffer_bound () =
   Alcotest.(check int) "bounded buffer keeps max" 4 (List.length (Trace.export ()));
   Alcotest.(check int) "excess counted as dropped" 6 (Trace.dropped ())
 
+let test_trace_recent_and_ambient () =
+  quiesce ();
+  Trace.enable ();
+  Trace.with_ambient [ ("trace_id", "abc123") ] (fun () ->
+      Trace.with_span ~cat:"t" "ambient-span" (fun () -> ());
+      Trace.instant ~cat:"t" "ambient-mark");
+  Trace.with_span ~cat:"t" "plain-span" (fun () -> ());
+  Trace.disable ();
+  let evs = Trace.export () in
+  let args name =
+    (List.find (fun (e : Trace.event) -> e.Trace.name = name) evs).Trace.args
+  in
+  Alcotest.(check (option string)) "span inherits ambient args" (Some "abc123")
+    (List.assoc_opt "trace_id" (args "ambient-span"));
+  Alcotest.(check (option string)) "instant inherits ambient args" (Some "abc123")
+    (List.assoc_opt "trace_id" (args "ambient-mark"));
+  Alcotest.(check (option string)) "ambient scope ends with the callback" None
+    (List.assoc_opt "trace_id" (args "plain-span"));
+  (* recent: newest events, still in recording order *)
+  let last_two = Trace.recent ~limit:2 () in
+  Alcotest.(check (list string)) "recent keeps the tail, in order"
+    [ "ambient-mark"; "plain-span" ]
+    (List.map (fun (e : Trace.event) -> e.Trace.name) last_two)
+
+(* --------------------------- ids ------------------------------------- *)
+
+let test_ids_shape () =
+  let t = Fair_obs.Ids.trace_id () and s = Fair_obs.Ids.span_id () in
+  Alcotest.(check bool) "trace id valid by its own validator" true
+    (Fair_obs.Ids.valid_trace_id t);
+  Alcotest.(check bool) "span id valid by its own validator" true
+    (Fair_obs.Ids.valid_span_id s);
+  Alcotest.(check int) "trace id is 32 chars" 32 (String.length t);
+  Alcotest.(check int) "span id is 16 chars" 16 (String.length s);
+  Alcotest.(check bool) "consecutive trace ids differ" true
+    (t <> Fair_obs.Ids.trace_id ());
+  Alcotest.(check bool) "zero-filled ids rejected" false
+    (Fair_obs.Ids.valid_trace_id (String.make 32 'g'));
+  Alcotest.(check bool) "uppercase rejected" false
+    (Fair_obs.Ids.valid_span_id "0123456789ABCDEF")
+
+(* ------------------------- percentiles ------------------------------- *)
+
+(* The bucket-upper-bound estimator on a hand-built snapshot, where every
+   rank can be checked by eye.  10 observations over bounds 1/2/4 with
+   counts 5/3/1 and one overflow: cumulative 5, 8, 9. *)
+let hist ~buckets ~overflow =
+  { Metrics.hbuckets = buckets;
+    overflow;
+    total = overflow + List.fold_left (fun a (_, c) -> a + c) 0 buckets }
+
+let test_percentile_estimator () =
+  let h = hist ~buckets:[ (1.0, 5); (2.0, 3); (4.0, 1) ] ~overflow:1 in
+  let pct q = Obs_json.percentile h q in
+  Alcotest.(check (option (float 0.0))) "p50 -> rank 5 -> first bound" (Some 1.0) (pct 0.5);
+  Alcotest.(check (option (float 0.0))) "p80 -> rank 8 -> second bound" (Some 2.0) (pct 0.8);
+  Alcotest.(check (option (float 0.0))) "p90 -> rank 9 -> third bound" (Some 4.0) (pct 0.9);
+  Alcotest.(check (option (float 0.0))) "p99 lands in overflow -> no finite bound" None
+    (pct 0.99);
+  Alcotest.(check (option (float 0.0))) "tiny q still answers rank 1" (Some 1.0) (pct 1e-9);
+  Alcotest.(check (option (float 0.0))) "empty histogram -> None" None
+    (Obs_json.percentile (hist ~buckets:[ (1.0, 0) ] ~overflow:0) 0.5);
+  Alcotest.(check (option (float 0.0))) "q = 0 rejected" None (pct 0.0);
+  Alcotest.(check (option (float 0.0))) "q > 1 rejected" None (pct 1.5);
+  Alcotest.(check (option (float 0.0))) "NaN q rejected" None (pct Float.nan)
+
+(* The rendered form (satellite S6): per-histogram p50/p90/p99, [null] for
+   no-estimate, surviving a print + re-parse through Fairness.Json. *)
+let test_percentiles_json_roundtrip () =
+  quiesce ();
+  Metrics.enable ();
+  (* 10 observations: 6 in the first bucket, 3 in the second, 1 overflow —
+     p50 -> rank 5 -> 1.0, p90 -> rank 9 -> 2.0, p99 -> rank 10 -> overflow *)
+  List.iter (Metrics.observe h_edges)
+    [ 0.1; 0.2; 0.3; 0.4; 0.5; 0.6; 1.5; 1.6; 1.7; 9.9 ];
+  let doc = Obs_json.percentiles (Metrics.snapshot ()) in
+  Metrics.disable ();
+  match Json.of_string (Json.to_string doc) with
+  | Error e -> Alcotest.failf "percentiles JSON does not re-parse: %s" e
+  | Ok j -> (
+      match Json.member "test.edges" j with
+      | Error e -> Alcotest.fail e
+      | Ok edges ->
+          (match Json.member "p50" edges with
+          | Ok (Json.Num v) -> Alcotest.(check (float 0.0)) "p50" 1.0 v
+          | _ -> Alcotest.fail "p50 missing or non-numeric");
+          (match Json.member "p90" edges with
+          | Ok (Json.Num v) -> Alcotest.(check (float 0.0)) "p90" 2.0 v
+          | _ -> Alcotest.fail "p90 missing or non-numeric");
+          (* rank 5 of 5 is the overflow observation (9.9 > 4.0) *)
+          (match Json.member "p99" edges with
+          | Ok Json.Null -> ()
+          | _ -> Alcotest.fail "p99 in overflow must render null"))
+
+(* --------------------------- qlog ------------------------------------ *)
+
+module Qlog = Fair_obs.Qlog
+
+let qev ?(ts = 1) ?(tid = "") ?(outcome = "ok") ?(queue_s = 0.002) ?(wall_s = 1.25) key =
+  { Qlog.ts_ns = ts; trace_id = tid; span_id = ""; kind = "search"; experiment = "E1";
+    key; tier = "cold"; client = 3; worker = 0; queue_s; wall_s; trials = 400;
+    counters = [ ("engine.rounds", 12); ("mc.trials", 400) ]; outcome }
+
+let qlog_reset () =
+  Qlog.disable ();
+  Qlog.set_sink None;
+  Qlog.clear ()
+
+let test_qlog_disabled_is_inert () =
+  qlog_reset ();
+  Qlog.record (qev "k");
+  Alcotest.(check int) "nothing recorded while disabled" 0 (Qlog.recorded ());
+  Alcotest.(check (list reject)) "ring stays empty" [] (Qlog.recent ())
+
+let test_qlog_ring_discipline () =
+  qlog_reset ();
+  Qlog.enable ~capacity:4 ();
+  for i = 1 to 10 do
+    Qlog.record (qev ~ts:i (Printf.sprintf "k%d" i))
+  done;
+  let keys = List.map (fun (e : Qlog.event) -> e.Qlog.key) (Qlog.recent ()) in
+  Alcotest.(check (list string)) "ring keeps the newest, oldest first"
+    [ "k7"; "k8"; "k9"; "k10" ] keys;
+  Alcotest.(check int) "high-water count not capped by the ring" 10 (Qlog.recorded ());
+  Alcotest.check_raises "capacity < 1 rejected"
+    (Invalid_argument "Qlog.enable: capacity < 1") (fun () -> Qlog.enable ~capacity:0 ());
+  qlog_reset ()
+
+(* One line per event through the sink; each line is standalone JSON that
+   re-parses through Fairness.Json into exactly the structured rendering
+   (Obs_json.qlog_event) the flight recorder uses — both answers to the
+   same jq query must agree. *)
+let test_qlog_jsonl_roundtrip () =
+  qlog_reset ();
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "fair-qlog-test-%d.jsonl" (Unix.getpid ()))
+  in
+  let oc = open_out path in
+  Qlog.enable ();
+  Qlog.set_sink (Some oc);
+  let events =
+    [ qev ~tid:"00112233445566778899aabbccddeeff" "k1";
+      qev ~outcome:"query-failed" ~wall_s:Float.nan "k\"2\"\n\\weird";
+      qev ~queue_s:Float.infinity "k3" ]
+  in
+  List.iter Qlog.record events;
+  qlog_reset ();
+  close_out oc;
+  let lines =
+    In_channel.with_open_bin path In_channel.input_all
+    |> String.split_on_char '\n'
+    |> List.filter (fun l -> l <> "")
+  in
+  Sys.remove path;
+  Alcotest.(check int) "one sink line per event" (List.length events) (List.length lines);
+  List.iter2
+    (fun (e : Qlog.event) line ->
+      (* the handwritten JSONL emitter and the Fairness.Json rendering must
+         be the same document *)
+      match (Json.of_string line, Json.of_string (Json.to_string (Obs_json.qlog_event e))) with
+      | Ok a, Ok b -> Alcotest.(check bool) "line = structured rendering" true (a = b)
+      | Error err, _ -> Alcotest.failf "sink line does not parse: %s: %s" err line
+      | _, Error err -> Alcotest.failf "structured rendering does not parse: %s" err)
+    events lines;
+  (* spot-check the non-finite policy: NaN/inf became null, not "nan" *)
+  (match Json.of_string (List.nth lines 1) with
+  | Ok j -> (
+      match Json.member "wall_s" j with
+      | Ok Json.Null -> ()
+      | _ -> Alcotest.fail "NaN wall_s must render null")
+  | Error e -> Alcotest.fail e);
+  match Json.of_string (List.nth lines 2) with
+  | Ok j -> (
+      match Json.member "queue_s" j with
+      | Ok Json.Null -> ()
+      | _ -> Alcotest.fail "infinite queue_s must render null")
+  | Error e -> Alcotest.fail e
+
 (* --------------------- zero perturbation ---------------------------- *)
 
 let estimate ~jobs () =
@@ -344,7 +523,20 @@ let () =
       ( "trace",
         [ Alcotest.test_case "nested spans" `Quick test_trace_nested_spans;
           Alcotest.test_case "chrome JSON round-trips" `Quick test_trace_json_roundtrip;
-          Alcotest.test_case "buffer bound counts drops" `Quick test_trace_buffer_bound ] );
+          Alcotest.test_case "buffer bound counts drops" `Quick test_trace_buffer_bound;
+          Alcotest.test_case "recent window + ambient args" `Quick
+            test_trace_recent_and_ambient;
+          Alcotest.test_case "trace/span id shape" `Quick test_ids_shape ] );
+      ( "percentiles",
+        [ Alcotest.test_case "bucket-upper-bound estimator" `Quick test_percentile_estimator;
+          Alcotest.test_case "p50/p90/p99 JSON round-trip, null for overflow" `Quick
+            test_percentiles_json_roundtrip ] );
+      ( "qlog",
+        [ Alcotest.test_case "disabled recording is inert" `Quick test_qlog_disabled_is_inert;
+          Alcotest.test_case "ring keeps newest, counts high-water" `Quick
+            test_qlog_ring_discipline;
+          Alcotest.test_case "JSONL sink round-trips through Fairness.Json" `Quick
+            test_qlog_jsonl_roundtrip ] );
       ( "invariants",
         [ Alcotest.test_case "zero perturbation at jobs=1 and jobs=4" `Quick
             test_zero_perturbation;

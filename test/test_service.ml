@@ -36,8 +36,17 @@ let drain dec =
   in
   go []
 
+(* A fully-traced query among the framing fixtures: the split-point sweep
+   below then exercises every byte boundary of the trace-context fields
+   too, not just of artificial payloads. *)
+let traced_query =
+  { Proto.q_kind = Proto.Search; q_experiment = "E2"; q_budget = 500; q_seed = 7;
+    q_zoo = true; q_fresh = false;
+    q_trace_id = "00112233445566778899aabbccddeeff"; q_span_id = "0123456789abcdef" }
+
 let payload_fixtures =
-  [ "alpha"; ""; "frame|with\\escapes\nand\000nul"; String.make 300 'x' ]
+  [ "alpha"; ""; "frame|with\\escapes\nand\000nul";
+    Proto.encode_request (Proto.Query traced_query); String.make 300 'x' ]
 
 let stream_of payloads = String.concat "" (List.map encode_frame payloads)
 
@@ -160,9 +169,10 @@ let eof_mid_frame_is_error () =
 
 let sample_queries =
   [ { Proto.q_kind = Proto.Search; q_experiment = "E1"; q_budget = 2000; q_seed = 42;
-      q_zoo = false; q_fresh = false };
+      q_zoo = false; q_fresh = false; q_trace_id = ""; q_span_id = "" };
     { Proto.q_kind = Proto.Run; q_experiment = "e16"; q_budget = 1; q_seed = 0;
-      q_zoo = true; q_fresh = true } ]
+      q_zoo = true; q_fresh = true; q_trace_id = ""; q_span_id = "" };
+    traced_query ]
 
 let sample_failures =
   [ Failure.Malformed_frame { seq = 3; reason = "bad|frame \\ with <junk>" };
@@ -186,7 +196,10 @@ let response_roundtrip () =
       Proto.Progress { Proto.p_after = 128; p_batch = 64; p_mean = 0.78125; p_std_err = 0.0625 };
       Proto.Result
         { Proto.r_cached = true; r_key = String.make 64 'a'; r_ok = false;
-          r_body = "certificate|with\\pipes\nand\000nul bytes" };
+          r_body = "certificate|with\\pipes\nand\000nul bytes"; r_trace_id = "" };
+      Proto.Result
+        { Proto.r_cached = false; r_key = String.make 64 'b'; r_ok = true;
+          r_body = "{}"; r_trace_id = "00112233445566778899aabbccddeeff" };
       Proto.Stats_reply (Json.Obj [ ("cache", Json.Obj [ ("hits", Json.num_int 3) ]) ]) ]
     @ List.map (fun f -> Proto.Error f) sample_failures
   in
@@ -197,6 +210,58 @@ let response_roundtrip () =
       | Ok _ -> Alcotest.fail "response changed across the wire"
       | Error e -> Alcotest.failf "response did not decode: %s" e)
     responses
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+(* Both halves of the compatibility story.  Forward: an untraced query
+   encodes byte-identically to what a pre-trace client sends (no trace keys
+   on the wire at all).  Backward: frames whose trace fields are absent,
+   wrong-width, wrong-case or outright garbage all decode as "no trace" —
+   observability metadata can never fail an otherwise well-formed
+   request. *)
+let trace_tolerant_decode () =
+  let q = List.hd sample_queries in
+  let enc = Proto.encode_request (Proto.Query q) in
+  Alcotest.(check bool) "untraced query puts no trace keys on the wire" false
+    (contains enc "trace_id" || contains enc "span_id");
+  (match Proto.decode_request enc with
+  | Ok (Proto.Query q') ->
+      Alcotest.(check string) "absent trace id reads as none" "" q'.Proto.q_trace_id;
+      Alcotest.(check string) "absent span id reads as none" "" q'.Proto.q_span_id
+  | Ok _ | Error _ -> Alcotest.fail "old-format query frame did not decode");
+  (* the encoder passes non-empty ids through verbatim, so feeding it
+     malformed ones fabricates exactly the bad frames a buggy or hostile
+     peer would send *)
+  let bad =
+    [ ("wrong width", "abc", "0123");
+      ("uppercase hex", String.uppercase_ascii traced_query.Proto.q_trace_id,
+       String.uppercase_ascii traced_query.Proto.q_span_id);
+      ("not hex at all", String.make 32 'z', String.make 16 'z') ]
+  in
+  List.iter
+    (fun (label, tid, sid) ->
+      let enc =
+        Proto.encode_request
+          (Proto.Query { q with Proto.q_trace_id = tid; q_span_id = sid })
+      in
+      match Proto.decode_request enc with
+      | Ok (Proto.Query q') ->
+          Alcotest.(check string) (label ^ ": trace id dropped") "" q'.Proto.q_trace_id;
+          Alcotest.(check string) (label ^ ": span id dropped") "" q'.Proto.q_span_id
+      | Ok _ | Error _ -> Alcotest.failf "%s: frame with bad trace ids must still decode" label)
+    bad;
+  (* same tolerance on the response side *)
+  let r =
+    { Proto.r_cached = false; r_key = String.make 64 'c'; r_ok = true; r_body = "{}";
+      r_trace_id = "NOT-A-TRACE-ID-BUT-NON-EMPTY-...." }
+  in
+  match Proto.decode_response (Proto.encode_response (Proto.Result r)) with
+  | Ok (Proto.Result r') ->
+      Alcotest.(check string) "bad result trace id dropped" "" r'.Proto.r_trace_id
+  | Ok _ | Error _ -> Alcotest.fail "result with a bad trace id must still decode"
 
 let prop_decode_request_total =
   qtest "decode_request: arbitrary bytes never raise" 2000 arb_bytes (fun s ->
@@ -215,6 +280,11 @@ let cache_key_semantics () =
     (Proto.cache_key { q with Proto.q_experiment = "e1" });
   Alcotest.(check string) "q_fresh changes caching, not content" k
     (Proto.cache_key { q with Proto.q_fresh = true });
+  Alcotest.(check string) "trace context never reaches the content address" k
+    (Proto.cache_key
+       { q with
+         Proto.q_trace_id = traced_query.Proto.q_trace_id;
+         q_span_id = traced_query.Proto.q_span_id });
   let differs label q' =
     if Proto.cache_key q' = k then Alcotest.failf "%s did not change the key" label
   in
@@ -400,7 +470,8 @@ let recording_sched ~queue_limit =
   in
   (sched, started, resume, executed)
 
-let job client key payload = { Sched.j_client = client; j_key = key; j_payload = payload }
+let job client key payload =
+  { Sched.j_client = client; j_key = key; j_attrs = []; j_queue_ns = 0; j_payload = payload }
 
 let park sched started =
   match Sched.submit sched (job 99 "key-block" "block") with
@@ -625,6 +696,107 @@ let server_hostile_length_prefix () =
   | Error e -> Alcotest.failf "read: %s" e);
   Unix.close fd
 
+(* ---------------------- observability invariants --------------------- *)
+
+(* The central promise of the whole observability layer: certificates are
+   bit-identical with tracing + qlog on or off, at any parallelism.  A
+   traced query against an instrumented server must serve the very same
+   bytes as an untraced query against a dark one. *)
+let server_obs_byte_identity () =
+  let q = { (List.hd sample_queries) with Proto.q_budget = 300 } in
+  let run ~obs ~jobs ~workers =
+    if obs then begin
+      Fair_obs.Trace.enable ();
+      Fair_obs.Qlog.enable ()
+    end;
+    let socket =
+      Printf.sprintf "test-svc-obs-%b-%d-%d-%d.sock" obs jobs workers (Unix.getpid ())
+    in
+    let server = S.Server.start ~socket ~jobs ~workers () in
+    Fun.protect
+      ~finally:(fun () ->
+        S.Server.stop server;
+        Fair_obs.Trace.disable ();
+        Fair_obs.Trace.clear ();
+        Fair_obs.Qlog.disable ();
+        Fair_obs.Qlog.clear ())
+      (fun () ->
+        let c = connect socket in
+        let q = if obs then S.Client.with_trace q else q in
+        let r =
+          match S.Client.query c q with
+          | Ok r -> r
+          | Error f -> Alcotest.failf "query: %s" (Failure.to_string f)
+        in
+        S.Client.close c;
+        Alcotest.(check bool) "computed fresh, not from a previous run" false
+          r.Proto.r_cached;
+        r.Proto.r_body)
+  in
+  let dark = run ~obs:false ~jobs:1 ~workers:1 in
+  List.iter
+    (fun (jobs, workers) ->
+      Alcotest.(check string)
+        (Printf.sprintf "bytes identical with obs on at -j%d/workers=%d" jobs workers)
+        dark
+        (run ~obs:true ~jobs ~workers))
+    [ (1, 1); (4, 4) ]
+
+(* The exit path (satellite S3): a clean [Server.stop] must leave the
+   observability artifacts on disk — the flight recorder dumped with
+   reason "shutdown", and every qlog line flushed through the sink. *)
+let server_stop_flushes_observability () =
+  let dir = fresh_dir () in
+  Unix.mkdir dir 0o700;
+  let flight = Filename.concat dir "flight.json" in
+  let qlog_path = Filename.concat dir "q.jsonl" in
+  let oc = open_out qlog_path in
+  Fair_obs.Qlog.enable ();
+  Fair_obs.Qlog.set_sink (Some oc);
+  let recorder = S.Recorder.create ~path:flight () in
+  let socket = Printf.sprintf "test-svc-exit-%d.sock" (Unix.getpid ()) in
+  let server = S.Server.start ~socket ~jobs:1 ~recorder () in
+  Fun.protect
+    ~finally:(fun () ->
+      Fair_obs.Qlog.set_sink None;
+      close_out_noerr oc;
+      Fair_obs.Qlog.disable ();
+      Fair_obs.Qlog.clear ())
+    (fun () ->
+      let c = connect socket in
+      let q = S.Client.with_trace { (List.hd sample_queries) with Proto.q_budget = 200 } in
+      (match S.Client.query c q with
+      | Ok _ -> ()
+      | Error f -> Alcotest.failf "query: %s" (Failure.to_string f));
+      S.Client.close c;
+      S.Server.stop server;
+      (* the recorder dumped on clean shutdown, and the dump parses *)
+      Alcotest.(check bool) "flight file exists after stop" true (Sys.file_exists flight);
+      let raw = In_channel.with_open_bin flight In_channel.input_all in
+      (match Json.of_string raw with
+      | Error e -> Alcotest.failf "flight dump does not parse: %s" e
+      | Ok j ->
+          (match Result.bind (Json.member "schema" j) Json.to_str with
+          | Ok s -> Alcotest.(check string) "flight schema" "fairness-flight/1" s
+          | Error e -> Alcotest.failf "flight schema missing: %s" e);
+          (match Result.bind (Json.member "reason" j) Json.to_str with
+          | Ok s -> Alcotest.(check string) "dump reason" "shutdown" s
+          | Error e -> Alcotest.failf "dump reason missing: %s" e));
+      (* the qlog sink was flushed: at least the query's own line, and
+         every line is a standalone JSON document *)
+      let lines =
+        In_channel.with_open_bin qlog_path In_channel.input_all
+        |> String.split_on_char '\n'
+        |> List.filter (fun l -> l <> "")
+      in
+      Alcotest.(check bool) "qlog has at least one flushed line" true (lines <> []);
+      List.iter
+        (fun l ->
+          match Json.of_string l with
+          | Ok _ -> ()
+          | Error e -> Alcotest.failf "qlog line does not parse: %s: %s" e l)
+        lines)
+
 let () =
   Alcotest.run "fair_service"
     [ ( "frame",
@@ -638,6 +810,8 @@ let () =
       ( "proto",
         [ Alcotest.test_case "request round trip" `Quick request_roundtrip;
           Alcotest.test_case "response round trip" `Quick response_roundtrip;
+          Alcotest.test_case "trace context: tolerant decode both directions" `Quick
+            trace_tolerant_decode;
           prop_decode_request_total;
           prop_decode_response_total;
           Alcotest.test_case "cache key semantics" `Quick cache_key_semantics;
@@ -667,4 +841,9 @@ let () =
             server_unknown_query_keeps_conn;
           Alcotest.test_case "malformed frame: structured error, then close" `Quick
             server_malformed_frame_closes;
-          Alcotest.test_case "hostile length prefix refused" `Quick server_hostile_length_prefix ] ) ]
+          Alcotest.test_case "hostile length prefix refused" `Quick server_hostile_length_prefix ] );
+      ( "observability",
+        [ Alcotest.test_case "certificates bit-identical with obs on/off, -j1/-j4" `Quick
+            server_obs_byte_identity;
+          Alcotest.test_case "stop flushes qlog and dumps the flight recorder" `Quick
+            server_stop_flushes_observability ] ) ]
