@@ -102,6 +102,18 @@ let degraded j =
    (the sequential leg and the service rows stay comparable). *)
 let parallel_leg = [ [ "montecarlo"; "par_trials_per_sec" ]; [ "montecarlo"; "speedup" ] ]
 
+(* Purely informational rows: printed for visibility, never counted as a
+   warning or a regression.  The soak/chaos-driven resilience counters
+   (shed queries, supervised worker restarts) vary with host timing by
+   design — a noisy soak must not be able to flake the bench gate — but a
+   drift between snapshots is still worth a glance. *)
+let informational_fields =
+  [ [ "service"; "counters"; "service.sched.shed" ];
+    [ "service"; "counters"; "service.sched.restarts" ] ]
+
+let info ~label old_v new_v =
+  Printf.printf "info       %-52s %14.4g -> %-14.4g (informational)\n" label old_v new_v
+
 let throughput_fields =
   [ [ "montecarlo"; "seq_trials_per_sec" ];
     [ "montecarlo"; "par_trials_per_sec" ];
@@ -136,6 +148,13 @@ let () =
         | Some o, Some n -> check ~label ~dir:`Down o n
         | _ -> skip label)
     throughput_fields;
+  List.iter
+    (fun path ->
+      let label = String.concat "." path in
+      match (num_at path old_j, num_at path new_j) with
+      | Some o, Some n -> info ~label o n
+      | _ -> skip ~why:"missing on one side (informational)" label)
+    informational_fields;
   Printf.printf "\n%d field(s) compared, %d warning(s), %d regression(s)\n" !compared !warnings
     !regressions;
   (* Zero comparable fields means the snapshots share nothing — wrong file,

@@ -275,7 +275,8 @@ let run_service_bench () =
   let budget = 2000 in
   let q =
     { S.Proto.q_kind = S.Proto.Search; q_experiment = "E1"; q_budget = budget;
-      q_seed = 42; q_zoo = false; q_fresh = false; q_trace_id = ""; q_span_id = "" }
+      q_seed = 42; q_zoo = false; q_fresh = false; q_trace_id = ""; q_span_id = "";
+      q_deadline = 0.; q_attempt = 0 }
   in
   let connect () =
     match S.Client.connect ~socket ~timeout:300.0 () with

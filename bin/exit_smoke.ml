@@ -1,0 +1,141 @@
+(* @cli-guard-smoke (resilience table) — the exit-code contract of the new
+   failure paths, asserted on the real CLI binary run as a subprocess:
+
+     | scenario                                  | exit | stderr mentions     |
+     |-------------------------------------------|------|---------------------|
+     | retries exhausted against a dead socket   |  1   | "retries exhausted" |
+     | deadline expired while queued (shed)      |  1   | "deadline exceeded" |
+     | query during a graceful drain             |  1   | "draining"          |
+
+   All three are operational failures (exit 1, never 2 — the request was
+   well-formed — and never 0 or a crash), each with its taxonomy name on
+   stderr.  The CLI executable path arrives as argv(1) from the dune
+   rule. *)
+
+module S = Fair_service
+
+let fail fmt =
+  Printf.ksprintf
+    (fun m ->
+      prerr_endline ("exit-smoke: FAIL — " ^ m);
+      exit 1)
+    fmt
+
+let cli =
+  if Array.length Sys.argv < 2 then fail "usage: exit_smoke <path-to-fairness-cli>"
+  else
+    (* The dune rule hands over a cwd-relative path ("fairness_cli.exe");
+       execvp would go looking in PATH instead, so absolutise it. *)
+    let p = Sys.argv.(1) in
+    if Filename.is_relative p then Filename.concat (Sys.getcwd ()) p else p
+
+let run_cli args =
+  let err_path = Filename.temp_file "fair-exit" ".err" in
+  let dev_null = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  let err_fd = Unix.openfile err_path [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600 in
+  let pid = Unix.create_process cli (Array.of_list (cli :: args)) Unix.stdin dev_null err_fd in
+  Unix.close dev_null;
+  Unix.close err_fd;
+  let _, status = Unix.waitpid [] pid in
+  let err = In_channel.with_open_bin err_path In_channel.input_all in
+  (try Sys.remove err_path with Sys_error _ -> ());
+  match status with
+  | Unix.WEXITED n -> (n, err)
+  | Unix.WSIGNALED n -> fail "cli killed by signal %d" n
+  | Unix.WSTOPPED n -> fail "cli stopped by signal %d" n
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let expect ~label ~code ~stderr_has (got_code, got_err) =
+  if got_code <> code then
+    fail "%s: expected exit %d, got %d (stderr: %s)" label code got_code got_err;
+  if not (contains got_err stderr_has) then
+    fail "%s: stderr %S does not mention %S" label got_err stderr_has
+
+let temp_socket tag =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "fair-exit-%s-%d.sock" tag (Unix.getpid ()))
+
+(* Park a ~1 s fresh compute on the server's single worker so the next
+   query demonstrably queues behind it (deadline case) or arrives while
+   the drain is still waiting it out (draining case). *)
+let occupy ~socket ~seed =
+  Thread.create
+    (fun () ->
+      match S.Client.connect ~socket ~timeout:60.0 () with
+      | Result.Error e -> fail "occupier cannot connect: %s" e
+      | Ok c ->
+          let q =
+            {
+              S.Proto.q_kind = S.Proto.Search;
+              q_experiment = "E1";
+              q_budget = 30_000;
+              q_seed = seed;
+              q_zoo = false;
+              q_fresh = true;
+              q_trace_id = "";
+              q_span_id = "";
+              q_deadline = 0.;
+              q_attempt = 0;
+            }
+          in
+          ignore (S.Client.query c q);
+          S.Client.close c)
+    ()
+
+let wait_active server =
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  let active () =
+    match S.Server.stats_json server with
+    | Fairness.Json.Obj kv -> (
+        match List.assoc_opt "queue" kv with
+        | Some (Fairness.Json.Obj q) -> (
+            match List.assoc_opt "active" q with Some (Fairness.Json.Num n) -> n >= 1. | _ -> false)
+        | _ -> false)
+    | _ -> false
+  in
+  while (not (active ())) && Unix.gettimeofday () < deadline do
+    Thread.delay 0.005
+  done;
+  if not (active ()) then fail "occupying query never reached the executor"
+
+let () =
+  (* 1 — retry exhaustion: every attempt dies at connect (retryable), the
+     budgeted retries run out, and the CLI takes its distinct exhaustion
+     exit path. *)
+  expect ~label:"retry exhaustion" ~code:1 ~stderr_has:"retries exhausted"
+    (run_cli
+       [ "query"; "E1"; "--socket"; temp_socket "nowhere"; "--budget"; "100";
+         "--retries"; "2"; "--retry-budget"; "0.2" ]);
+
+  (* 2 — deadline shed: single worker parked on a ~1 s compute, so a
+     50 ms-deadline query is still queued when it expires. *)
+  let socket = temp_socket "deadline" in
+  let server = S.Server.start ~socket ~queue_limit:8 ~workers:1 ~jobs:1 () in
+  let occupier = occupy ~socket ~seed:101 in
+  wait_active server;
+  expect ~label:"deadline shed" ~code:1 ~stderr_has:"deadline exceeded"
+    (run_cli
+       [ "query"; "E2"; "--socket"; socket; "--budget"; "100"; "--fresh";
+         "--deadline"; "0.05" ]);
+  Thread.join occupier;
+  S.Server.stop server;
+
+  (* 3 — draining: the drain starts while the worker is busy, so the
+     server is in its refusing-new-work window when the query lands. *)
+  let socket = temp_socket "drain" in
+  let server = S.Server.start ~socket ~queue_limit:8 ~workers:1 ~jobs:1 () in
+  let occupier = occupy ~socket ~seed:102 in
+  wait_active server;
+  let drainer = Thread.create (fun () -> ignore (S.Server.drain server ~timeout_s:30.0)) () in
+  Thread.delay 0.05;
+  expect ~label:"draining" ~code:1 ~stderr_has:"draining"
+    (run_cli [ "query"; "E1"; "--socket"; socket; "--budget"; "100" ]);
+  Thread.join occupier;
+  Thread.join drainer;
+  print_endline
+    "exit-smoke: OK — retry exhaustion, deadline shed and draining all exit 1 with their \
+     taxonomy names on stderr"

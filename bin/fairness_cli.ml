@@ -405,7 +405,25 @@ let serve_cmd =
     in
     Arg.(value & opt (some int) None & info [ "workers" ] ~docv:"N" ~doc)
   in
-  let run socket cache_dir capacity queue_limit workers jobs trace qlog flight =
+  let cost_budget_arg =
+    let doc =
+      "Cost-aware admission: bound the queue by $(docv) seconds of estimated work (a \
+       per-kind moving average of measured compute time, warm-started from the --qlog \
+       file when one exists) instead of depth alone.  --queue-limit stays as a floor — a \
+       queue below it always admits.  0 disables and restores pure depth-limit admission."
+    in
+    Arg.(value & opt float 30.0 & info [ "cost-budget" ] ~docv:"SECONDS" ~doc)
+  in
+  let drain_timeout_arg =
+    let doc =
+      "On SIGTERM, drain gracefully: refuse new queries with a `draining' error, let \
+       inflight work finish for up to $(docv) seconds, then stop.  SIGINT stops \
+       immediately."
+    in
+    Arg.(value & opt float 30.0 & info [ "drain-timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  let run socket cache_dir capacity queue_limit cost_budget drain_timeout workers jobs trace
+      qlog flight =
     let module Json = Fairness.Json in
     (* Metrics stay on for the daemon's whole life: the Stats reply's
        counters and latency percentiles read from them, and qlog events
@@ -414,6 +432,17 @@ let serve_cmd =
        either way (asserted by the obs byte-identity tests). *)
     Fair_obs.Metrics.enable ();
     if trace <> None then Fair_obs.Trace.enable ();
+    (* Warm-start the cost model from the previous run's qlog file — read
+       BEFORE the sink below truncates it: a restarted daemon prices a
+       cold search correctly from its first admission decision instead of
+       relearning from the default estimate. *)
+    let costs = Fair_service.Costmodel.create () in
+    let seeded =
+      match qlog with
+      | Some path when Sys.file_exists path ->
+          Fair_service.Costmodel.seed_from_file costs path
+      | _ -> 0
+    in
     let qlog_oc =
       match qlog with
       | None -> None
@@ -438,7 +467,9 @@ let serve_cmd =
     in
     let cache = Fair_service.Cache.create ~capacity ?dir:cache_dir () in
     let server =
-      try Fair_service.Server.start ~socket ~cache ~queue_limit ~jobs ?workers ?recorder ()
+      try
+        Fair_service.Server.start ~socket ~cache ~queue_limit ~cost_budget ~costs ~jobs
+          ?workers ?recorder ()
       with Unix.Unix_error (e, _, _) ->
         Printf.eprintf "cannot listen on %s: %s\n" socket (Unix.error_message e);
         exit 1
@@ -457,6 +488,9 @@ let serve_cmd =
               ("cache_capacity", Json.num_int capacity);
               ("cache_dir", opt_str cache_dir);
               ("queue_limit", Json.num_int queue_limit);
+              ("cost_budget", Json.Num cost_budget);
+              ("cost_seeded_events", Json.num_int seeded);
+              ("drain_timeout", Json.Num drain_timeout);
               ( "workers",
                 match workers with Some w -> Json.num_int w | None -> Json.Str "auto" );
               ("jobs", Json.num_int jobs);
@@ -466,14 +500,18 @@ let serve_cmd =
               ("pid", Json.num_int (Unix.getpid ()));
             ]));
     let stop = ref false in
+    let drain = ref false in
     let dump_requested = ref false in
+    (* SIGINT stops immediately; SIGTERM drains: inflight work finishes
+       (bounded by --drain-timeout), new queries get a structured
+       `draining' refusal.  Handlers only raise flags; the actual
+       drain/stop (locks, joins, file IO) runs on the main loop, where it
+       cannot deadlock against whatever the interrupted thread was
+       holding. *)
     Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> stop := true));
-    Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> stop := true));
-    (* The handler only raises a flag; the dump itself (locks, file IO)
-       runs on the main loop, where it cannot deadlock against whatever
-       the interrupted thread was holding. *)
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> drain := true));
     Sys.set_signal Sys.sigusr1 (Sys.Signal_handle (fun _ -> dump_requested := true));
-    while not !stop do
+    while not (!stop || !drain) do
       Thread.delay 0.2;
       if !dump_requested then begin
         dump_requested := false;
@@ -485,11 +523,18 @@ let serve_cmd =
         | None -> ()
       end
     done;
-    prerr_endline "shutting down";
-    (* [stop] drains every reader and worker, then dumps the recorder with
-       reason "shutdown"; the qlog sink was flushed per line, so detaching
-       and closing it afterwards loses nothing. *)
-    Fair_service.Server.stop server;
+    (* [stop]/[drain] settle every reader and worker, then dump the
+       recorder with reason "shutdown"; the qlog sink was flushed per
+       line, so detaching and closing it afterwards loses nothing. *)
+    if !drain && not !stop then begin
+      prerr_endline "draining";
+      let clean = Fair_service.Server.drain server ~timeout_s:drain_timeout in
+      prerr_endline (if clean then "drained; shutting down" else "drain timed out; shutting down")
+    end
+    else begin
+      prerr_endline "shutting down";
+      Fair_service.Server.stop server
+    end;
     Option.iter
       (fun path ->
         Fairness.Obs_json.write_trace_file ~path;
@@ -511,8 +556,9 @@ let serve_cmd =
           Results are byte-identical to the CLI at the same seed — and to themselves with \
           --trace/--qlog/--flight on or off.")
     Term.(
-      const run $ socket_arg $ cache_dir_arg $ capacity_arg $ queue_limit_arg $ workers_arg
-      $ jobs_arg $ trace_arg $ qlog_arg $ flight_arg)
+      const run $ socket_arg $ cache_dir_arg $ capacity_arg $ queue_limit_arg
+      $ cost_budget_arg $ drain_timeout_arg $ workers_arg $ jobs_arg $ trace_arg $ qlog_arg
+      $ flight_arg)
 
 let query_cmd =
   let module S = Fair_service in
@@ -554,13 +600,38 @@ let query_cmd =
     Arg.(value & flag & info [ "progress" ] ~doc)
   in
   let timeout_arg =
-    let doc = "Give up on the server after $(docv) seconds of silence." in
+    let doc =
+      "Give up on the server after $(docv) seconds of silence (bounds connection \
+       establishment and every read)."
+    in
     Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  let deadline_arg =
+    let doc =
+      "Relative deadline in seconds, carried to the server: if the query is still queued \
+       when it expires, the server sheds it with a `deadline exceeded' error instead of \
+       computing an answer nobody is waiting for."
+    in
+    Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SECONDS" ~doc)
+  in
+  let retries_arg =
+    let doc =
+      "Retry up to $(docv) times on idempotent-safe failures only (connection lost before \
+       a result, server overloaded, dead socket at connect) with capped exponential \
+       backoff and decorrelated jitter.  Sleeps derive deterministically from --seed; \
+       deliberate answers (unknown query, query failed, deadline exceeded, draining) are \
+       never retried."
+    in
+    Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N" ~doc)
+  in
+  let retry_budget_arg =
+    let doc = "Total backoff sleep allowed across all retries, in seconds." in
+    Arg.(value & opt float 10.0 & info [ "retry-budget" ] ~docv:"SECONDS" ~doc)
   in
   let exit_of_failure = function
     | S.Failure.Unknown_query _ -> 2
     | S.Failure.Overloaded _ | S.Failure.Query_failed _ | S.Failure.Connection_lost _
-    | S.Failure.Malformed_frame _ ->
+    | S.Failure.Malformed_frame _ | S.Failure.Deadline_exceeded _ | S.Failure.Draining _ ->
         1
   in
   let trace_id_arg =
@@ -570,8 +641,8 @@ let query_cmd =
     in
     Arg.(value & flag & info [ "trace-id" ] ~doc)
   in
-  let run id kind budget zoo fresh no_daemon progress timeout socket seed jobs echo_tid
-      trace metrics =
+  let run id kind budget zoo fresh no_daemon progress timeout deadline retries retry_budget
+      socket seed jobs echo_tid trace metrics =
     with_obs ~trace ~metrics @@ fun () ->
     let q =
       {
@@ -583,6 +654,8 @@ let query_cmd =
         q_fresh = fresh;
         q_trace_id = "";
         q_span_id = "";
+        q_deadline = (match deadline with Some d when d > 0. -> d | _ -> 0.);
+        q_attempt = 0;
       }
     in
     if no_daemon then begin
@@ -595,38 +668,59 @@ let query_cmd =
           exit_of_failure f
     end
     else begin
-      match S.Client.connect ~socket ?timeout () with
-      | Error msg ->
-          (* A dead socket is an operational failure (1), not a usage error,
-             and never a raw Unix_error backtrace. *)
-          prerr_endline msg;
+      (* One attempt = one connection: a failed attempt's socket is dead or
+         poisoned, so each retry starts from a fresh connect.  Connect
+         failures are classified as Connection_lost so the retry policy
+         can see them; with retries off the error keeps its original
+         one-line form. *)
+      let attempt ~attempt =
+        match S.Client.connect ~socket ?timeout () with
+        | Error msg -> Result.Error (S.Failure.Connection_lost { reason = msg })
+        | Ok client ->
+            (* Every daemon query carries a fresh trace context: generation
+               is RNG-free and the fields are ignored by untraced servers,
+               so there is no mode where sending them costs anything.  The
+               attempt number rides along for the server's query log. *)
+            let q = S.Client.with_trace { q with S.Proto.q_attempt = attempt } in
+            if echo_tid then Printf.eprintf "trace-id: %s\n%!" q.S.Proto.q_trace_id;
+            let on_progress (p : S.Proto.progress) =
+              if progress then
+                Printf.eprintf "progress: %d trials (+%d) mean %.4f ±%.4f\n%!"
+                  p.S.Proto.p_after p.S.Proto.p_batch p.S.Proto.p_mean p.S.Proto.p_std_err
+            in
+            let r = S.Client.query client ~on_progress q in
+            S.Client.close client;
+            r
+      in
+      let finish res =
+        if progress && res.S.Proto.r_cached then
+          Printf.eprintf "cache hit (key %s)\n%!" res.S.Proto.r_key;
+        if echo_tid then
+          Printf.eprintf "trace-id echoed by server: %s\n%!"
+            (if res.S.Proto.r_trace_id = "" then "(none — pre-trace server)"
+             else res.S.Proto.r_trace_id);
+        print_string res.S.Proto.r_body;
+        if res.S.Proto.r_ok then 0 else 1
+      in
+      let policy = { S.Client.Retry.default with retries; budget_s = retry_budget } in
+      match S.Client.Retry.run ~policy ~seed attempt with
+      | Ok res -> finish res
+      | Result.Error (`Failed (S.Failure.Connection_lost { reason } as f))
+        when retries = 0 && String.length reason >= 7 && String.sub reason 0 7 = "cannot " ->
+          (* A dead socket with retries off keeps its pre-retry one-line
+             form ("cannot connect to ...") — an operational failure (1),
+             not a usage error, and never a raw Unix_error backtrace. *)
+          prerr_endline reason;
+          exit_of_failure f
+      | Result.Error (`Failed f) ->
+          prerr_endline (S.Failure.to_string f);
+          exit_of_failure f
+      | Result.Error (`Exhausted (attempts, f)) ->
+          (* The distinct exhaustion exit path: the failure was retryable,
+             the budget was not enough. *)
+          Printf.eprintf "retries exhausted after %d attempt(s): %s\n" attempts
+            (S.Failure.to_string f);
           1
-      | Ok client ->
-          (* Every daemon query carries a fresh trace context: generation
-             is RNG-free and the fields are ignored by untraced servers,
-             so there is no mode where sending them costs anything. *)
-          let q = S.Client.with_trace q in
-          if echo_tid then Printf.eprintf "trace-id: %s\n%!" q.S.Proto.q_trace_id;
-          let on_progress (p : S.Proto.progress) =
-            if progress then
-              Printf.eprintf "progress: %d trials (+%d) mean %.4f ±%.4f\n%!"
-                p.S.Proto.p_after p.S.Proto.p_batch p.S.Proto.p_mean p.S.Proto.p_std_err
-          in
-          let r = S.Client.query client ~on_progress q in
-          S.Client.close client;
-          (match r with
-          | Ok res ->
-              if progress && res.S.Proto.r_cached then
-                Printf.eprintf "cache hit (key %s)\n%!" res.S.Proto.r_key;
-              if echo_tid then
-                Printf.eprintf "trace-id echoed by server: %s\n%!"
-                  (if res.S.Proto.r_trace_id = "" then "(none — pre-trace server)"
-                   else res.S.Proto.r_trace_id);
-              print_string res.S.Proto.r_body;
-              if res.S.Proto.r_ok then 0 else 1
-          | Error f ->
-              prerr_endline (S.Failure.to_string f);
-              exit_of_failure f)
     end
   in
   Cmd.v
@@ -637,8 +731,8 @@ let query_cmd =
           cache; --fresh forces recomputation; --no-daemon computes inline without a server.")
     Term.(
       const run $ id_arg $ kind_arg $ budget_arg $ zoo_arg $ fresh_arg $ no_daemon_arg
-      $ progress_arg $ timeout_arg $ socket_arg $ seed_arg $ jobs_arg $ trace_id_arg
-      $ trace_arg $ metrics_arg)
+      $ progress_arg $ timeout_arg $ deadline_arg $ retries_arg $ retry_budget_arg
+      $ socket_arg $ seed_arg $ jobs_arg $ trace_id_arg $ trace_arg $ metrics_arg)
 
 let stat_cmd =
   let module S = Fair_service in

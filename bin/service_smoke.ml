@@ -56,6 +56,8 @@ let query =
     q_fresh = false;
     q_trace_id = "";
     q_span_id = "";
+    q_deadline = 0.;
+    q_attempt = 0;
   }
 
 let connect ~socket () =

@@ -1,0 +1,18 @@
+(* @soak-smoke — the chaos soak harness on its fixed deterministic
+   schedule (Soak.default_config, seed 1105, ~2 s): scripted clients vs. a
+   live server under worker kills, frame truncation, read stalls and one
+   in-process daemon crash-restart.  Exit 0 only if every op is
+   taxonomy-classified, the injected kills produced a supervised restart,
+   the cache heals, and the healed bytes are identical to an inline
+   resilience-free compute. *)
+
+module S = Fair_service
+
+let () =
+  let socket =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "fair-soak-%d.sock" (Unix.getpid ()))
+  in
+  let report = S.Soak.run ~socket () in
+  print_endline ("soak-smoke: " ^ S.Soak.report_to_string report);
+  if not (S.Soak.passed report) then exit 1

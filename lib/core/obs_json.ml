@@ -145,6 +145,8 @@ let qlog_event (e : Fair_obs.Qlog.event) =
       ("worker", Json.num_int e.Q.worker);
       ("queue_s", num_or_null e.Q.queue_s);
       ("wall_s", num_or_null e.Q.wall_s);
+      ("deadline_s", num_or_null e.Q.deadline_s);
+      ("attempt", Json.num_int e.Q.attempt);
       ("trials", Json.num_int e.Q.trials);
       ("outcome", Json.Str e.Q.outcome);
       ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.num_int v)) e.Q.counters)) ]

@@ -23,9 +23,12 @@ type event = {
   worker : int;  (* executor domain id; -1 = answered on the reader thread *)
   queue_s : float;  (* admission -> dispatch; 0 for direct answers *)
   wall_s : float;  (* request receipt -> response delivered *)
+  deadline_s : float;  (* the query's relative deadline; 0 = none *)
+  attempt : int;  (* client retry attempt (0 = first try) *)
   trials : int;  (* mc.trials delta over the compute window *)
   counters : (string * int) list;  (* engine.*/mc.*/race.* deltas *)
-  outcome : string;  (* "ok" | "bound-violation" | a Failure code *)
+  outcome : string;  (* "ok" | "bound-violation" | "shed" | "drained" |
+                        "retried_by_client" | a Failure code *)
 }
 
 let on = Atomic.make false
@@ -139,6 +142,10 @@ let to_json_line e =
   field_float b "queue_s" e.queue_s;
   Buffer.add_char b ',';
   field_float b "wall_s" e.wall_s;
+  Buffer.add_char b ',';
+  field_float b "deadline_s" e.deadline_s;
+  Buffer.add_char b ',';
+  field_int b "attempt" e.attempt;
   Buffer.add_char b ',';
   field_int b "trials" e.trials;
   Buffer.add_char b ',';

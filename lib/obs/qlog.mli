@@ -29,9 +29,18 @@ type event = {
   worker : int;  (** executor domain id; [-1] = answered on the reader thread *)
   queue_s : float;  (** admission → dispatch; [0.] for direct answers *)
   wall_s : float;  (** request receipt → response delivered *)
+  deadline_s : float;
+      (** the query's relative deadline in seconds; [0.] = the client set
+          none *)
+  attempt : int;  (** the client's retry attempt number ([0] = first try) *)
   trials : int;  (** [mc.trials] delta over the compute window *)
   counters : (string * int) list;  (** [engine.*]/[mc.*]/[race.*] deltas *)
-  outcome : string;  (** ["ok" | "bound-violation"] or a {!Failure} code *)
+  outcome : string;
+      (** ["ok" | "bound-violation"], a {!Failure} code, or a resilience
+          verdict: ["shed"] (deadline expired while queued), ["drained"]
+          (refused during graceful drain), ["retried_by_client"] (the
+          answer was computed but its connection was already gone — a
+          retrying client will re-ask and hit the cache) *)
 }
 
 val enabled : unit -> bool

@@ -6,6 +6,8 @@ type t =
   | Overloaded of { depth : int; limit : int }
   | Query_failed of { reason : string }
   | Connection_lost of { reason : string }
+  | Deadline_exceeded of { waited_s : float; deadline_s : float }
+  | Draining of { reason : string }
 
 let code = function
   | Malformed_frame _ -> "malformed-frame"
@@ -13,6 +15,8 @@ let code = function
   | Overloaded _ -> "overloaded"
   | Query_failed _ -> "query-failed"
   | Connection_lost _ -> "connection-lost"
+  | Deadline_exceeded _ -> "deadline-exceeded"
+  | Draining _ -> "draining"
 
 let to_string = function
   | Malformed_frame { seq; reason } -> Printf.sprintf "malformed frame #%d: %s" seq reason
@@ -22,6 +26,10 @@ let to_string = function
         limit
   | Query_failed { reason } -> Printf.sprintf "query failed: %s" reason
   | Connection_lost { reason } -> Printf.sprintf "connection lost: %s" reason
+  | Deadline_exceeded { waited_s; deadline_s } ->
+      Printf.sprintf "deadline exceeded: waited %.3fs against a %.3fs deadline" waited_s
+        deadline_s
+  | Draining { reason } -> Printf.sprintf "draining: %s" reason
 
 let closes_connection = function Malformed_frame _ -> true | _ -> false
 
@@ -33,6 +41,9 @@ let to_json f =
     | Overloaded { depth; limit } -> [ ("depth", Json.num_int depth); ("limit", Json.num_int limit) ]
     | Query_failed { reason } -> [ ("reason", Json.Str reason) ]
     | Connection_lost { reason } -> [ ("reason", Json.Str reason) ]
+    | Deadline_exceeded { waited_s; deadline_s } ->
+        [ ("waited_s", Json.Num waited_s); ("deadline_s", Json.Num deadline_s) ]
+    | Draining { reason } -> [ ("reason", Json.Str reason) ]
   in
   Json.Obj (("code", Json.Str (code f)) :: fields)
 
@@ -47,6 +58,10 @@ let of_json j =
   let int k =
     let* v = member k j in
     to_int v
+  in
+  let num k =
+    let* v = member k j in
+    to_float v
   in
   match c with
   | "malformed-frame" ->
@@ -66,4 +81,11 @@ let of_json j =
   | "connection-lost" ->
       let* reason = str "reason" in
       Ok (Connection_lost { reason })
+  | "deadline-exceeded" ->
+      let* waited_s = num "waited_s" in
+      let* deadline_s = num "deadline_s" in
+      Ok (Deadline_exceeded { waited_s; deadline_s })
+  | "draining" ->
+      let* reason = str "reason" in
+      Ok (Draining { reason })
   | other -> Error (Printf.sprintf "unknown failure code %S" other)

@@ -31,10 +31,24 @@ type t =
   | Connection_lost of { reason : string }
       (** Client-side classification of a dead or timed-out channel; the
           server never sends this. *)
+  | Deadline_exceeded of { waited_s : float; deadline_s : float }
+      (** The query carried a relative deadline ([deadline_s]) and the
+          server could not start (or finish delivering) it in time: it had
+          already waited [waited_s] when the scheduler shed it.  The work
+          was {e not} run; the connection stays open.  Re-asking is always
+          safe (content addressing), but blind retry is usually wrong —
+          the deadline was the client's own budget. *)
+  | Draining of { reason : string }
+      (** The server is gracefully draining (SIGTERM): inflight work
+          finishes, new admissions are refused with this answer.
+          Connection stays open until drain completes.  Not auto-retried
+          by {!Client.Retry} — the process is going away; the caller
+          should redirect, not hammer a dying server. *)
 
 val code : t -> string
 (** Stable machine-readable tag: ["malformed-frame"], ["unknown-query"],
-    ["overloaded"], ["query-failed"], ["connection-lost"]. *)
+    ["overloaded"], ["query-failed"], ["connection-lost"],
+    ["deadline-exceeded"], ["draining"]. *)
 
 val to_string : t -> string
 (** One human-readable line. *)

@@ -13,6 +13,8 @@ type query = {
   q_fresh : bool;
   q_trace_id : string;
   q_span_id : string;
+  q_deadline : float;
+  q_attempt : int;
 }
 
 type request = Query of query | Stats | Ping
@@ -69,6 +71,16 @@ let trace_fields tid sid =
   (if tid = "" then [] else [ ("trace_id", Json.Str tid) ])
   @ if sid = "" then [] else [ ("span_id", Json.Str sid) ]
 
+(* Resilience fields follow the same rule: a query without a deadline and
+   on its first attempt encodes byte-identically to a pre-resilience
+   client's bytes.  Like the trace context, both are excluded from
+   [cache_key] — a deadline changes when the answer is wanted by, never
+   what the answer is. *)
+let resilience_fields deadline attempt =
+  (if deadline > 0. && Float.is_finite deadline then [ ("deadline", Json.Num deadline) ]
+   else [])
+  @ if attempt > 0 then [ ("attempt", Json.num_int attempt) ] else []
+
 let encode_request = function
   | Query q ->
       msg "query"
@@ -80,7 +92,8 @@ let encode_request = function
               ("seed", Json.num_int q.q_seed);
               ("zoo", Json.Bool q.q_zoo);
               ("fresh", Json.Bool q.q_fresh) ]
-           @ trace_fields q.q_trace_id q.q_span_id))
+           @ trace_fields q.q_trace_id q.q_span_id
+           @ resilience_fields q.q_deadline q.q_attempt))
   | Stats -> msg "stats" (Json.Obj [ ("v", Json.Str Version.wire_version) ])
   | Ping -> msg "ping" (Json.Obj [ ("v", Json.Str Version.wire_version) ])
 
@@ -134,6 +147,24 @@ let trace_of ~valid key j =
 let trace_id_of j = trace_of ~valid:Fair_obs.Ids.valid_trace_id "trace_id" j
 let span_id_of j = trace_of ~valid:Fair_obs.Ids.valid_span_id "span_id" j
 
+(* Same tolerance for the resilience metadata: absent, malformed or
+   out-of-range values read as "none" rather than failing the request —
+   an old peer must keep interoperating, and a hostile peer must not be
+   able to smuggle NaN deadlines into scheduler arithmetic. *)
+let deadline_of j =
+  match Json.member "deadline" j with
+  | Result.Error _ -> 0.
+  | Ok v -> (
+      match Json.to_float v with
+      | Ok d when Float.is_finite d && d > 0. -> d
+      | Ok _ | Result.Error _ -> 0.)
+
+let attempt_of j =
+  match Json.member "attempt" j with
+  | Result.Error _ -> 0
+  | Ok v -> (
+      match Json.to_int v with Ok a when a > 0 -> a | Ok _ | Result.Error _ -> 0)
+
 let decode_request payload =
   let open Json in
   let* tag, body = split payload in
@@ -166,7 +197,9 @@ let decode_request payload =
                q_zoo = zoo;
                q_fresh = fresh;
                q_trace_id = trace_id_of j;
-               q_span_id = span_id_of j })
+               q_span_id = span_id_of j;
+               q_deadline = deadline_of j;
+               q_attempt = attempt_of j })
   | other -> Result.Error (Printf.sprintf "unknown request tag %S" other)
 
 let decode_response payload =

@@ -34,6 +34,19 @@ type query = {
           and new peers interoperate in both directions ({e tolerant
           decode}). *)
   q_span_id : string;  (** client's root span id, [""] = none; same rules *)
+  q_deadline : float;
+      (** relative deadline in seconds, [0.] = none.  The server sheds the
+          query ({!Failure.Deadline_exceeded}) if it is still queued when
+          the deadline expires, and stops streaming progress to it once it
+          is past due.  Wire rules mirror the trace context: encoded only
+          when positive, tolerated as absent/malformed/non-finite on
+          decode (all read as [0.]), excluded from {!cache_key} — a
+          deadline changes when the answer is wanted by, not what it is. *)
+  q_attempt : int;
+      (** client retry attempt number, [0] = first try.  Observability
+          only (surfaces in the qlog wide event): never inspected by
+          scheduling, caching or handlers.  Same wire tolerance; negative
+          or malformed values decode as [0]. *)
 }
 
 type request = Query of query | Stats | Ping

@@ -4,8 +4,11 @@ module Trace = Fair_obs.Trace
 
 let c_admitted = Metrics.counter "service.sched.admitted"
 let c_rejected = Metrics.counter "service.sched.rejected"
+let c_rejected_cost = Metrics.counter "service.sched.rejected_cost"
 let c_coalesced = Metrics.counter "service.sched.coalesced"
 let c_exec_failures = Metrics.counter "service.sched.exec_failures"
+let c_shed = Metrics.counter "service.sched.shed"
+let c_restarts = Metrics.counter "service.sched.restarts"
 let g_depth = Metrics.gauge "service.sched.depth"
 let g_concurrency = Metrics.gauge "service.sched.concurrency"
 
@@ -18,6 +21,8 @@ type 'a job = {
   j_client : int;
   j_key : string;
   j_attrs : (string * string) list;
+  j_cost_s : float;
+  j_deadline_ns : int;
   mutable j_queue_ns : int;
   j_payload : 'a;
 }
@@ -33,16 +38,28 @@ type 'a entry = { job : 'a job; t_submit : int }
    every other client at most one queue position per own request. *)
 type 'a client = { q : 'a entry Queue.t; mutable queued : bool }
 
+(* The scripted worker death used by the chaos soak: raised between
+   dispatch and [exec] when a kill has been injected, so the full
+   supervision path (inflight release, client answer, domain respawn) is
+   exercised with a real job in hand. *)
+exception Chaos_worker_killed
+
 type 'a t = {
   limit : int;
+  cost_budget : float;  (** 0. = cost-aware admission disabled *)
   exec : 'a job -> followers:'a job list -> unit;
+  on_shed : 'a job -> unit;
+  on_crash : 'a job -> followers:'a job list -> exn -> unit;
   lock : Mutex.t;
   work : Condition.t;
   clients : (int, 'a client) Hashtbl.t;
   rotation : int Queue.t;
   inflight : (string, unit) Hashtbl.t;  (** keys currently executing *)
   mutable pending : int;
+  mutable pending_cost : float;  (** summed [j_cost_s] of queued jobs *)
   mutable active : int;  (** leaders currently inside [exec] *)
+  mutable restarts : int;
+  mutable kills_pending : int;  (** injected worker deaths not yet fired *)
   mutable stopped : bool;
   mutable domains : unit Domain.t list;
 }
@@ -52,9 +69,17 @@ let with_lock t f =
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
 (* Fatal exceptions must still kill the process; everything else raised by
-   [exec] is contained so one poisoned query cannot take a worker (and
-   with it every other client's service) down. *)
+   [exec] is a worker death the supervisor absorbs: the dying domain is
+   replaced and the batch in hand is answered through [on_crash]. *)
 let fatal = function Stack_overflow | Out_of_memory | Assert_failure _ -> true | _ -> false
+
+(* Caller holds the lock; bookkeeping for removing one queued entry. *)
+let unqueue t (e : 'a entry) =
+  t.pending <- t.pending - 1;
+  t.pending_cost <- Float.max 0. (t.pending_cost -. e.job.j_cost_s);
+  Metrics.set_gauge g_depth (float_of_int t.pending)
+
+let expired ~now (j : 'a job) = j.j_deadline_ns > 0 && now >= j.j_deadline_ns
 
 (* Caller holds the lock.  Pick the next dispatchable leader round-robin,
    then sweep every client queue for jobs sharing its content address: they
@@ -67,8 +92,15 @@ let fatal = function Stack_overflow | Out_of_memory | Assert_failure _ -> true |
    two jobs with the same key can never run concurrently, and same-key jobs
    from one client complete in submission order.  [scanned] bounds the scan
    to one rotation lap: when every queued head is inflight-blocked the
-   caller gets [None] and waits for a completion broadcast. *)
+   caller gets [None] and waits for a completion broadcast.
+
+   Deadline shedding happens here, at dispatch: a head whose deadline has
+   already passed is popped and returned as [`Shed] instead of executed —
+   running work nobody is waiting for anymore would only delay live
+   queries.  (Expired non-heads reach their shed verdict when they become
+   heads; expired followers are caught at delivery by the server.) *)
 let take_next t =
+  let now = Clock.now_ns () in
   let lap = Queue.length t.rotation in
   let rec go scanned =
     if scanned >= lap then None
@@ -83,12 +115,19 @@ let take_next t =
               | None ->
                   c.queued <- false;
                   go scanned
+              | Some head when expired ~now head.job ->
+                  let e = Queue.take c.q in
+                  unqueue t e;
+                  if not (Queue.is_empty c.q) then Queue.add cid t.rotation
+                  else c.queued <- false;
+                  e.job.j_queue_ns <- max 0 (now - e.t_submit);
+                  Some (`Shed e.job)
               | Some head when Hashtbl.mem t.inflight head.job.j_key ->
                   Queue.add cid t.rotation;
                   go (scanned + 1)
               | Some _ ->
                   let leader = Queue.take c.q in
-                  t.pending <- t.pending - 1;
+                  unqueue t leader;
                   if not (Queue.is_empty c.q) then Queue.add cid t.rotation
                   else c.queued <- false;
                   let followers = ref [] in
@@ -98,7 +137,7 @@ let take_next t =
                       (fun e ->
                         if e.job.j_key = leader.job.j_key then begin
                           followers := e :: !followers;
-                          t.pending <- t.pending - 1;
+                          unqueue t e;
                           Metrics.incr c_coalesced
                         end
                         else Queue.add e keep)
@@ -107,7 +146,6 @@ let take_next t =
                     Queue.transfer keep c.q
                   in
                   Hashtbl.iter sweep t.clients;
-                  Metrics.set_gauge g_depth (float_of_int t.pending);
                   Hashtbl.replace t.inflight leader.job.j_key ();
                   t.active <- t.active + 1;
                   Metrics.set_gauge g_concurrency (float_of_int t.active);
@@ -127,19 +165,29 @@ let take_next t =
                   in
                   observe "leader" leader;
                   List.iter (observe "follower") !followers;
-                  Some (leader.job, List.rev_map (fun e -> e.job) !followers)))
+                  Some (`Job (leader.job, List.rev_map (fun e -> e.job) !followers))))
   in
   go 0
 
-let worker t () =
-  let rec loop () =
+(* The worker loop and its supervisor.  [spawn_worker]/[worker] are
+   mutually recursive because a replacement domain must run the same loop
+   as the one that just died. *)
+let rec worker t () =
+  let loop = ref true in
+  while !loop do
     let next =
       with_lock t (fun () ->
           let rec await () =
-            if t.stopped then None
+            if t.stopped then `Stop
             else
               match take_next t with
-              | Some x -> Some x
+              | Some (`Shed job) -> `Shed job
+              | Some (`Job (leader, followers)) ->
+                  (* An injected kill fires only with a job in hand, so the
+                     crash path always has a client to answer. *)
+                  let doomed = t.kills_pending > 0 in
+                  if doomed then t.kills_pending <- t.kills_pending - 1;
+                  `Job (leader, followers, doomed)
               | None ->
                   (* Nothing dispatchable: queue empty, or every head is
                      blocked behind an inflight key.  Both states change
@@ -150,34 +198,72 @@ let worker t () =
           await ())
     in
     match next with
-    | None -> ()
-    | Some (leader, followers) ->
-        (try t.exec leader ~followers
-         with e when not (fatal e) -> Metrics.incr c_exec_failures);
-        with_lock t (fun () ->
-            Hashtbl.remove t.inflight leader.j_key;
-            t.active <- t.active - 1;
-            Metrics.set_gauge g_concurrency (float_of_int t.active);
-            (* A completed key may unblock several waiting heads, and new
-               work may have queued while we computed: wake everyone. *)
-            Condition.broadcast t.work);
-        loop ()
-  in
-  loop ()
+    | `Stop -> loop := false
+    | `Shed job ->
+        Metrics.incr c_shed;
+        (try t.on_shed job with e when not (fatal e) -> ());
+        (* Shedding freed no inflight key, but it did consume queue slots:
+           admission headroom changed, and a parked submitter's view of
+           the world is stale.  No broadcast needed — only workers wait on
+           [work], and this worker is about to re-scan anyway. *)
+        ()
+    | `Job (leader, followers, doomed) -> (
+        match
+          if doomed then raise Chaos_worker_killed;
+          t.exec leader ~followers
+        with
+        | () ->
+            with_lock t (fun () ->
+                Hashtbl.remove t.inflight leader.j_key;
+                t.active <- t.active - 1;
+                Metrics.set_gauge g_concurrency (float_of_int t.active);
+                (* A completed key may unblock several waiting heads, and
+                   new work may have queued while we computed: wake
+                   everyone. *)
+                Condition.broadcast t.work)
+        | exception e when not (fatal e) ->
+            (* Worker death.  Release what the dead worker held, put a
+               replacement domain in the pool, and only then (outside the
+               lock) let the server answer the orphaned batch — the same
+               order a crashed process's supervisor would use: restore
+               capacity first, apologize second. *)
+            Metrics.incr c_exec_failures;
+            Metrics.incr c_restarts;
+            with_lock t (fun () ->
+                Hashtbl.remove t.inflight leader.j_key;
+                t.active <- t.active - 1;
+                t.restarts <- t.restarts + 1;
+                Metrics.set_gauge g_concurrency (float_of_int t.active);
+                if not t.stopped then t.domains <- Domain.spawn (worker t) :: t.domains;
+                Condition.broadcast t.work);
+            (try t.on_crash leader ~followers e with e' when not (fatal e') -> ());
+            loop := false (* this domain is dead; its replacement runs on *))
+  done
 
-let create ~queue_limit ?(workers = 1) ~exec () =
+let default_on_crash _job ~followers:_ _exn = ()
+
+let create ~queue_limit ?(cost_budget = 0.) ?(workers = 1) ?(on_shed = fun _ -> ())
+    ?(on_crash = default_on_crash) ~exec () =
   if queue_limit < 0 then invalid_arg "Sched.create: queue_limit < 0";
   if workers < 1 then invalid_arg "Sched.create: workers < 1";
+  if not (Float.is_finite cost_budget) || cost_budget < 0. then
+    invalid_arg "Sched.create: cost_budget < 0";
   let t =
     { limit = queue_limit;
+      cost_budget;
       exec;
+      on_shed;
+      on_crash;
       lock = Mutex.create ();
       work = Condition.create ();
       clients = Hashtbl.create 16;
       rotation = Queue.create ();
       inflight = Hashtbl.create 16;
       pending = 0;
+      pending_cost = 0.;
       active = 0;
+      restarts = 0;
+      kills_pending = 0;
       stopped = false;
       domains = [] }
   in
@@ -188,9 +274,20 @@ let create ~queue_limit ?(workers = 1) ~exec () =
   t
 
 let submit t job =
+  let cost = if Float.is_finite job.j_cost_s && job.j_cost_s > 0. then job.j_cost_s else 0. in
   let verdict =
     with_lock t (fun () ->
-        if t.stopped || t.pending >= t.limit then `Rejected (t.pending, t.limit)
+        (* Admission: the old depth limit is a floor (a queue shorter than
+           [limit] always admits, exactly as before), and when a cost
+           budget is set, cheap work may keep entering past the depth
+           limit until the summed cost estimate reaches the budget.  With
+           [cost_budget = 0.] this is bit-for-bit the old depth check. *)
+        let depth_ok = t.pending < t.limit in
+        let cost_ok = t.cost_budget > 0. && t.pending_cost +. cost <= t.cost_budget in
+        if t.stopped || not (depth_ok || cost_ok) then begin
+          if (not t.stopped) && t.cost_budget > 0. then Metrics.incr c_rejected_cost;
+          `Rejected (t.pending, t.limit)
+        end
         else begin
           let c =
             match Hashtbl.find_opt t.clients job.j_client with
@@ -206,6 +303,7 @@ let submit t job =
             Queue.add job.j_client t.rotation
           end;
           t.pending <- t.pending + 1;
+          t.pending_cost <- t.pending_cost +. cost;
           Metrics.set_gauge g_depth (float_of_int t.pending);
           Condition.signal t.work;
           `Admitted
@@ -221,13 +319,20 @@ let drop_client t cid =
       match Hashtbl.find_opt t.clients cid with
       | None -> ()
       | Some c ->
-          t.pending <- t.pending - Queue.length c.q;
-          Metrics.set_gauge g_depth (float_of_int t.pending);
+          Queue.iter (fun e -> unqueue t e) c.q;
           Hashtbl.remove t.clients cid)
 
 let depth t = with_lock t (fun () -> t.pending)
 
+let pending_cost t = with_lock t (fun () -> t.pending_cost)
+
 let concurrency t = with_lock t (fun () -> t.active)
+
+let restarts t = with_lock t (fun () -> t.restarts)
+
+let chaos_kill_workers t n =
+  if n < 0 then invalid_arg "Sched.chaos_kill_workers: n < 0";
+  with_lock t (fun () -> t.kills_pending <- t.kills_pending + n)
 
 let stop t =
   let ds =

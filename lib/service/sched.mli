@@ -26,15 +26,42 @@
     computations can never block admission — the queue simply fills and
     refusals become immediate.
 
-    Telemetry: [service.sched.admitted]/[rejected]/[coalesced]/
-    [exec_failures] counters, [service.sched.depth] and
-    [service.sched.concurrency] gauges (queued jobs / leaders currently
-    executing), and the [service.sched.queue_latency_s] histogram
-    (admission → dispatch, observed for leaders and followers alike).
-    When tracing is on, every dispatch additionally emits a
-    [service.queue] span per job ([t_submit → now], tagged with the job's
-    [j_attrs] and its leader/follower role) and stamps the measured wait
-    on [j_queue_ns]. *)
+    {b Deadline shedding.}  A job may carry an absolute deadline
+    ([j_deadline_ns]).  When a worker would dispatch a job whose deadline
+    has already passed, the job is {e shed} instead: popped, counted under
+    [service.sched.shed], and handed to [on_shed] (the server answers
+    {!Failure.Deadline_exceeded}) — executing work nobody is waiting for
+    anymore would only delay live queries.  Expired non-heads shed when
+    they reach their queue head; expired followers are the delivery
+    layer's problem (they ride a computation that was running anyway).
+
+    {b Cost-aware admission.}  With [cost_budget] set, the queue is
+    bounded by summed estimated cost ([j_cost_s], seconds) rather than
+    depth alone: a queue below [queue_limit] {e always} admits (the old
+    depth limit is a floor, so behaviour with no estimates is unchanged),
+    and cheap work may continue entering past the depth limit until the
+    summed estimate reaches the budget.  One 50 ms cold search therefore
+    consumes ~800x the admission headroom of a 61 µs probe, instead of
+    the same single slot.  [cost_budget = 0.] (default) disables the cost
+    dimension entirely.
+
+    {b Supervision.}  A non-fatal exception escaping [exec] is a worker
+    death, not a contained hiccup: the dying worker releases its inflight
+    key, spawns a replacement domain (the pool never shrinks), bumps
+    [service.sched.restarts], and hands the orphaned batch to [on_crash]
+    so the server can answer every waiting client {!Failure.Query_failed}.
+    Truly fatal exceptions ([Stack_overflow], [Out_of_memory],
+    [Assert_failure]) still propagate and kill the process.
+
+    Telemetry: [service.sched.admitted]/[rejected]/[rejected_cost]/
+    [coalesced]/[exec_failures]/[shed]/[restarts] counters,
+    [service.sched.depth] and [service.sched.concurrency] gauges (queued
+    jobs / leaders currently executing), and the
+    [service.sched.queue_latency_s] histogram (admission → dispatch,
+    observed for leaders and followers alike).  When tracing is on, every
+    dispatch additionally emits a [service.queue] span per job
+    ([t_submit → now], tagged with the job's [j_attrs] and its
+    leader/follower role) and stamps the measured wait on [j_queue_ns]. *)
 
 type 'a job = {
   j_client : int;  (** connection id, the unit of fairness *)
@@ -42,31 +69,56 @@ type 'a job = {
   j_attrs : (string * string) list;
       (** span args (trace context) attached to the job's queue-wait span;
           [[]] = untraced.  Never inspected by scheduling decisions. *)
+  j_cost_s : float;
+      (** estimated execution cost in seconds ({!Costmodel.estimate});
+          only read by cost-budget admission.  [0.] = no estimate (the
+          job is free as far as the budget is concerned). *)
+  j_deadline_ns : int;
+      (** absolute deadline on the monotonic clock ({!Fair_obs.Clock});
+          [0] = none.  Compared at dispatch time only. *)
   mutable j_queue_ns : int;
-      (** admission → dispatch wait, stamped by the scheduler at dispatch
+      (** admission → dispatch (or → shed) wait, stamped by the scheduler
           (0 until then) — how the executor learns the job's queue latency
           without a second clock read. *)
   j_payload : 'a;
 }
 
+exception Chaos_worker_killed
+(** The scripted worker death injected by {!chaos_kill_workers} — public
+    so chaos tests can assert the crash cause they see in [on_crash] is
+    the one they injected. *)
+
 type 'a t
 
 val create :
   queue_limit:int ->
+  ?cost_budget:float ->
   ?workers:int ->
+  ?on_shed:('a job -> unit) ->
+  ?on_crash:('a job -> followers:'a job list -> exn -> unit) ->
   exec:('a job -> followers:'a job list -> unit) ->
   unit ->
   'a t
 (** Starts [workers] (default 1) executor domains.  [exec] runs on a
-    worker, outside the lock; an exception escaping [exec] is contained
-    (counted under [service.sched.exec_failures]) and never kills the
-    worker.
-    @raise Invalid_argument if [queue_limit < 0] or [workers < 1]. *)
+    worker, outside the lock.  A non-fatal exception escaping [exec]
+    kills that worker: a replacement domain is spawned, the inflight key
+    is released, and [on_crash leader ~followers exn] runs on the dying
+    domain (outside the scheduler lock) so the caller can answer the
+    batch; [service.sched.exec_failures] and [service.sched.restarts]
+    both count it.  [on_shed job] runs (on a worker, outside the lock)
+    for every job shed at dispatch because its [j_deadline_ns] had
+    passed; the job's [j_queue_ns] is stamped with its wait.  Exceptions
+    escaping [on_shed]/[on_crash] themselves are swallowed unless fatal.
+    [cost_budget] (seconds, default [0.] = disabled) enables cost-aware
+    admission; see the module preamble.
+    @raise Invalid_argument if [queue_limit < 0], [workers < 1] or
+    [cost_budget] is negative or non-finite. *)
 
 val submit : 'a t -> 'a job -> [ `Admitted | `Rejected of int * int ]
-(** [`Rejected (depth, limit)] when the queue already holds [depth ≥ limit]
-    jobs (backpressure) or the scheduler is stopped.  Never blocks on the
-    executors. *)
+(** [`Rejected (depth, limit)] when the scheduler is stopped, or the queue
+    already holds [depth ≥ limit] jobs {e and} (when a cost budget is set)
+    the summed cost estimate would exceed the budget.  Never blocks on
+    the executors. *)
 
 val drop_client : 'a t -> int -> unit
 (** Forget every pending job of a dead connection (jobs already dispatched
@@ -75,9 +127,23 @@ val drop_client : 'a t -> int -> unit
 val depth : 'a t -> int
 (** Jobs admitted and not yet dispatched. *)
 
+val pending_cost : 'a t -> float
+(** Summed [j_cost_s] of queued jobs — what cost-budget admission compares
+    against the budget. *)
+
 val concurrency : 'a t -> int
 (** Leaders currently inside [exec] (≤ [workers]). *)
 
+val restarts : 'a t -> int
+(** Worker domains replaced after a death since creation. *)
+
+val chaos_kill_workers : 'a t -> int -> unit
+(** Schedule [n] injected worker deaths: each of the next [n] dispatches
+    raises {!Chaos_worker_killed} in place of [exec], with a job in hand —
+    driving the {e real} supervision path (release, respawn, [on_crash]).
+    Test instrumentation only.  @raise Invalid_argument if [n < 0]. *)
+
 val stop : 'a t -> unit
 (** Refuse new work, let in-flight [exec]s finish, discard the rest of
-    the queue, and join every worker domain.  Idempotent. *)
+    the queue, and join every worker domain (replacements included).
+    Idempotent. *)

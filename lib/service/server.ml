@@ -27,10 +27,11 @@ type conn = {
   mutable alive : bool;
 }
 
-(* What a queued query carries besides the query itself: its connection and
-   its receipt timestamp, so the executor can report end-to-end wall time
-   per request (receipt on the reader thread → response delivered). *)
-type pending = { pq : Proto.query; pconn : conn; p_recv_ns : int }
+(* What a queued query carries besides the query itself: its connection,
+   its receipt timestamp (so the executor can report end-to-end wall time
+   per request), and its absolute deadline on the monotonic clock
+   (receipt + the query's relative deadline; 0 = none). *)
+type pending = { pq : Proto.query; pconn : conn; p_recv_ns : int; p_deadline_ns : int }
 
 type t = {
   sock_path : string;
@@ -38,12 +39,15 @@ type t = {
   cch : Cache.t;
   jobs : int;
   queue_limit : int;
+  cost_budget : float;
   workers : int;
   recorder : Recorder.t option;
+  costs : Costmodel.t;
   sched : pending Sched.t;
   lock : Mutex.t;  (* conns + stopped *)
   mutable conns : conn list;
   mutable readers : Thread.t list;
+  mutable draining : bool;
   mutable stopped : bool;
   mutable accept_thread : Thread.t;
 }
@@ -80,6 +84,17 @@ let stats_json t =
          endpoint and no file on disk. *)
       ("metrics", Obs_json.metrics snap);
       ("percentiles", Obs_json.percentiles snap);
+      ( "resilience",
+        Json.Obj
+          [
+            ("draining", Json.Bool t.draining);
+            ("cost_budget", Json.Num t.cost_budget);
+            ("pending_cost", Json.Num (Sched.pending_cost t.sched));
+            ("worker_restarts", Json.num_int (Sched.restarts t.sched));
+            ( "cost_estimates",
+              Json.Obj
+                (List.map (fun (k, v) -> (k, Json.Num v)) (Costmodel.snapshot t.costs)) );
+          ] );
       ( "observability",
         Json.Obj
           [
@@ -154,6 +169,8 @@ let log_event ~(q : Proto.query) ~key ~tier ~client ~worker ~queue_ns ~recv_ns ~
         worker;
         queue_s = float_of_int queue_ns /. 1e9;
         wall_s = float_of_int (Clock.now_ns () - recv_ns) /. 1e9;
+        deadline_s = q.Proto.q_deadline;
+        attempt = q.Proto.q_attempt;
         trials;
         counters;
         outcome;
@@ -174,6 +191,8 @@ let log_malformed conn ~recv_ns =
         worker = -1;
         queue_s = 0.;
         wall_s = float_of_int (Clock.now_ns () - recv_ns) /. 1e9;
+        deadline_s = 0.;
+        attempt = 0;
         trials = 0;
         counters = [];
         outcome = "malformed-frame";
@@ -223,6 +242,9 @@ let exec t (leader : pending Sched.job) ~followers =
   let key = leader.Sched.j_key in
   let worker_id = Fair_obs.Domain_id.get () in
   let targs = trace_args q in
+  let now_expired (p : pending) =
+    p.p_deadline_ns > 0 && Clock.now_ns () >= p.p_deadline_ns
+  in
   let deliver resp =
     List.iter
       (fun (j : pending Sched.job) ->
@@ -230,15 +252,44 @@ let exec t (leader : pending Sched.job) ~followers =
         if conn.alive then ignore (send_response conn resp))
       jobs
   in
-  (* Results echo each requester's own trace id, so responses are built
-     per recipient; progress frames (no trace field) stay broadcast. *)
-  let deliver_result ~cached ~ok ~body =
+  (* Progress is best-effort telemetry: a waiter whose deadline has passed
+     gets no more convergence frames (it is about to be answered
+     Deadline_exceeded, and streaming to it would only delay that). *)
+  let deliver_progress resp =
     List.iter
       (fun (j : pending Sched.job) ->
         let p = j.Sched.j_payload in
-        if p.pconn.alive then
-          ignore
-            (send_response p.pconn
+        if p.pconn.alive && not (now_expired p) then ignore (send_response p.pconn resp))
+      jobs
+  in
+  (* Results echo each requester's own trace id, so responses are built
+     per recipient; progress frames (no trace field) stay broadcast.
+     Delivery is deadline-checked per recipient: a waiter past its
+     deadline receives Deadline_exceeded instead of a result it said it
+     no longer wants (the result itself is still cached — the client's
+     re-ask with a fresh budget is a hit).  The per-job delivery status
+     feeds the query log: ["deadline-exceeded"], or ["retried_by_client"]
+     when the connection was already gone at delivery time (the answer is
+     content-addressed, so a retrying client re-asks safely). *)
+  let deliver_result ~cached ~ok ~body =
+    List.map
+      (fun (j : pending Sched.job) ->
+        let p = j.Sched.j_payload in
+        if now_expired p then begin
+          if p.pconn.alive then
+            ignore
+              (send_response p.pconn
+                 (Proto.Error
+                    (Failure.Deadline_exceeded
+                       {
+                         waited_s = float_of_int (Clock.now_ns () - p.p_recv_ns) /. 1e9;
+                         deadline_s = p.pq.Proto.q_deadline;
+                       })));
+          (j, `Expired)
+        end
+        else if
+          p.pconn.alive
+          && send_response p.pconn
                (Proto.Result
                   {
                     Proto.r_cached = cached;
@@ -246,7 +297,9 @@ let exec t (leader : pending Sched.job) ~followers =
                     r_ok = ok;
                     r_body = body;
                     r_trace_id = p.pq.Proto.q_trace_id;
-                  })))
+                  })
+        then (j, `Delivered)
+        else (j, `Gone))
       jobs
   in
   (* Single-flight handoff markers: a traced follower's id shows up in the
@@ -269,11 +322,29 @@ let exec t (leader : pending Sched.job) ~followers =
           ~recv_ns:p.p_recv_ns ~trials ~counters ~outcome)
       jobs
   in
+  (* Result paths log per delivery status; error paths keep the uniform
+     [log_all]. *)
+  let log_delivered ~tier ?(trials = 0) ?(counters = []) ~base statuses =
+    List.iteri
+      (fun i ((j : pending Sched.job), st) ->
+        let p = j.Sched.j_payload in
+        let outcome =
+          match st with
+          | `Expired -> "deadline-exceeded"
+          | `Gone -> "retried_by_client"
+          | `Delivered -> base
+        in
+        log_event ~q:p.pq ~key
+          ~tier:(if i = 0 then tier else "coalesced")
+          ~client:j.Sched.j_client ~worker:worker_id ~queue_ns:j.Sched.j_queue_ns
+          ~recv_ns:p.p_recv_ns ~trials ~counters ~outcome)
+      statuses
+  in
   let serve_entry ~tier entry =
     match entry_decode entry with
     | Some (ok, body) ->
-        deliver_result ~cached:true ~ok ~body;
-        log_all ~tier (if ok then "ok" else "bound-violation");
+        let sts = deliver_result ~cached:true ~ok ~body in
+        log_delivered ~tier ~base:(if ok then "ok" else "bound-violation") sts;
         true
     | None -> false
   in
@@ -322,12 +393,13 @@ let exec t (leader : pending Sched.job) ~followers =
                            p_std_err = p.Fairness.Montecarlo.running_std_err;
                          }
                      in
-                     deliver pr));
+                     deliver_progress pr));
             (* Engine counter deltas cost a registry snapshot on each side
                of the compute — taken only when a query log is actually
                listening (and the registry is on at all). *)
             let want_counters = Qlog.enabled () && Metrics.enabled () in
             let before = if want_counters then Some (Metrics.snapshot ()) else None in
+            let t0 = Clock.now_ns () in
             let answer =
               match Handlers.answer ~jobs:t.jobs q with
               | r -> r
@@ -336,6 +408,13 @@ let exec t (leader : pending Sched.job) ~followers =
                   raise e
             in
             release ();
+            (* Feed the cost model with the measured compute time (success
+               or failure — a failing query burned the time all the same).
+               Read only at admission, so this can never move a byte. *)
+            Costmodel.observe t.costs
+              ~kind:(Proto.kind_to_string q.Proto.q_kind)
+              ~experiment:q.Proto.q_experiment
+              ~wall_s:(Clock.elapsed_s ~since_ns:t0);
             let counters =
               match before with
               | Some b -> counter_deltas b (Metrics.snapshot ())
@@ -345,9 +424,10 @@ let exec t (leader : pending Sched.job) ~followers =
             match answer with
             | Ok (body, ok) ->
                 Cache.store t.cch ~key (entry_encode ~ok body);
-                deliver_result ~cached:false ~ok ~body;
-                log_all ~tier:"cold" ~trials ~counters
-                  (if ok then "ok" else "bound-violation")
+                let sts = deliver_result ~cached:false ~ok ~body in
+                log_delivered ~tier:"cold" ~trials ~counters
+                  ~base:(if ok then "ok" else "bound-violation")
+                  sts
             | Error f ->
                 deliver (Proto.Error f);
                 log_all ~tier:"cold" ~trials ~counters (Failure.code f);
@@ -358,6 +438,17 @@ let exec t (leader : pending Sched.job) ~followers =
 
 let handle_query t conn ~recv_ns (q : Proto.query) =
   let targs = trace_args q in
+  if t.draining then begin
+    (* Graceful drain: inflight work is finishing, but nothing new starts —
+       not even cache probes (the process is going away; the client should
+       talk to its replacement, and Draining tells it exactly that). *)
+    ignore
+      (send_response conn
+         (Proto.Error (Failure.Draining { reason = "server is draining; not accepting work" })));
+    log_event ~q ~key:"" ~tier:"" ~client:conn.cid ~worker:(-1) ~queue_ns:0 ~recv_ns
+      ~trials:0 ~counters:[] ~outcome:"drained"
+  end
+  else
   match Fair_analysis.Experiments.find q.Proto.q_experiment with
   | None ->
       (* Bad ids answer immediately and never occupy a queue slot. *)
@@ -374,6 +465,11 @@ let handle_query t conn ~recv_ns (q : Proto.query) =
         ~trials:0 ~counters:[] ~outcome:"unknown-query"
   | Some _ -> (
       let key = Proto.cache_key q in
+      let deadline_ns =
+        if q.Proto.q_deadline > 0. then
+          recv_ns + int_of_float (q.Proto.q_deadline *. 1e9)
+        else 0
+      in
       let submit () =
         match
           Sched.submit t.sched
@@ -381,8 +477,14 @@ let handle_query t conn ~recv_ns (q : Proto.query) =
               Sched.j_client = conn.cid;
               j_key = key;
               j_attrs = targs;
+              j_cost_s =
+                Costmodel.estimate t.costs
+                  ~kind:(Proto.kind_to_string q.Proto.q_kind)
+                  ~experiment:q.Proto.q_experiment;
+              j_deadline_ns = deadline_ns;
               j_queue_ns = 0;
-              j_payload = { pq = q; pconn = conn; p_recv_ns = recv_ns };
+              j_payload =
+                { pq = q; pconn = conn; p_recv_ns = recv_ns; p_deadline_ns = deadline_ns };
             }
         with
         | `Admitted -> ()
@@ -477,7 +579,44 @@ let accept_loop t =
   in
   go ()
 
-let start ~socket ?cache ?(queue_limit = 64) ?jobs ?workers ?recorder () =
+(* The scheduler shed a queued job whose deadline had passed: answer the
+   waiting client honestly and log the shed verdict.  Runs on a worker
+   domain, outside the scheduler lock. *)
+let on_shed _t (job : pending Sched.job) =
+  let p = job.Sched.j_payload in
+  if p.pconn.alive then
+    ignore
+      (send_response p.pconn
+         (Proto.Error
+            (Failure.Deadline_exceeded
+               {
+                 waited_s = float_of_int job.Sched.j_queue_ns /. 1e9;
+                 deadline_s = p.pq.Proto.q_deadline;
+               })));
+  log_event ~q:p.pq ~key:job.Sched.j_key ~tier:"" ~client:job.Sched.j_client ~worker:(-1)
+    ~queue_ns:job.Sched.j_queue_ns ~recv_ns:p.p_recv_ns ~trials:0 ~counters:[]
+    ~outcome:"shed"
+
+(* A worker domain died mid-batch.  The scheduler has already released the
+   inflight key and spawned a replacement; what is left is the apology:
+   every client in the orphaned batch gets Query_failed (re-asking is safe
+   — nothing was cached), and the flight recorder captures the state that
+   led here. *)
+let on_crash t (leader : pending Sched.job) ~followers exn =
+  let reason = Printf.sprintf "worker crashed: %s" (Printexc.to_string exn) in
+  List.iter
+    (fun (j : pending Sched.job) ->
+      let p = j.Sched.j_payload in
+      if p.pconn.alive then
+        ignore (send_response p.pconn (Proto.Error (Failure.Query_failed { reason })));
+      log_event ~q:p.pq ~key:j.Sched.j_key ~tier:"" ~client:j.Sched.j_client
+        ~worker:(Fair_obs.Domain_id.get ()) ~queue_ns:j.Sched.j_queue_ns
+        ~recv_ns:p.p_recv_ns ~trials:0 ~counters:[] ~outcome:"query-failed")
+    (leader :: followers);
+  dump_on t ("worker-restart: " ^ reason)
+
+let start ~socket ?cache ?(queue_limit = 64) ?(cost_budget = 0.) ?costs ?jobs ?workers
+    ?recorder () =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let jobs = match jobs with Some j -> j | None -> Fairness.Parallel.default_jobs in
   let workers =
@@ -486,6 +625,18 @@ let start ~socket ?cache ?(queue_limit = 64) ?jobs ?workers ?recorder () =
     | None -> min 4 (max 1 Fairness.Parallel.default_jobs)
   in
   let cch = match cache with Some c -> c | None -> Cache.create () in
+  let costs =
+    match costs with
+    | Some m -> m
+    | None ->
+        (* Warm-start from whatever qlog history this process already has:
+           after an in-process restart (soak, tests) the ring remembers
+           real cold wall times; on a fresh daemon it is empty and the
+           model starts from its default. *)
+        let m = Costmodel.create () in
+        Costmodel.seed_from_events m (Qlog.recent ());
+        m
+  in
   (try Unix.unlink socket with Unix.Unix_error _ -> ());
   let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   (try
@@ -497,10 +648,13 @@ let start ~socket ?cache ?(queue_limit = 64) ?jobs ?workers ?recorder () =
   (* The executor closure needs [t] and [t] needs the scheduler: tie the
      knot through a ref (no job can be submitted before [start] returns). *)
   let t_ref = ref None in
+  let with_t f = match !t_ref with None -> () | Some t -> f t in
   let sched =
-    Sched.create ~queue_limit ~workers
-      ~exec:(fun leader ~followers ->
-        match !t_ref with None -> () | Some t -> exec t leader ~followers)
+    Sched.create ~queue_limit ~cost_budget ~workers
+      ~on_shed:(fun job -> with_t (fun t -> on_shed t job))
+      ~on_crash:(fun leader ~followers exn ->
+        with_t (fun t -> on_crash t leader ~followers exn))
+      ~exec:(fun leader ~followers -> with_t (fun t -> exec t leader ~followers))
       ()
   in
   let t =
@@ -510,12 +664,15 @@ let start ~socket ?cache ?(queue_limit = 64) ?jobs ?workers ?recorder () =
       cch;
       jobs;
       queue_limit;
+      cost_budget;
       workers;
       recorder;
+      costs;
       sched;
       lock = Mutex.create ();
       conns = [];
       readers = [];
+      draining = false;
       stopped = false;
       accept_thread = Thread.self ();
     }
@@ -523,6 +680,10 @@ let start ~socket ?cache ?(queue_limit = 64) ?jobs ?workers ?recorder () =
   t_ref := Some t;
   t.accept_thread <- Thread.create (fun () -> accept_loop t) ();
   t
+
+let chaos_kill_workers t n = Sched.chaos_kill_workers t.sched n
+let worker_restarts t = Sched.restarts t.sched
+let cost_model t = t.costs
 
 let stop t =
   if not t.stopped then begin
@@ -545,3 +706,23 @@ let stop t =
     dump_on t "shutdown";
     try Unix.unlink t.sock_path with Unix.Unix_error _ -> ()
   end
+
+(* Graceful drain: flip the refusal flag first (every new query answers
+   Draining from this instant), then wait for the queue and the executor
+   pool to empty, bounded by [timeout_s] — a wedged worker must not turn
+   "graceful" into "never exits".  Finally stop.  Returns whether the
+   drain completed cleanly within the bound. *)
+let drain t ~timeout_s =
+  t.draining <- true;
+  let deadline = Unix.gettimeofday () +. Float.max 0. timeout_s in
+  let rec wait () =
+    if Sched.depth t.sched = 0 && Sched.concurrency t.sched = 0 then true
+    else if Unix.gettimeofday () >= deadline then false
+    else begin
+      Thread.delay 0.01;
+      wait ()
+    end
+  in
+  let clean = wait () in
+  stop t;
+  clean

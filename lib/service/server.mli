@@ -29,6 +29,8 @@ val start :
   socket:string ->
   ?cache:Cache.t ->
   ?queue_limit:int ->
+  ?cost_budget:float ->
+  ?costs:Costmodel.t ->
   ?jobs:int ->
   ?workers:int ->
   ?recorder:Recorder.t ->
@@ -37,14 +39,29 @@ val start :
 (** Bind [socket] (an existing socket file is replaced), start the accept,
     reader and executor threads, and return.  [cache] defaults to a fresh
     memory-only cache ({!Cache.create} [~capacity:256]); [queue_limit]
-    (default 64) bounds admission; [jobs] (default
-    {!Fairness.Parallel.default_jobs}) bounds the domain pool per query —
-    it never changes any served byte; [workers] (default
+    (default 64) bounds admission; [cost_budget] (seconds of estimated
+    queued work, default [0.] = disabled) enables {!Sched}'s cost-aware
+    admission, with [queue_limit] as its depth floor; [costs] supplies a
+    pre-seeded {!Costmodel} (e.g. warm-started from a previous run's qlog
+    file) — by default a fresh model seeded from the in-process qlog ring;
+    [jobs] (default {!Fairness.Parallel.default_jobs}) bounds the domain
+    pool per query — it never changes any served byte; [workers] (default
     [min 4 (max 1 default_jobs)]) sizes the executor pool — like [jobs] it
     only affects wall clock, never bytes.  [recorder] attaches a flight
     recorder ({!Recorder}): the server dumps it on [Query_failed] answers,
-    on [Malformed_frame] teardowns and on clean {!stop}.  [SIGPIPE] is
-    ignored process-wide (a dying client must not kill the server).
+    on [Malformed_frame] teardowns, on worker restarts and on clean
+    {!stop}.  [SIGPIPE] is ignored process-wide (a dying client must not
+    kill the server).
+
+    {b Resilience} (all byte-neutral — enforced by the paired
+    dark-vs-resilient tests in [test/test_service.ml]): queries carrying a
+    deadline are shed ({!Failure.Deadline_exceeded}) if still queued when
+    it expires, stop receiving progress frames once past due, and get
+    [Deadline_exceeded] instead of a late result at delivery (the result
+    is still cached for their retry); a worker-domain death is supervised
+    — inflight key released, batch answered {!Failure.Query_failed},
+    replacement domain spawned, flight recorder dumped; {!drain} refuses
+    new queries with {!Failure.Draining} while inflight work finishes.
 
     {b Request observability} (all off by default, none of it touches an
     RNG or a scheduling decision): when {!Fair_obs.Trace} is enabled the
@@ -64,8 +81,26 @@ val stop : t -> unit
     computation (if any) to finish, join all threads and remove the socket
     file.  Idempotent. *)
 
+val drain : t -> timeout_s:float -> bool
+(** Graceful shutdown (the SIGTERM path): immediately refuse every new
+    query with {!Failure.Draining}, wait up to [timeout_s] for the queue
+    and executor pool to empty, then {!stop}.  Returns [true] when the
+    drain completed before the bound ([false] = work was still in flight
+    and stop proceeded anyway). *)
+
 val socket : t -> string
 val cache : t -> Cache.t
+
+val cost_model : t -> Costmodel.t
+(** The live cost model ({!Costmodel}) — exposed so the CLI can warm-start
+    it from a qlog file and tests can inspect learned estimates. *)
+
+val chaos_kill_workers : t -> int -> unit
+(** Inject [n] scripted worker deaths ({!Sched.chaos_kill_workers}) — the
+    soak harness's lever for exercising supervision end to end. *)
+
+val worker_restarts : t -> int
+(** Worker domains replaced after a death since start. *)
 
 val stats_json : t -> Fairness.Json.t
 (** The [stats] answer: cache counters, queue depth/limit, domain-pool

@@ -6,7 +6,7 @@
    byte — stale disk-spilled entries then simply stop being addressable
    (their keys are never derived again) rather than being served wrongly. *)
 
-let code_version = "fair-protocol/9.0"
+let code_version = "fair-protocol/10.0"
 
 (* Version tag of the cache-key derivation itself (the field layout fed to
    SHA-256), independent of the code version: bump it if the key schema

@@ -267,10 +267,11 @@ let test_percentiles_json_roundtrip () =
 
 module Qlog = Fair_obs.Qlog
 
-let qev ?(ts = 1) ?(tid = "") ?(outcome = "ok") ?(queue_s = 0.002) ?(wall_s = 1.25) key =
+let qev ?(ts = 1) ?(tid = "") ?(outcome = "ok") ?(queue_s = 0.002) ?(wall_s = 1.25)
+    ?(deadline_s = 0.) ?(attempt = 0) key =
   { Qlog.ts_ns = ts; trace_id = tid; span_id = ""; kind = "search"; experiment = "E1";
-    key; tier = "cold"; client = 3; worker = 0; queue_s; wall_s; trials = 400;
-    counters = [ ("engine.rounds", 12); ("mc.trials", 400) ]; outcome }
+    key; tier = "cold"; client = 3; worker = 0; queue_s; wall_s; deadline_s; attempt;
+    trials = 400; counters = [ ("engine.rounds", 12); ("mc.trials", 400) ]; outcome }
 
 let qlog_reset () =
   Qlog.disable ();
@@ -313,7 +314,8 @@ let test_qlog_jsonl_roundtrip () =
   let events =
     [ qev ~tid:"00112233445566778899aabbccddeeff" "k1";
       qev ~outcome:"query-failed" ~wall_s:Float.nan "k\"2\"\n\\weird";
-      qev ~queue_s:Float.infinity "k3" ]
+      qev ~queue_s:Float.infinity "k3";
+      qev ~outcome:"shed" ~deadline_s:1.5 ~attempt:2 "k4" ]
   in
   List.iter Qlog.record events;
   qlog_reset ();
@@ -347,6 +349,48 @@ let test_qlog_jsonl_roundtrip () =
       | Ok Json.Null -> ()
       | _ -> Alcotest.fail "infinite queue_s must render null")
   | Error e -> Alcotest.fail e
+
+(* The resilience columns of the wide event: the three new outcome strings
+   and the deadline/attempt fields survive both the in-memory ring and the
+   JSONL rendering intact. *)
+let test_qlog_resilience_fields () =
+  qlog_reset ();
+  Qlog.enable ~capacity:8 ();
+  let events =
+    [ qev ~outcome:"shed" ~deadline_s:0.25 ~attempt:1 "ks";
+      qev ~outcome:"drained" "kd";
+      qev ~outcome:"retried_by_client" ~attempt:4 "kr" ]
+  in
+  List.iter Qlog.record events;
+  let back = Qlog.recent () in
+  qlog_reset ();
+  Alcotest.(check int) "all three events in the ring" (List.length events) (List.length back);
+  List.iter2
+    (fun (e : Qlog.event) (e' : Qlog.event) ->
+      Alcotest.(check bool) ("ring round trip intact: " ^ e.Qlog.outcome) true (e = e'))
+    events back;
+  let num k j =
+    match Result.bind (Json.member k j) Json.to_float with
+    | Ok v -> v
+    | Error e -> Alcotest.failf "qlog field %S: %s" k e
+  in
+  let str k j =
+    match Result.bind (Json.member k j) Json.to_str with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "qlog field %S: %s" k e
+  in
+  (match Json.of_string (Qlog.to_json_line (List.hd events)) with
+  | Error e -> Alcotest.failf "shed line does not parse: %s" e
+  | Ok j ->
+      Alcotest.(check string) "outcome carried" "shed" (str "outcome" j);
+      Alcotest.(check (float 1e-12)) "deadline carried" 0.25 (num "deadline_s" j);
+      Alcotest.(check (float 1e-12)) "attempt carried" 1. (num "attempt" j));
+  match Json.of_string (Qlog.to_json_line (List.nth events 2)) with
+  | Error e -> Alcotest.failf "retried line does not parse: %s" e
+  | Ok j ->
+      Alcotest.(check string) "outcome carried" "retried_by_client" (str "outcome" j);
+      Alcotest.(check (float 1e-12)) "no deadline renders 0" 0. (num "deadline_s" j);
+      Alcotest.(check (float 1e-12)) "attempt carried" 4. (num "attempt" j)
 
 (* --------------------- zero perturbation ---------------------------- *)
 
@@ -536,7 +580,9 @@ let () =
           Alcotest.test_case "ring keeps newest, counts high-water" `Quick
             test_qlog_ring_discipline;
           Alcotest.test_case "JSONL sink round-trips through Fairness.Json" `Quick
-            test_qlog_jsonl_roundtrip ] );
+            test_qlog_jsonl_roundtrip;
+          Alcotest.test_case "resilience outcomes and fields round trip" `Quick
+            test_qlog_resilience_fields ] );
       ( "invariants",
         [ Alcotest.test_case "zero perturbation at jobs=1 and jobs=4" `Quick
             test_zero_perturbation;

@@ -10,6 +10,7 @@ module Proto = S.Proto
 module Failure = S.Failure
 module Cache = S.Cache
 module Sched = S.Sched
+module Costmodel = S.Costmodel
 module Json = Fairness.Json
 
 let qtest name count arb law =
@@ -42,7 +43,8 @@ let drain dec =
 let traced_query =
   { Proto.q_kind = Proto.Search; q_experiment = "E2"; q_budget = 500; q_seed = 7;
     q_zoo = true; q_fresh = false;
-    q_trace_id = "00112233445566778899aabbccddeeff"; q_span_id = "0123456789abcdef" }
+    q_trace_id = "00112233445566778899aabbccddeeff"; q_span_id = "0123456789abcdef";
+    q_deadline = 0.; q_attempt = 0 }
 
 let payload_fixtures =
   [ "alpha"; ""; "frame|with\\escapes\nand\000nul";
@@ -169,9 +171,11 @@ let eof_mid_frame_is_error () =
 
 let sample_queries =
   [ { Proto.q_kind = Proto.Search; q_experiment = "E1"; q_budget = 2000; q_seed = 42;
-      q_zoo = false; q_fresh = false; q_trace_id = ""; q_span_id = "" };
+      q_zoo = false; q_fresh = false; q_trace_id = ""; q_span_id = "";
+      q_deadline = 0.; q_attempt = 0 };
     { Proto.q_kind = Proto.Run; q_experiment = "e16"; q_budget = 1; q_seed = 0;
-      q_zoo = true; q_fresh = true; q_trace_id = ""; q_span_id = "" };
+      q_zoo = true; q_fresh = true; q_trace_id = ""; q_span_id = "";
+      q_deadline = 1.5; q_attempt = 3 };
     traced_query ]
 
 let sample_failures =
@@ -179,7 +183,9 @@ let sample_failures =
     Failure.Unknown_query { reason = "unknown experiment \"E99\"" };
     Failure.Overloaded { depth = 64; limit = 64 };
     Failure.Query_failed { reason = "fault budget exceeded" };
-    Failure.Connection_lost { reason = "timed out" } ]
+    Failure.Connection_lost { reason = "timed out" };
+    Failure.Deadline_exceeded { waited_s = 0.75; deadline_s = 0.5 };
+    Failure.Draining { reason = "server is draining; not accepting work" } ]
 
 let request_roundtrip () =
   List.iter
@@ -262,6 +268,43 @@ let trace_tolerant_decode () =
   | Ok (Proto.Result r') ->
       Alcotest.(check string) "bad result trace id dropped" "" r'.Proto.r_trace_id
   | Ok _ | Error _ -> Alcotest.fail "result with a bad trace id must still decode"
+
+(* Deadline and attempt follow the same wire discipline as the trace
+   context: unset values put no keys on the wire at all (a deadline-free
+   query encodes byte-identically to what a pre-deadline client sends),
+   values the encoder's guards refuse never reach the peer, and nothing
+   here touches the content address. *)
+let resilience_tolerant_decode () =
+  let q = List.hd sample_queries in
+  let enc = Proto.encode_request (Proto.Query q) in
+  Alcotest.(check bool) "unset deadline/attempt put no keys on the wire" false
+    (contains enc "deadline" || contains enc "attempt");
+  (match Proto.decode_request enc with
+  | Ok (Proto.Query q') ->
+      Alcotest.(check (float 0.)) "absent deadline reads as none" 0. q'.Proto.q_deadline;
+      Alcotest.(check int) "absent attempt reads as first try" 0 q'.Proto.q_attempt
+  | Ok _ | Error _ -> Alcotest.fail "deadline-free frame did not decode");
+  List.iter
+    (fun d ->
+      let enc =
+        Proto.encode_request (Proto.Query { q with Proto.q_deadline = d; q_attempt = -3 })
+      in
+      match Proto.decode_request enc with
+      | Ok (Proto.Query q') ->
+          Alcotest.(check (float 0.)) "unencodable deadline dropped" 0. q'.Proto.q_deadline;
+          Alcotest.(check int) "negative attempt dropped" 0 q'.Proto.q_attempt
+      | Ok _ | Error _ -> Alcotest.fail "frame with bad resilience fields must still decode")
+    [ -1.5; 0.; Float.nan; Float.infinity; Float.neg_infinity ];
+  (* the set case must survive the round trip (sample_queries also carries
+     one through request_roundtrip) *)
+  (match Proto.decode_request (Proto.encode_request (Proto.Query { q with Proto.q_deadline = 2.5; q_attempt = 7 })) with
+  | Ok (Proto.Query q') ->
+      Alcotest.(check (float 1e-12)) "deadline round-trips" 2.5 q'.Proto.q_deadline;
+      Alcotest.(check int) "attempt round-trips" 7 q'.Proto.q_attempt
+  | Ok _ | Error _ -> Alcotest.fail "deadline-carrying frame did not decode");
+  Alcotest.(check string) "deadline/attempt never reach the content address"
+    (Proto.cache_key q)
+    (Proto.cache_key { q with Proto.q_deadline = 2.5; q_attempt = 7 })
 
 let prop_decode_request_total =
   qtest "decode_request: arbitrary bytes never raise" 2000 arb_bytes (fun s ->
@@ -415,6 +458,70 @@ let cache_disk_garbled () =
       rewrite path (Bytes.to_string b))
     ()
 
+(* -------------------------- cost model ------------------------------ *)
+
+let costmodel_learns () =
+  let m = Costmodel.create ~alpha:0.5 ~default_s:0.05 () in
+  Alcotest.(check (float 1e-12)) "unobserved key estimates the default" 0.05
+    (Costmodel.estimate m ~kind:"search" ~experiment:"E1");
+  Costmodel.observe m ~kind:"search" ~experiment:"E1" ~wall_s:0.2;
+  Alcotest.(check (float 1e-12)) "first observation replaces the default" 0.2
+    (Costmodel.estimate m ~kind:"search" ~experiment:"E1");
+  Costmodel.observe m ~kind:"search" ~experiment:"E1" ~wall_s:0.4;
+  Alcotest.(check (float 1e-12)) "EWMA blends at alpha" 0.3
+    (Costmodel.estimate m ~kind:"search" ~experiment:"E1");
+  Alcotest.(check (float 1e-12)) "experiment id normalized like the content address" 0.3
+    (Costmodel.estimate m ~kind:"search" ~experiment:"e1");
+  Alcotest.(check (float 1e-12)) "other keys untouched" 0.05
+    (Costmodel.estimate m ~kind:"run" ~experiment:"E1");
+  Alcotest.(check (list (pair string (float 1e-12)))) "snapshot is name-sorted"
+    [ ("search/E1", 0.3) ] (Costmodel.snapshot m)
+
+let costmodel_floor_rejects_garbage () =
+  let m = Costmodel.create ~floor_s:1e-3 () in
+  List.iter
+    (fun bad ->
+      Costmodel.observe m ~kind:"search" ~experiment:"E1" ~wall_s:bad;
+      Alcotest.(check (float 1e-12))
+        (Printf.sprintf "observation %f clamps to the floor" bad)
+        1e-3
+        (Costmodel.estimate m ~kind:"search" ~experiment:"E1"))
+    [ 0.; -5.; Float.nan; Float.infinity; 1e-9 ];
+  Alcotest.check_raises "alpha outside (0,1] rejected"
+    (Invalid_argument "Costmodel.create: alpha not in (0,1]") (fun () ->
+      ignore (Costmodel.create ~alpha:1.5 ()))
+
+let costmodel_seeds_from_cold_events_only () =
+  let m = Costmodel.create ~alpha:1.0 () in
+  let ev ~tier ~wall_s =
+    { Fair_obs.Qlog.ts_ns = 1; trace_id = ""; span_id = ""; kind = "search";
+      experiment = "E1"; key = "k"; tier; client = 0; worker = 0; queue_s = 0.;
+      wall_s; deadline_s = 0.; attempt = 0; trials = 0; counters = []; outcome = "ok" }
+  in
+  Costmodel.seed_from_events m
+    [ ev ~tier:"cold" ~wall_s:0.3;
+      ev ~tier:"mem" ~wall_s:1e-6;
+      ev ~tier:"disk" ~wall_s:1e-6;
+      ev ~tier:"coalesced" ~wall_s:1e-6 ];
+  Alcotest.(check (float 1e-12)) "only the cold event taught the model" 0.3
+    (Costmodel.estimate m ~kind:"search" ~experiment:"E1")
+
+let costmodel_seed_from_file () =
+  let path = fresh_dir () ^ ".jsonl" in
+  Out_channel.with_open_bin path (fun oc ->
+      output_string oc
+        ("{\"tier\":\"cold\",\"kind\":\"search\",\"experiment\":\"E2\",\"wall_s\":0.25}\n"
+       ^ "{\"tier\":\"mem\",\"kind\":\"search\",\"experiment\":\"E2\",\"wall_s\":0.001}\n"
+       ^ "not json at all\n"
+       ^ "{\"tier\":\"cold\",\"kind\":\"\",\"experiment\":\"E2\",\"wall_s\":0.25}\n"));
+  let m = Costmodel.create ~alpha:1.0 () in
+  Alcotest.(check int) "exactly the well-formed cold line folded in" 1
+    (Costmodel.seed_from_file m path);
+  Alcotest.(check (float 1e-12)) "file seeding reaches the estimate" 0.25
+    (Costmodel.estimate m ~kind:"search" ~experiment:"e2");
+  Sys.remove path;
+  Alcotest.(check int) "missing file seeds nothing" 0 (Costmodel.seed_from_file m path)
+
 (* -------------------------- scheduler ------------------------------- *)
 
 type gate = { gm : Mutex.t; gc : Condition.t; mutable opened : bool }
@@ -470,8 +577,9 @@ let recording_sched ~queue_limit =
   in
   (sched, started, resume, executed)
 
-let job client key payload =
-  { Sched.j_client = client; j_key = key; j_attrs = []; j_queue_ns = 0; j_payload = payload }
+let job ?(cost = 0.) ?(deadline_ns = 0) client key payload =
+  { Sched.j_client = client; j_key = key; j_attrs = []; j_cost_s = cost;
+    j_deadline_ns = deadline_ns; j_queue_ns = 0; j_payload = payload }
 
 let park sched started =
   match Sched.submit sched (job 99 "key-block" "block") with
@@ -630,6 +738,329 @@ let sched_pool_coalescing () =
   Alcotest.(check bool) "c2 was not executed separately" false
     (List.exists (fun (p, _) -> p = "c2") log)
 
+(* --------------------- scheduler resilience -------------------------- *)
+
+(* A recording scheduler with shed/crash hooks.  Payload "block" parks the
+   worker on the resume gate (as in recording_sched); payload "die" raises
+   from exec, driving the real supervision path. *)
+let resilient_sched ?(workers = 1) ?(cost_budget = 0.) ~queue_limit () =
+  let log = ref [] and shed = ref [] and crashed = ref [] in
+  let m = Mutex.create () in
+  let record r v =
+    Mutex.lock m;
+    r := v :: !r;
+    Mutex.unlock m
+  in
+  let view r =
+    Mutex.lock m;
+    let l = List.rev !r in
+    Mutex.unlock m;
+    l
+  in
+  let started = gate () in
+  let resume = gate () in
+  let exec (j : string Sched.job) ~followers =
+    record log (j.Sched.j_payload, List.map (fun (f : string Sched.job) -> f.Sched.j_payload) followers);
+    if j.Sched.j_payload = "die" then failwith "scripted worker death";
+    if j.Sched.j_payload = "block" then begin
+      gate_open started;
+      gate_wait resume
+    end
+  in
+  let on_shed (j : string Sched.job) = record shed (j.Sched.j_payload, j.Sched.j_queue_ns) in
+  let on_crash (j : string Sched.job) ~followers exn =
+    record crashed
+      ( j.Sched.j_payload,
+        List.map (fun (f : string Sched.job) -> f.Sched.j_payload) followers,
+        Printexc.to_string exn )
+  in
+  let sched = Sched.create ~queue_limit ~cost_budget ~workers ~on_shed ~on_crash ~exec () in
+  (sched, started, resume, (fun () -> view log), (fun () -> view shed), fun () -> view crashed)
+
+let sched_deadline_shed () =
+  let sched, started, resume, executed, shed, _ = resilient_sched ~queue_limit:16 () in
+  park sched started;
+  (* queued behind the parked worker with a deadline that expires there *)
+  let expired = Fair_obs.Clock.now_ns () + 1_000_000 in
+  (match Sched.submit sched (job ~deadline_ns:expired 1 "k1" "too-late") with
+  | `Admitted -> ()
+  | `Rejected _ -> Alcotest.fail "deadline job rejected");
+  (match Sched.submit sched (job 2 "k2" "lives") with
+  | `Admitted -> ()
+  | `Rejected _ -> Alcotest.fail "clean job rejected");
+  Thread.delay 0.02;
+  gate_open resume;
+  wait_until "drain" (fun () -> Sched.depth sched = 0 && List.length (shed ()) = 1);
+  Sched.stop sched;
+  (match shed () with
+  | [ (payload, queue_ns) ] ->
+      Alcotest.(check string) "the expired job was shed" "too-late" payload;
+      Alcotest.(check bool) "its queue wait was stamped" true (queue_ns > 0)
+  | l -> Alcotest.failf "expected exactly one shed job, saw %d" (List.length l));
+  Alcotest.(check bool) "shed work never reached exec" false
+    (List.exists (fun (p, _) -> p = "too-late") (executed ()));
+  Alcotest.(check bool) "deadline-free work still ran" true
+    (List.exists (fun (p, _) -> p = "lives") (executed ()))
+
+let sched_cost_budget_admission () =
+  let sched, started, resume, _executed, _, _ =
+    resilient_sched ~queue_limit:1 ~cost_budget:1.0 ()
+  in
+  park sched started;
+  (* depth floor: an empty queue always admits, whatever the cost *)
+  (match Sched.submit sched (job ~cost:5.0 1 "k1" "expensive") with
+  | `Admitted -> ()
+  | `Rejected _ -> Alcotest.fail "empty queue must admit (depth floor)");
+  (* past the depth limit the budget decides, and the expensive head has
+     already consumed all of it *)
+  (match Sched.submit sched (job ~cost:0.4 2 "k2" "cheap-a") with
+  | `Admitted -> Alcotest.fail "summed cost above budget must refuse"
+  | `Rejected _ -> ());
+  gate_open resume;
+  wait_until "first sched drains" (fun () -> Sched.depth sched = 0);
+  Sched.stop sched;
+  (* rebuild with a cheap head: now the budget is what admits past depth *)
+  let sched, started, resume, _executed, _, _ =
+    resilient_sched ~queue_limit:1 ~cost_budget:1.0 ()
+  in
+  park sched started;
+  (match Sched.submit sched (job ~cost:0.3 1 "k1" "a") with
+  | `Admitted -> ()
+  | `Rejected _ -> Alcotest.fail "a");
+  (match Sched.submit sched (job ~cost:0.3 2 "k2" "b") with
+  | `Admitted -> ()  (* depth 1 ≥ limit 1, but 0.3+0.3 ≤ 1.0 *)
+  | `Rejected _ -> Alcotest.fail "cost budget must admit past the depth limit");
+  Alcotest.(check (float 1e-9)) "pending cost is the queued sum" 0.6
+    (Sched.pending_cost sched);
+  (match Sched.submit sched (job ~cost:0.5 3 "k3" "c") with
+  | `Admitted -> Alcotest.fail "0.6+0.5 exceeds the budget"
+  | `Rejected _ -> ());
+  gate_open resume;
+  wait_until "drain" (fun () -> Sched.depth sched = 0);
+  Sched.stop sched;
+  Alcotest.(check (float 1e-9)) "pending cost returns to zero" 0. (Sched.pending_cost sched)
+
+let sched_supervision_respawns () =
+  let sched, _, _, executed, _, crashed = resilient_sched ~queue_limit:16 () in
+  (match Sched.submit sched (job 1 "k1" "die") with
+  | `Admitted -> ()
+  | `Rejected _ -> Alcotest.fail "die job rejected");
+  wait_until "crash handled" (fun () -> crashed () <> []);
+  (match crashed () with
+  | [ (leader, followers, exn) ] ->
+      Alcotest.(check string) "the dying leader reached on_crash" "die" leader;
+      Alcotest.(check (list string)) "no followers in this batch" [] followers;
+      Alcotest.(check bool) "the crash cause is preserved" true
+        (contains exn "scripted worker death")
+  | l -> Alcotest.failf "expected exactly one crash, saw %d" (List.length l));
+  wait_until "replacement spawned" (fun () -> Sched.restarts sched = 1);
+  (* the replacement domain picks up new work *)
+  (match Sched.submit sched (job 2 "k2" "after") with
+  | `Admitted -> ()
+  | `Rejected _ -> Alcotest.fail "post-crash job rejected");
+  wait_until "replacement executes" (fun () ->
+      List.exists (fun (p, _) -> p = "after") (executed ()));
+  Sched.stop sched
+
+let sched_chaos_kill_is_supervised () =
+  let sched, _, _, executed, _, crashed = resilient_sched ~queue_limit:16 () in
+  Sched.chaos_kill_workers sched 1;
+  (match Sched.submit sched (job 1 "k1" "victim") with
+  | `Admitted -> ()
+  | `Rejected _ -> Alcotest.fail "victim rejected");
+  wait_until "injected death handled" (fun () -> crashed () <> []);
+  (match crashed () with
+  | [ (leader, _, exn) ] ->
+      Alcotest.(check string) "the kill fired with a job in hand" "victim" leader;
+      Alcotest.(check bool) "the cause is the injected exception" true
+        (contains exn "Chaos_worker_killed")
+  | l -> Alcotest.failf "expected exactly one injected death, saw %d" (List.length l));
+  Alcotest.(check bool) "the doomed dispatch never ran exec" false
+    (List.exists (fun (p, _) -> p = "victim") (executed ()));
+  (match Sched.submit sched (job 2 "k2" "after") with
+  | `Admitted -> ()
+  | `Rejected _ -> Alcotest.fail "post-kill job rejected");
+  wait_until "replacement executes" (fun () ->
+      List.exists (fun (p, _) -> p = "after") (executed ()));
+  Sched.stop sched;
+  Alcotest.(check int) "exactly one restart" 1 (Sched.restarts sched)
+
+(* ------------------------- client retry ------------------------------ *)
+
+let retry_policy = { S.Client.Retry.retries = 3; budget_s = 1.0; base_s = 0.001; cap_s = 0.002 }
+
+let retry_matrix () =
+  List.iter
+    (fun (f, expect) ->
+      Alcotest.(check bool) (Failure.code f ^ " retryable") expect (S.Client.Retry.retryable f))
+    [ (Failure.Connection_lost { reason = "x" }, true);
+      (Failure.Overloaded { depth = 1; limit = 1 }, true);
+      (Failure.Malformed_frame { seq = 1; reason = "x" }, false);
+      (Failure.Unknown_query { reason = "x" }, false);
+      (Failure.Query_failed { reason = "x" }, false);
+      (Failure.Deadline_exceeded { waited_s = 1.; deadline_s = 0.5 }, false);
+      (Failure.Draining { reason = "x" }, false) ]
+
+let retry_off_is_single_attempt () =
+  let attempts = ref [] in
+  let attempt ~attempt =
+    attempts := attempt :: !attempts;
+    Result.Error (Failure.Overloaded { depth = 1; limit = 1 })
+  in
+  (match S.Client.Retry.run ~policy:S.Client.Retry.default ~seed:1 attempt with
+  | Result.Error (`Failed (Failure.Overloaded _)) -> ()
+  | _ -> Alcotest.fail "retries off must fail plainly, not exhaust");
+  Alcotest.(check (list int)) "one attempt, numbered 0" [ 0 ] (List.rev !attempts)
+
+let retry_non_retryable_fails_fast () =
+  let count = ref 0 in
+  let attempt ~attempt:_ =
+    incr count;
+    Result.Error (Failure.Unknown_query { reason = "E99" })
+  in
+  (match S.Client.Retry.run ~policy:retry_policy ~seed:1 attempt with
+  | Result.Error (`Failed (Failure.Unknown_query _)) -> ()
+  | _ -> Alcotest.fail "a deliberate answer must not be retried");
+  Alcotest.(check int) "single attempt" 1 !count
+
+let retry_recovers_midway () =
+  let attempts = ref [] in
+  let attempt ~attempt =
+    attempts := attempt :: !attempts;
+    if attempt < 2 then Result.Error (Failure.Connection_lost { reason = "flaky" })
+    else Ok "answer"
+  in
+  (match S.Client.Retry.run ~policy:retry_policy ~seed:7 attempt with
+  | Ok "answer" -> ()
+  | _ -> Alcotest.fail "the third attempt's success must surface");
+  Alcotest.(check (list int)) "attempt numbers climb from 0" [ 0; 1; 2 ] (List.rev !attempts)
+
+let retry_exhaustion_is_distinct_and_deterministic () =
+  let run () =
+    let count = ref 0 in
+    let attempt ~attempt:_ =
+      incr count;
+      Result.Error (Failure.Connection_lost { reason = "down" })
+    in
+    match S.Client.Retry.run ~policy:retry_policy ~seed:42 attempt with
+    | Result.Error (`Exhausted (n, Failure.Connection_lost _)) -> (n, !count)
+    | _ -> Alcotest.fail "running out of retries must report exhaustion"
+  in
+  let n1, c1 = run () in
+  Alcotest.(check int) "attempts = retries + 1" 4 n1;
+  Alcotest.(check int) "the callback saw every attempt" 4 c1;
+  let n2, c2 = run () in
+  Alcotest.(check (pair int int)) "same seed, same schedule" (n1, c1) (n2, c2)
+
+let retry_budget_bounds_sleeps () =
+  let count = ref 0 in
+  let attempt ~attempt:_ =
+    incr count;
+    Result.Error (Failure.Overloaded { depth = 9; limit = 8 })
+  in
+  match
+    S.Client.Retry.run
+      ~policy:{ retry_policy with S.Client.Retry.budget_s = 0. }
+      ~seed:3 attempt
+  with
+  | Result.Error (`Exhausted (1, _)) ->
+      Alcotest.(check int) "a zero budget allows exactly the first attempt" 1 !count
+  | _ -> Alcotest.fail "an exhausted sleep budget must report exhaustion"
+
+(* ---------------------- client failure surface ----------------------- *)
+
+(* S1: [connect ~timeout] must bound connect(2) itself.  A bound socket
+   with a full (zero) backlog is the listening-but-never-accepting peer:
+   blocking connect would hang inside the syscall forever. *)
+let client_connect_timeout () =
+  let socket =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "fair-noaccept-%d.sock" (Unix.getpid ()))
+  in
+  if Sys.file_exists socket then Sys.remove socket;
+  let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listener (Unix.ADDR_UNIX socket);
+  Unix.listen listener 0;
+  (* fill whatever backlog the kernel actually granted with raw
+     nonblocking connects, so the client's connect cannot complete *)
+  let fillers = ref [] in
+  (try
+     for _ = 1 to 16 do
+       let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+       Unix.set_nonblock fd;
+       (try Unix.connect fd (Unix.ADDR_UNIX socket)
+        with Unix.Unix_error ((Unix.EINPROGRESS | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ());
+       fillers := fd :: !fillers
+     done
+   with Unix.Unix_error _ -> ());
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) !fillers;
+      Unix.close listener;
+      if Sys.file_exists socket then Sys.remove socket)
+    (fun () ->
+      let t0 = Unix.gettimeofday () in
+      match S.Client.connect ~socket ~timeout:0.3 () with
+      | Result.Error e ->
+          Alcotest.(check bool)
+            (Printf.sprintf "error names the timeout (got %S)" e)
+            true (contains e "timed out");
+          Alcotest.(check bool) "returned near the bound, not hung"
+            true
+            (Unix.gettimeofday () -. t0 < 5.0)
+      | Ok c ->
+          S.Client.close c;
+          Alcotest.fail "connect succeeded against a never-accepting peer")
+
+(* S2: a poisoned reply stream (hostile length prefix) must surface as
+   [Connection_lost] and close the fd eagerly — no later frame on that
+   stream could be trusted. *)
+let client_poisoned_reply_closes () =
+  let socket =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "fair-poison-%d.sock" (Unix.getpid ()))
+  in
+  if Sys.file_exists socket then Sys.remove socket;
+  let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listener (Unix.ADDR_UNIX socket);
+  Unix.listen listener 1;
+  let server =
+    Thread.create
+      (fun () ->
+        let fd, _ = Unix.accept listener in
+        (* swallow the request, answer with an impossible length prefix *)
+        ignore (Unix.read fd (Bytes.create 256) 0 256);
+        ignore (Unix.write fd (Bytes.of_string "\xff\xff\xff\xff") 0 4);
+        Thread.delay 0.2;
+        (try Unix.close fd with Unix.Unix_error _ -> ()))
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Thread.join server;
+      Unix.close listener;
+      if Sys.file_exists socket then Sys.remove socket)
+    (fun () ->
+      let c =
+        match S.Client.connect ~socket ~timeout:5.0 () with
+        | Ok c -> c
+        | Result.Error e -> Alcotest.failf "connect: %s" e
+      in
+      (match S.Client.send_request c S.Proto.Ping with
+      | Ok () -> ()
+      | Result.Error f -> Alcotest.failf "send: %s" (Failure.to_string f));
+      (match S.Client.read_response c with
+      | Result.Error (Failure.Connection_lost _) -> ()
+      | Result.Error f ->
+          Alcotest.failf "expected connection-lost, got %s" (Failure.to_string f)
+      | Ok _ -> Alcotest.fail "a poisoned stream produced a response");
+      (* the fd is already closed: further use fails instantly, it does not
+         sit on a dead socket *)
+      match S.Client.send_request c S.Proto.Ping with
+      | Result.Error (Failure.Connection_lost _) -> ()
+      | Result.Error f -> Alcotest.failf "expected connection-lost, got %s" (Failure.to_string f)
+      | Ok () -> Alcotest.fail "send succeeded on an eagerly-closed connection")
+
 (* ------------------------ server isolation -------------------------- *)
 
 let with_server f =
@@ -742,6 +1173,65 @@ let server_obs_byte_identity () =
         (run ~obs:true ~jobs ~workers))
     [ (1, 1); (4, 4) ]
 
+(* The resilience analogue of the obs pairing: a server with the whole
+   resilience layer engaged (cost-aware admission, a pre-seeded cost
+   model, a generous deadline and a retry wrapper on the client) must
+   serve the exact bytes a dark server with everything off serves — at
+   (workers, jobs) = (1,1) and (4,4).  Deadlines, retries and cost
+   estimates decide *whether/when* a query runs, never what it answers. *)
+let server_resilience_byte_identity () =
+  let q = { (List.hd sample_queries) with Proto.q_budget = 300 } in
+  let run ~resilient ~jobs ~workers =
+    let socket =
+      Printf.sprintf "test-svc-res-%b-%d-%d-%d.sock" resilient jobs workers (Unix.getpid ())
+    in
+    let server =
+      if resilient then begin
+        let costs = Costmodel.create () in
+        Costmodel.observe costs ~kind:"search" ~experiment:q.Proto.q_experiment ~wall_s:0.04;
+        S.Server.start ~socket ~jobs ~workers ~cost_budget:5.0 ~costs ()
+      end
+      else S.Server.start ~socket ~jobs ~workers ()
+    in
+    Fun.protect
+      ~finally:(fun () -> S.Server.stop server)
+      (fun () ->
+        let q =
+          if resilient then { q with Proto.q_deadline = 60.; q_attempt = 0 } else q
+        in
+        let attempt ~attempt =
+          let c = connect socket in
+          let r = S.Client.query c { q with Proto.q_attempt = attempt } in
+          S.Client.close c;
+          r
+        in
+        let body =
+          if resilient then begin
+            match
+              S.Client.Retry.run
+                ~policy:{ S.Client.Retry.default with S.Client.Retry.retries = 2 }
+                ~seed:q.Proto.q_seed attempt
+            with
+            | Ok r -> r.Proto.r_body
+            | Result.Error (`Failed f) | Result.Error (`Exhausted (_, f)) ->
+                Alcotest.failf "resilient query: %s" (Failure.to_string f)
+          end
+          else
+            match attempt ~attempt:0 with
+            | Ok r -> r.Proto.r_body
+            | Result.Error f -> Alcotest.failf "dark query: %s" (Failure.to_string f)
+        in
+        body)
+  in
+  List.iter
+    (fun (workers, jobs) ->
+      let dark = run ~resilient:false ~jobs ~workers in
+      Alcotest.(check string)
+        (Printf.sprintf "bytes identical with resilience on at workers=%d/-j%d" workers jobs)
+        dark
+        (run ~resilient:true ~jobs ~workers))
+    [ (1, 1); (4, 4) ]
+
 (* The exit path (satellite S3): a clean [Server.stop] must leave the
    observability artifacts on disk — the flight recorder dumped with
    reason "shutdown", and every qlog line flushed through the sink. *)
@@ -815,6 +1305,8 @@ let () =
           prop_decode_request_total;
           prop_decode_response_total;
           Alcotest.test_case "cache key semantics" `Quick cache_key_semantics;
+          Alcotest.test_case "deadline/attempt: tolerant decode, byte-stable, key-neutral" `Quick
+            resilience_tolerant_decode;
           Alcotest.test_case "failure taxonomy JSON round trip" `Quick failure_json_roundtrip ] );
       ( "cache",
         [ Alcotest.test_case "memory round trip and stats" `Quick cache_memory_roundtrip;
@@ -826,6 +1318,14 @@ let () =
           Alcotest.test_case "spill shorter than the digest header" `Quick
             cache_disk_truncated_below_header;
           Alcotest.test_case "bit-flipped spill: miss, delete, heal" `Quick cache_disk_garbled ] );
+      ( "costmodel",
+        [ Alcotest.test_case "EWMA learning and key normalization" `Quick costmodel_learns;
+          Alcotest.test_case "floor clamps garbage and free work" `Quick
+            costmodel_floor_rejects_garbage;
+          Alcotest.test_case "seeding uses cold-tier events only" `Quick
+            costmodel_seeds_from_cold_events_only;
+          Alcotest.test_case "warm-start from a qlog file is best-effort" `Quick
+            costmodel_seed_from_file ] );
       ( "sched",
         [ Alcotest.test_case "round-robin across clients (no starvation)" `Quick sched_round_robin;
           Alcotest.test_case "bounded queue refuses explicitly" `Quick sched_backpressure;
@@ -836,6 +1336,31 @@ let () =
             sched_pool_per_key_serialized;
           Alcotest.test_case "pool: coalescing unchanged with workers > 1" `Quick
             sched_pool_coalescing ] );
+      ( "sched-resilience",
+        [ Alcotest.test_case "expired queued work is shed, not executed" `Quick
+            sched_deadline_shed;
+          Alcotest.test_case "cost budget: depth floor + summed-cost ceiling" `Quick
+            sched_cost_budget_admission;
+          Alcotest.test_case "a dying worker is supervised and replaced" `Quick
+            sched_supervision_respawns;
+          Alcotest.test_case "injected chaos kill drives the same supervision" `Quick
+            sched_chaos_kill_is_supervised ] );
+      ( "retry",
+        [ Alcotest.test_case "retry-safety matrix" `Quick retry_matrix;
+          Alcotest.test_case "retries off = exactly one attempt" `Quick
+            retry_off_is_single_attempt;
+          Alcotest.test_case "non-retryable failures fail fast" `Quick
+            retry_non_retryable_fails_fast;
+          Alcotest.test_case "a mid-sequence success surfaces" `Quick retry_recovers_midway;
+          Alcotest.test_case "exhaustion is distinct and seed-deterministic" `Quick
+            retry_exhaustion_is_distinct_and_deterministic;
+          Alcotest.test_case "the sleep budget bounds total backoff" `Quick
+            retry_budget_bounds_sleeps ] );
+      ( "client",
+        [ Alcotest.test_case "connect timeout bounds connect(2) itself" `Quick
+            client_connect_timeout;
+          Alcotest.test_case "poisoned reply stream: connection-lost, fd closed eagerly" `Quick
+            client_poisoned_reply_closes ] );
       ( "server",
         [ Alcotest.test_case "unknown query: structured error, connection survives" `Quick
             server_unknown_query_keeps_conn;
@@ -845,5 +1370,7 @@ let () =
       ( "observability",
         [ Alcotest.test_case "certificates bit-identical with obs on/off, -j1/-j4" `Quick
             server_obs_byte_identity;
+          Alcotest.test_case "certificates bit-identical with resilience on/off, (1,1)/(4,4)"
+            `Quick server_resilience_byte_identity;
           Alcotest.test_case "stop flushes qlog and dumps the flight recorder" `Quick
             server_stop_flushes_observability ] ) ]
